@@ -1,0 +1,1 @@
+bench/bench_util.ml: Format Kb List Relational Unix Workload

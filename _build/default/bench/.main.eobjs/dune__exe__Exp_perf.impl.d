@@ -1,0 +1,1 @@
+bench/exp_perf.ml: Bench_util Factor_graph Float Grounding Kb List Mln Mpp Printf Quality Relational String Tuffy Unix Workload

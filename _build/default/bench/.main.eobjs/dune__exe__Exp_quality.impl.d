@@ -1,0 +1,1 @@
+bench/exp_quality.ml: Bench_util Grounding Hashtbl Kb List Printf Quality Relational String Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_util Exp_micro Exp_perf Exp_quality Format List Printf String Unix

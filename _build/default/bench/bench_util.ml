@@ -1,0 +1,65 @@
+(* Shared helpers for the experiment harness. *)
+
+let pf = Format.printf
+
+let section title =
+  pf "@.==============================================================@.";
+  pf "%s@." title;
+  pf "==============================================================@."
+
+let paper fmt = pf ("  paper:    " ^^ fmt ^^ "@.")
+let measured fmt = pf ("  measured: " ^^ fmt ^^ "@.")
+let note fmt = pf ("  note:     " ^^ fmt ^^ "@.")
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* A deep copy of a knowledge base sharing dictionaries, with an optional
+   replacement rule set. *)
+let copy_kb ?rules kb =
+  let kb2 = Kb.Gamma.create_like kb in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      ignore (Kb.Gamma.add_fact kb2 ~r ~x ~c1 ~y ~c2 ~w))
+    (Kb.Gamma.pi kb);
+  List.iter (Kb.Gamma.add_rule kb2)
+    (match rules with Some rs -> rs | None -> Kb.Gamma.rules kb);
+  List.iter (Kb.Gamma.add_funcon kb2) (Kb.Gamma.omega kb);
+  kb2
+
+let minutes s = s /. 60.
+
+(* Modeled DBMS time: measured in-process seconds plus the per-statement
+   overhead derived from the paper's own Table 3 (see
+   Relational.Dbms_model). *)
+let modeled ?(tables = 0) ~statements measured =
+  Relational.Dbms_model.modeled_seconds Relational.Dbms_model.default
+    ~statements ~tables_created:tables ~measured
+
+let precision_of noise kb =
+  let correct = ref 0 and total = ref 0 in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      if Relational.Table.is_null_weight w then begin
+        incr total;
+        if Workload.Noise.is_correct noise ~r ~x ~c1 ~y ~c2 then incr correct
+      end)
+    (Kb.Gamma.pi kb);
+  (!correct, !total)
+
+(* Global options parsed by main. *)
+type options = {
+  mutable experiments : string list; (* empty = all *)
+  mutable full : bool; (* paper-scale sweeps *)
+  mutable scale : float option; (* override default scale *)
+  mutable quick : bool; (* CI-sized runs *)
+}
+
+let options = { experiments = []; full = false; scale = None; quick = false }
+
+let scale_or default =
+  match options.scale with
+  | Some s -> s
+  | None -> if options.quick then default /. 4. else default

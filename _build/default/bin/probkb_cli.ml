@@ -1,0 +1,382 @@
+(* The probkb command-line tool.
+
+   Subcommands:
+     generate   synthesize a ReVerb-Sherlock-shaped KB to TSV files
+     expand     load a KB, run knowledge expansion, save the result
+     infer      expand + marginal inference, print the top inferred facts
+     stats      print KB statistics (the Table 2 row)
+     demo       the paper's Ruth Gruber worked example *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let load_kb facts rules constraints =
+  let kb = Kb.Gamma.create () in
+  let n_facts = Kb.Loader.load_facts_file kb facts in
+  let n_rules = Kb.Loader.load_rules_file kb rules in
+  let n_cons =
+    match constraints with
+    | Some path -> Kb.Loader.load_constraints_file kb path
+    | None -> 0
+  in
+  Format.printf "loaded %d facts, %d rules, %d constraints@." n_facts n_rules
+    n_cons;
+  kb
+
+(* --- common arguments --- *)
+
+let facts_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "facts" ] ~docv:"FILE" ~doc:"Tab-separated facts file.")
+
+let rules_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "rules" ] ~docv:"FILE" ~doc:"Rules file (one Horn clause per line).")
+
+let constraints_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "constraints" ] ~docv:"FILE"
+        ~doc:"Functional constraints file (relation, I|II, degree).")
+
+let sc_arg =
+  Arg.(
+    value & flag
+    & info [ "sc" ] ~doc:"Apply semantic constraints during expansion.")
+
+let theta_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "theta" ] ~docv:"T"
+        ~doc:"Rule-cleaning threshold: keep the top T fraction of rules.")
+
+let mpp_arg =
+  Arg.(
+    value & flag
+    & info [ "mpp" ]
+        ~doc:"Ground on the simulated MPP cluster (ProbKB-p configuration).")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 15
+    & info [ "max-iterations" ] ~docv:"N" ~doc:"Grounding iteration budget.")
+
+let config ~sc ~theta ~mpp ~iterations ~inference =
+  {
+    Probkb.Config.engine =
+      (if mpp then
+         Probkb.Config.Mpp { cluster = Mpp.Cluster.default; views = true }
+       else Probkb.Config.Single_node);
+    quality = { Probkb.Config.semantic_constraints = sc; rule_theta = theta };
+    max_iterations = iterations;
+    inference;
+  }
+
+(* --- generate --- *)
+
+let generate scale seed out =
+  let g =
+    Workload.Reverb_sherlock.generate
+      { Workload.Reverb_sherlock.default_config with scale; seed }
+  in
+  let kb = Workload.Reverb_sherlock.kb g in
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  let write name f =
+    let oc = open_out (Filename.concat out name) in
+    f oc;
+    close_out oc
+  in
+  write "facts.tsv" (Kb.Loader.save_facts kb);
+  write "rules.mln" (Kb.Loader.save_rules kb);
+  write "constraints.tsv" (fun oc ->
+      let rel = Relational.Dict.name (Kb.Gamma.relations kb) in
+      List.iter
+        (fun (fc : Kb.Funcon.t) ->
+          Printf.fprintf oc "%s\t%s\t%d\n" (rel fc.Kb.Funcon.rel)
+            (match fc.Kb.Funcon.ftype with
+            | Kb.Funcon.Type_I -> "I"
+            | Kb.Funcon.Type_II -> "II")
+            fc.Kb.Funcon.degree)
+        (Kb.Gamma.omega kb));
+  Format.printf "%a@.written to %s/@." Kb.Gamma.pp_stats (Kb.Gamma.stats kb) out;
+  0
+
+let generate_cmd =
+  let scale =
+    Arg.(
+      value & opt float 0.05
+      & info [ "scale" ] ~docv:"S" ~doc:"Scale factor (1.0 = Table 2 sizes).")
+  in
+  let seed =
+    Arg.(value & opt int 20140622 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  let out =
+    Arg.(
+      value & opt string "kb-out"
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a ReVerb-Sherlock-shaped KB.")
+    Term.(const generate $ scale $ seed $ out)
+
+(* --- expand --- *)
+
+let lint_report kb =
+  let issues = Quality.Lint.check ~kb (Kb.Gamma.rules kb) in
+  if issues <> [] then begin
+    Format.printf "rule lint: %d issues@." (List.length issues);
+    List.iteri
+      (fun i issue ->
+        if i < 8 then
+          Format.printf "  %s@."
+            (Quality.Lint.describe
+               ~rel_name:(Relational.Dict.name (Kb.Gamma.relations kb))
+               ~cls_name:(Relational.Dict.name (Kb.Gamma.classes kb))
+               issue))
+      issues
+  end
+
+let expand facts rules constraints sc theta mpp iterations out verbose =
+  setup_logs verbose;
+  let kb = load_kb facts rules constraints in
+  lint_report kb;
+  let engine =
+    Probkb.Engine.create
+      ~config:(config ~sc ~theta ~mpp ~iterations ~inference:None)
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  Format.printf "%a@." Probkb.Report.pp_expansion e;
+  (match out with
+  | Some path ->
+    let oc = open_out path in
+    Kb.Loader.save_facts kb oc;
+    close_out oc;
+    Format.printf "expanded facts written to %s@." path
+  | None -> ());
+  0
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the expanded facts here.")
+
+let expand_cmd =
+  Cmd.v
+    (Cmd.info "expand" ~doc:"Run knowledge expansion over a KB.")
+    Term.(
+      const expand $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
+      $ theta_arg $ mpp_arg $ iterations_arg $ out_arg $ verbose_arg)
+
+(* --- infer --- *)
+
+let infer facts rules constraints sc theta iterations top samples =
+  let kb = load_kb facts rules constraints in
+  let inference =
+    Some
+      (Inference.Marginal.Gibbs
+         { Inference.Gibbs.default_options with samples })
+  in
+  let engine =
+    Probkb.Engine.create
+      ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference)
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  let marginals = Probkb.Engine.infer engine e in
+  ignore (Probkb.Engine.store_marginals engine marginals);
+  Format.printf "expansion: %d new facts; showing the top %d by probability@."
+    e.Probkb.Engine.new_fact_count top;
+  let inferred = ref [] in
+  Kb.Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w:_ ->
+      match Hashtbl.find_opt marginals id with
+      | Some p -> inferred := (p, id) :: !inferred
+      | None -> ())
+    (Kb.Gamma.pi kb);
+  List.sort (fun (a, _) (b, _) -> compare b a) !inferred
+  |> List.filteri (fun i _ -> i < top)
+  |> List.iter (fun (p, id) ->
+         Format.printf "  %.3f  %a@." p (Kb.Gamma.pp_fact kb) id);
+  0
+
+let infer_cmd =
+  let top =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"How many facts to print.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 500
+      & info [ "samples" ] ~docv:"N" ~doc:"Gibbs estimation sweeps.")
+  in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Expand a KB and compute marginal probabilities.")
+    Term.(
+      const infer $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
+      $ theta_arg $ iterations_arg $ top $ samples)
+
+(* --- stats --- *)
+
+let stats facts rules constraints =
+  let kb = load_kb facts rules constraints in
+  Format.printf "%a@." Probkb.Report.pp_kb kb;
+  0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print knowledge-base statistics.")
+    Term.(const stats $ facts_arg $ rules_arg $ constraints_arg)
+
+(* --- sql --- *)
+
+let sql () =
+  List.iter
+    (fun p ->
+      Format.printf "--- Query 1-%d (groundAtoms, %s) ---@.%s@.@."
+        (Mln.Pattern.index p + 1)
+        (Mln.Pattern.to_string p)
+        (Grounding.Sql.ground_atoms p);
+      Format.printf "--- Query 2-%d (groundFactors, %s) ---@.%s@.@."
+        (Mln.Pattern.index p + 1)
+        (Mln.Pattern.to_string p)
+        (Grounding.Sql.ground_factors p))
+    Mln.Pattern.all;
+  Format.printf "--- Query 3 (applyConstraints) ---@.%s@."
+    Grounding.Sql.apply_constraints;
+  0
+
+let sql_cmd =
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"Print the grounding queries as SQL (the paper's Figure 3).")
+    Term.(const sql $ const ())
+
+(* --- analyze --- *)
+
+let analyze facts rules constraints iterations =
+  let kb = load_kb facts rules constraints in
+  let engine =
+    Probkb.Engine.create
+      ~config:(config ~sc:false ~theta:1.0 ~mpp:false ~iterations ~inference:None)
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  Format.printf "expanded: %d new facts, %d factors@.@."
+    e.Probkb.Engine.new_fact_count e.Probkb.Engine.n_factors;
+  let omega = Kb.Gamma.omega kb in
+  let vs = Quality.Semantic.violations (Kb.Gamma.pi kb) omega in
+  Format.printf "%d functional-constraint violations@." (List.length vs);
+  let entity_name = Relational.Dict.name (Kb.Gamma.entities kb) in
+  let rel_name = Relational.Dict.name (Kb.Gamma.relations kb) in
+  List.iteri
+    (fun i v ->
+      if i < 15 then
+        Format.printf "  %a@."
+          (Quality.Semantic.pp_violation ~entity_name ~rel_name)
+          v)
+    vs;
+  if List.length vs > 15 then Format.printf "  ... (%d more)@." (List.length vs - 15);
+  (* Rule blame via lineage. *)
+  let bad =
+    List.concat_map
+      (fun v ->
+        Quality.Semantic.violation_group (Kb.Gamma.pi kb) v
+        |> List.filter_map (fun ((r, x, c1, y, c2), _) ->
+               Kb.Storage.find (Kb.Gamma.pi kb) ~r ~x ~c1 ~y ~c2))
+      vs
+  in
+  let reports =
+    Quality.Rule_feedback.attribute ~kb ~graph:e.Probkb.Engine.graph
+      ~bad_facts:bad
+  in
+  let worst =
+    List.filter (fun r -> Quality.Rule_feedback.penalty r > 0.) reports
+    |> List.sort (fun a b ->
+           compare
+             (Quality.Rule_feedback.penalty b)
+             (Quality.Rule_feedback.penalty a))
+  in
+  Format.printf "@.%d rules implicated; worst offenders:@." (List.length worst);
+  let cls_name = Relational.Dict.name (Kb.Gamma.classes kb) in
+  List.iteri
+    (fun i (rep : Quality.Rule_feedback.report) ->
+      if i < 10 then
+        Format.printf "  penalty %.2f (%d/%d)  %s@."
+          (Quality.Rule_feedback.penalty rep)
+          rep.Quality.Rule_feedback.blamed rep.Quality.Rule_feedback.derived
+          (Mln.Pretty.clause ~rel_name ~cls_name rep.Quality.Rule_feedback.clause))
+    worst;
+  0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Expand a KB, report constraint violations and attribute them to \
+          rules via lineage.")
+    Term.(const analyze $ facts_arg $ rules_arg $ constraints_arg $ iterations_arg)
+
+(* --- demo --- *)
+
+let demo () =
+  let kb = Kb.Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [
+         "1.40 live_in(x:Writer, y:Place) :- born_in(x, y)";
+         "1.53 live_in(x:Writer, y:City) :- born_in(x, y)";
+         "0.52 located_in(x:Place, y:City) :- born_in(z:Writer, x), born_in(z, y)";
+       ]);
+  ignore
+    (Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Ruth Gruber" ~c1:"Writer"
+       ~y:"New York City" ~c2:"City" ~w:0.96);
+  ignore
+    (Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Ruth Gruber" ~c1:"Writer"
+       ~y:"Brooklyn" ~c2:"Place" ~w:0.93);
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        { Probkb.Config.default with inference = Some Inference.Marginal.Exact }
+      kb
+  in
+  ignore (Probkb.Engine.run engine);
+  Kb.Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      Format.printf "  P = %s  %a@."
+        (if Relational.Table.is_null_weight w then " ?? "
+         else Printf.sprintf "%.2f" w)
+        (Kb.Gamma.pp_fact kb) id)
+    (Kb.Gamma.pi kb);
+  0
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's worked example.")
+    Term.(const demo $ const ())
+
+let () =
+  let info =
+    Cmd.info "probkb" ~version:"1.0.0"
+      ~doc:"Knowledge expansion over probabilistic knowledge bases."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd; expand_cmd; infer_cmd; stats_cmd; sql_cmd;
+            analyze_cmd; demo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/kb_analytics.ml: Array Factor_graph Filename Float Format Grounding Hashtbl Inference Kb List Mln Probkb Quality Relational Sys

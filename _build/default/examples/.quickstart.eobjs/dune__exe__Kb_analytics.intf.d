@@ -1,0 +1,1 @@
+examples/kb_analytics.mli:

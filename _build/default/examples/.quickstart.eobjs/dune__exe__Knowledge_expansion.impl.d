@@ -1,0 +1,1 @@
+examples/knowledge_expansion.ml: Format Grounding Kb List Probkb Quality Relational Workload

@@ -1,0 +1,1 @@
+examples/lineage_explorer.ml: Factor_graph Format Grounding Kb List Option Quality Relational

@@ -1,0 +1,1 @@
+examples/mpp_scaling.ml: Factor_graph Format Grounding Kb List Mpp Workload

@@ -1,0 +1,1 @@
+examples/mpp_scaling.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Factor_graph Fmt Format Inference Kb List Option Printf Probkb Relational

@@ -1,0 +1,103 @@
+(* Error propagation through the inference chain (the paper's Figure 5a).
+
+   Reconstructs the Mandel / Freud / Rothman scenario: an ambiguous name
+   ("Mandel" — two different people) seeds an incorrect located_in fact,
+   a wrong rule turns it into an incorrect capital_of fact, and the chain
+   keeps growing.  The lineage queries over TΦ expose the whole
+   propagation cone, and a functional constraint on born_in detects the
+   ambiguous entity and cuts the chain at its root.
+
+   Run with: dune exec examples/lineage_explorer.exe *)
+
+let () =
+  let kb = Kb.Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [
+         (* sound rules *)
+         "0.52 located_in(x:Place, y:Place) :- born_in(z:Person, x), born_in(z, y)";
+         "0.70 live_in(x:Person, y:Place) :- born_in(x, y)";
+         (* the wrong rule of Figure 5(a) *)
+         "0.30 capital_of(x:Place, y:Place) :- located_in(x, z:Place), hub_of(z, y)";
+       ]);
+  ignore (Kb.Loader.load_constraints kb [ "born_in\tI\t1" ]);
+  let fact r x y w =
+    ignore (Kb.Gamma.add_fact_by_name kb ~r ~x ~c1:(if r = "born_in" || r = "live_in" then "Person" else "Place") ~y ~c2:"Place" ~w)
+  in
+  (* "Mandel" is ambiguous: Leonard Mandel (born in Berlin) and Johnny
+     Mandel (born in Baltimore) share the surface form. *)
+  ignore (Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Mandel" ~c1:"Person" ~y:"Berlin" ~c2:"Place" ~w:0.9);
+  ignore (Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Mandel" ~c1:"Person" ~y:"Baltimore" ~c2:"Place" ~w:0.9);
+  ignore (Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Freud" ~c1:"Person" ~y:"Berlin" ~c2:"Place" ~w:0.85);
+  fact "hub_of" "Berlin" "Germany" 0.8;
+
+  (* Expand WITHOUT constraints to watch the error propagate. *)
+  let raw = Kb.Gamma.create_like kb in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      ignore (Kb.Gamma.add_fact raw ~r ~x ~c1 ~y ~c2 ~w))
+    (Kb.Gamma.pi kb);
+  List.iter (Kb.Gamma.add_rule raw) (Kb.Gamma.rules kb);
+  let r = Grounding.Ground.run raw in
+  Format.printf "--- expansion without constraints ---@.";
+  Kb.Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      if Relational.Table.is_null_weight w then
+        Format.printf "  inferred: %a@." (Kb.Gamma.pp_fact raw) id)
+    (Kb.Gamma.pi raw);
+
+  (* The propagation cone of the ambiguous entity's facts. *)
+  let lineage = Factor_graph.Lineage.build r.Grounding.Ground.graph in
+  let seed =
+    Option.get
+      (Kb.Storage.find (Kb.Gamma.pi raw)
+         ~r:(Kb.Gamma.relation raw "born_in")
+         ~x:(Kb.Gamma.entity raw "Mandel")
+         ~c1:(Kb.Gamma.cls raw "Person")
+         ~y:(Kb.Gamma.entity raw "Baltimore")
+         ~c2:(Kb.Gamma.cls raw "Place"))
+  in
+  Format.printf "@.--- everything downstream of born_in(Mandel, Baltimore) ---@.";
+  List.iter
+    (fun id ->
+      Format.printf "  %a (depth %s)@." (Kb.Gamma.pp_fact raw) id
+        (match Factor_graph.Lineage.depth lineage id with
+        | Some d -> string_of_int d
+        | None -> "?"))
+    (Factor_graph.Lineage.descendants lineage seed);
+
+  (* Now with the functional constraint: born_in is 1-functional, Mandel
+     violates it, and the greedy policy removes the entity before the
+     error can propagate. *)
+  let qc = Kb.Gamma.create_like kb in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      ignore (Kb.Gamma.add_fact qc ~r ~x ~c1 ~y ~c2 ~w))
+    (Kb.Gamma.pi kb);
+  List.iter (Kb.Gamma.add_rule qc) (Kb.Gamma.rules kb);
+  let omega = Kb.Gamma.omega kb in
+  let vs = Quality.Semantic.violations (Kb.Gamma.pi qc) omega in
+  Format.printf "@.--- constraint check ---@.";
+  List.iter
+    (fun v ->
+      Format.printf "  %a@."
+        (Quality.Semantic.pp_violation
+           ~entity_name:(Relational.Dict.name (Kb.Gamma.entities qc))
+           ~rel_name:(Relational.Dict.name (Kb.Gamma.relations qc)))
+        v)
+    vs;
+  ignore
+    (Grounding.Ground.run
+       ~options:
+         {
+           Grounding.Ground.default_options with
+           apply_constraints = Some (Quality.Semantic.hook omega);
+         }
+       qc);
+  Format.printf "@.--- expansion with constraints ---@.";
+  Kb.Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      Format.printf "  %s %a@."
+        (if Relational.Table.is_null_weight w then "inferred:" else "base:    ")
+        (Kb.Gamma.pp_fact qc) id)
+    (Kb.Gamma.pi qc)

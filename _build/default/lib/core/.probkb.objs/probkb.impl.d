@@ -1,0 +1,1 @@
+lib/core/probkb.ml: Config Engine Report

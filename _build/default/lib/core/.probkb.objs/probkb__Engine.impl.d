@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Factor_graph Grounding Hashtbl Inference Kb List Quality Relational

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Factor_graph Hashtbl Kb

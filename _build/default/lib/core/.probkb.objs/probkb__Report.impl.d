@@ -1,0 +1,1 @@
+lib/core/report.ml: Engine Format Kb List Printf Relational

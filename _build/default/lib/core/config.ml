@@ -1,0 +1,19 @@
+type engine = Single_node | Mpp of { cluster : Mpp.Cluster.t; views : bool }
+type quality = { semantic_constraints : bool; rule_theta : float }
+
+type t = {
+  engine : engine;
+  quality : quality;
+  max_iterations : int;
+  inference : Inference.Marginal.method_ option;
+}
+
+let default =
+  {
+    engine = Single_node;
+    quality = { semantic_constraints = false; rule_theta = 1.0 };
+    max_iterations = 15;
+    inference = Some (Inference.Marginal.Gibbs Inference.Gibbs.default_options);
+  }
+
+let no_inference c = { c with inference = None }

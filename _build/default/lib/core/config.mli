@@ -1,0 +1,28 @@
+(** Engine configuration for the ProbKB pipeline. *)
+
+(** Where grounding executes. *)
+type engine =
+  | Single_node  (** the PostgreSQL-style configuration ("ProbKB") *)
+  | Mpp of { cluster : Mpp.Cluster.t; views : bool }
+      (** the Greenplum-style configuration: "ProbKB-p" with redistributed
+          materialized views, "ProbKB-pn" without *)
+
+(** Quality control (paper, Section 5). *)
+type quality = {
+  semantic_constraints : bool;  (** apply Ω during grounding *)
+  rule_theta : float;  (** rule-cleaning threshold θ ∈ (0, 1]; 1 = keep all *)
+}
+
+type t = {
+  engine : engine;
+  quality : quality;
+  max_iterations : int;
+  inference : Inference.Marginal.method_ option;
+      (** marginal inference to run after grounding; [None] skips it *)
+}
+
+(** Single node, no quality control, 15 iterations, Gibbs inference. *)
+val default : t
+
+(** [no_inference c] disables the marginal-inference stage. *)
+val no_inference : t -> t

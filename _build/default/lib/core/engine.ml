@@ -1,0 +1,145 @@
+module Gamma = Kb.Gamma
+module Storage = Kb.Storage
+module Table = Relational.Table
+
+type t = { kb : Gamma.t; config : Config.t }
+
+let create ?(config = Config.default) kb = { kb; config }
+let kb t = t.kb
+let config t = t.config
+
+type expansion = {
+  graph : Factor_graph.Fgraph.t;
+  iterations : int;
+  converged : bool;
+  new_fact_count : int;
+  removed_by_constraints : int;
+  n_factors : int;
+  rules_used : int;
+  wall_seconds : float;
+  sim_seconds : float option;
+}
+
+let clean_rules t =
+  let theta = t.config.Config.quality.Config.rule_theta in
+  if theta >= 1.0 then List.length (Gamma.rules t.kb)
+  else begin
+    (* Without learner scores, the MLN weight is the best available
+       statistical-significance surrogate (paper, Section 5.3). *)
+    let scored = Quality.Rule_cleaning.score_by_weight (Gamma.rules t.kb) in
+    let kept = Quality.Rule_cleaning.clean ~theta scored in
+    Gamma.set_rules t.kb kept;
+    List.length kept
+  end
+
+let constraint_hook t =
+  if t.config.Config.quality.Config.semantic_constraints then
+    Some (Quality.Semantic.hook (Gamma.omega t.kb))
+  else None
+
+let expand t =
+  let rules_used = clean_rules t in
+  let hook = constraint_hook t in
+  let t0 = Relational.Stats.now () in
+  match t.config.Config.engine with
+  | Config.Single_node ->
+    let r =
+      Grounding.Ground.run
+        ~options:
+          {
+            Grounding.Ground.default_options with
+            max_iterations = t.config.Config.max_iterations;
+            apply_constraints = hook;
+          }
+        t.kb
+    in
+    {
+      graph = r.Grounding.Ground.graph;
+      iterations = r.Grounding.Ground.iterations;
+      converged = r.Grounding.Ground.converged;
+      new_fact_count = r.Grounding.Ground.new_fact_count;
+      removed_by_constraints = r.Grounding.Ground.removed_by_constraints;
+      n_factors = Factor_graph.Fgraph.size r.Grounding.Ground.graph;
+      rules_used;
+      wall_seconds = Relational.Stats.now () -. t0;
+      sim_seconds = None;
+    }
+  | Config.Mpp { cluster; views } ->
+    let r =
+      Grounding.Ground_mpp.run
+        ~options:
+          {
+            Grounding.Ground_mpp.default_options with
+            max_iterations = t.config.Config.max_iterations;
+            apply_constraints = hook;
+          }
+        ~mode:(if views then Grounding.Ground_mpp.Views else Grounding.Ground_mpp.No_views)
+        cluster t.kb
+    in
+    {
+      graph = r.Grounding.Ground_mpp.graph;
+      iterations = r.Grounding.Ground_mpp.iterations;
+      converged = r.Grounding.Ground_mpp.converged;
+      new_fact_count = r.Grounding.Ground_mpp.new_fact_count;
+      removed_by_constraints = 0;
+      n_factors = Factor_graph.Fgraph.size r.Grounding.Ground_mpp.graph;
+      rules_used;
+      wall_seconds = Relational.Stats.now () -. t0;
+      sim_seconds = Some r.Grounding.Ground_mpp.sim_seconds;
+    }
+
+let infer t e =
+  match t.config.Config.inference with
+  | None -> Hashtbl.create 0
+  | Some m -> Inference.Marginal.infer e.graph m
+
+let store_marginals t marginals =
+  let pi = Gamma.pi t.kb in
+  let tbl = Storage.table pi in
+  let updated = ref 0 in
+  Hashtbl.iter
+    (fun id p ->
+      match Storage.row_of_id pi id with
+      | Some row when Table.is_null_weight (Table.weight tbl row) ->
+        Table.set_weight tbl row p;
+        incr updated
+      | Some _ | None -> ())
+    marginals;
+  !updated
+
+type result = { expansion : expansion; marginals_stored : int }
+
+let run t =
+  let expansion = expand t in
+  let marginals = infer t expansion in
+  let marginals_stored = store_marginals t marginals in
+  { expansion; marginals_stored }
+
+let incorporate t facts =
+  let pi = Gamma.pi t.kb in
+  let delta =
+    Table.create ~weighted:true ~name:"delta"
+      [| "I"; "R"; "x"; "C1"; "y"; "C2" |]
+  in
+  List.iter
+    (fun (r, x, c1, y, c2, w) ->
+      let before = Storage.size pi in
+      let id = Gamma.add_fact t.kb ~r ~x ~c1 ~y ~c2 ~w in
+      if Storage.size pi > before then
+        Table.append_w delta [| id; r; x; c1; y; c2 |] w)
+    facts;
+  let inserted = Table.nrows delta in
+  if inserted = 0 then (0, 0)
+  else begin
+    let result =
+      Grounding.Ground.closure
+        ~options:
+          {
+            Grounding.Ground.default_options with
+            max_iterations = t.config.Config.max_iterations;
+            initial_delta = Some delta;
+          }
+        t.kb
+    in
+    (inserted, result.Grounding.Ground.new_fact_count)
+  end

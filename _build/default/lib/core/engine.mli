@@ -1,0 +1,61 @@
+(** The ProbKB engine — the pipeline of Figure 1.
+
+    [expand] performs knowledge expansion: rule cleaning, then batch
+    grounding (with semantic constraints applied each iteration when
+    enabled), producing the inferred facts in place and the ground factor
+    graph [TΦ].  [run] additionally performs marginal inference over the
+    factor graph and writes each inferred fact's probability back into the
+    knowledge base, "thereby avoiding query-time computation" (paper,
+    Section 2.2). *)
+
+type t
+
+(** [create ?config kb] wraps a knowledge base.  The KB is mutated by
+    expansion (inferred facts are added to [TΠ]). *)
+val create : ?config:Config.t -> Kb.Gamma.t -> t
+
+val kb : t -> Kb.Gamma.t
+val config : t -> Config.t
+
+type expansion = {
+  graph : Factor_graph.Fgraph.t;
+  iterations : int;
+  converged : bool;
+  new_fact_count : int;
+  removed_by_constraints : int;
+  n_factors : int;
+  rules_used : int;  (** after rule cleaning *)
+  wall_seconds : float;
+  sim_seconds : float option;  (** simulated cluster time (MPP engines) *)
+}
+
+(** [expand t] grounds the knowledge base (Algorithm 1 + quality
+    control). *)
+val expand : t -> expansion
+
+(** [infer t e] runs the configured marginal inference over [e]'s factor
+    graph; returns fact id → probability (empty when inference is
+    disabled). *)
+val infer : t -> expansion -> (int, float) Hashtbl.t
+
+(** [store_marginals t marginals] writes each probability into the weight
+    column of the corresponding (inferred) fact.  Returns how many facts
+    were updated. *)
+val store_marginals : t -> (int, float) Hashtbl.t -> int
+
+type result = {
+  expansion : expansion;
+  marginals_stored : int;
+}
+
+(** [run t] is [expand] + [infer] + [store_marginals]. *)
+val run : t -> result
+
+(** [incorporate t facts] adds newly extracted facts
+    [(r, x, c1, y, c2, w)] to an already-expanded knowledge base and
+    derives {e only their consequences} (delta-driven grounding seeded
+    with the insertions) instead of re-running full expansion.  Returns
+    [(inserted, inferred)].  Re-run {!expand} when a fresh factor graph is
+    needed. *)
+val incorporate :
+  t -> (int * int * int * int * int * float) list -> int * int

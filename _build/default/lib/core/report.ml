@@ -1,0 +1,32 @@
+let pp_expansion ppf (e : Engine.expansion) =
+  Format.fprintf ppf
+    "@[<v>expansion: %d iterations%s, %d rules applied@,\
+     facts: +%d inferred, %d removed by constraints@,\
+     factors: %d@,\
+     time: %.2fs wall%s@]"
+    e.Engine.iterations
+    (if e.Engine.converged then " (converged)" else " (budget hit)")
+    e.Engine.rules_used e.Engine.new_fact_count e.Engine.removed_by_constraints
+    e.Engine.n_factors e.Engine.wall_seconds
+    (match e.Engine.sim_seconds with
+    | Some s -> Printf.sprintf ", %.2fs simulated cluster" s
+    | None -> "")
+
+let pp_result ppf (r : Engine.result) =
+  Format.fprintf ppf "@[<v>%a@,marginals stored: %d@]" pp_expansion
+    r.Engine.expansion r.Engine.marginals_stored
+
+let pp_kb ppf kb =
+  Format.fprintf ppf "@[<v>%a@," Kb.Gamma.pp_stats (Kb.Gamma.stats kb);
+  let q = Kb.Query.prepare (Kb.Gamma.pi kb) in
+  let rels = Kb.Query.relations q in
+  Format.fprintf ppf "top relations by fact count:@,";
+  List.iteri
+    (fun i (r, n) ->
+      if i < 10 then
+        Format.fprintf ppf "  %6d  %s@," n
+          (Relational.Dict.name (Kb.Gamma.relations kb) r))
+    rels;
+  if List.length rels > 10 then
+    Format.fprintf ppf "  ... (%d more relations)@," (List.length rels - 10);
+  Format.fprintf ppf "@]"

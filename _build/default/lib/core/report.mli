@@ -1,0 +1,13 @@
+(** Human-readable reports for pipeline results. *)
+
+(** [pp_expansion ppf e] prints a one-paragraph expansion summary
+    (iterations, new facts, constraint removals, factor counts, wall and
+    simulated time). *)
+val pp_expansion : Format.formatter -> Engine.expansion -> unit
+
+(** [pp_result ppf r] is {!pp_expansion} plus the inference stage. *)
+val pp_result : Format.formatter -> Engine.result -> unit
+
+(** [pp_kb ppf kb] prints the Table 2-style statistics block followed by
+    the per-relation fact counts (largest first, capped at 10). *)
+val pp_kb : Format.formatter -> Kb.Gamma.t -> unit

@@ -1,0 +1,1 @@
+lib/factor_graph/fgraph.ml: Array Float Hashtbl List Relational

@@ -1,0 +1,1 @@
+lib/factor_graph/fgraph.mli: Hashtbl Relational

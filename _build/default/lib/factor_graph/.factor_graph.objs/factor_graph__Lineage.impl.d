@@ -1,0 +1,1 @@
+lib/factor_graph/lineage.ml: Fgraph Hashtbl List Option Queue

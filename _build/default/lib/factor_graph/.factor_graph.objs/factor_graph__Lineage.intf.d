@@ -1,0 +1,1 @@
+lib/factor_graph/lineage.mli: Fgraph

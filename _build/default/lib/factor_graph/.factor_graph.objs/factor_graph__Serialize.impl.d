@@ -1,0 +1,1 @@
+lib/factor_graph/serialize.ml: Fgraph Fun Printf String

@@ -1,0 +1,1 @@
+lib/factor_graph/serialize.mli: Fgraph

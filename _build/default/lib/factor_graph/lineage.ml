@@ -1,0 +1,97 @@
+type t = {
+  by_head : (int, (int * int * float) list) Hashtbl.t;
+  by_body : (int, int list) Hashtbl.t; (* body fact -> heads *)
+  singletons : (int, unit) Hashtbl.t;
+}
+
+let push tbl k v =
+  Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+
+let build g =
+  let l =
+    {
+      by_head = Hashtbl.create 256;
+      by_body = Hashtbl.create 256;
+      singletons = Hashtbl.create 256;
+    }
+  in
+  Fgraph.iter
+    (fun _ (i1, i2, i3, w) ->
+      if i2 = Fgraph.null && i3 = Fgraph.null then
+        Hashtbl.replace l.singletons i1 ()
+      else begin
+        push l.by_head i1 (i2, i3, w);
+        if i2 <> Fgraph.null then push l.by_body i2 i1;
+        if i3 <> Fgraph.null then push l.by_body i3 i1
+      end)
+    g;
+  l
+
+let derivations l id = Option.value ~default:[] (Hashtbl.find_opt l.by_head id)
+let supports l id = Option.value ~default:[] (Hashtbl.find_opt l.by_body id)
+
+let closure next start =
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    List.iter
+      (fun n ->
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.add seen n ();
+          visit n
+        end)
+      (next id)
+  in
+  visit start;
+  Hashtbl.remove seen start;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+let ancestors l id =
+  closure
+    (fun i ->
+      List.concat_map
+        (fun (i2, i3, _) ->
+          (if i2 = Fgraph.null then [] else [ i2 ])
+          @ if i3 = Fgraph.null then [] else [ i3 ])
+        (derivations l i))
+    id
+
+let descendants l id = closure (supports l) id
+
+(* Minimum derivation depth, computed as a forward fixpoint from the
+   extracted (singleton) facts: depths only ever decrease, and each
+   improvement re-examines the derivations the improved fact feeds, so the
+   loop terminates even on cyclic lineage. *)
+let depth l id =
+  let best : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter (fun i () -> Hashtbl.replace best i 0) l.singletons;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun i () -> Queue.add i queue) l.singletons;
+  let get i = Hashtbl.find_opt best i in
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    List.iter
+      (fun h ->
+        (* Recompute h's best depth over all its derivations. *)
+        let candidate =
+          derivations l h
+          |> List.filter_map (fun (i2, i3, _) ->
+                 let d2 = if i2 = Fgraph.null then Some 0 else get i2 in
+                 let d3 = if i3 = Fgraph.null then Some 0 else get i3 in
+                 match (d2, d3) with
+                 | Some a, Some b -> Some (1 + max a b)
+                 | _ -> None)
+          |> function
+          | [] -> None
+          | ds -> Some (List.fold_left min max_int ds)
+        in
+        match (candidate, get h) with
+        | Some c, Some old when c < old ->
+          Hashtbl.replace best h c;
+          Queue.add h queue
+        | Some c, None ->
+          Hashtbl.replace best h c;
+          Queue.add h queue
+        | _ -> ())
+      (supports l b)
+  done;
+  get id

@@ -1,0 +1,56 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let write g oc =
+  Fgraph.iter
+    (fun _ (i1, i2, i3, w) ->
+      if i2 = Fgraph.null && i3 = Fgraph.null then
+        Printf.fprintf oc "S %d %.17g\n" i1 w
+      else if i3 = Fgraph.null then Printf.fprintf oc "C %d %d - %.17g\n" i1 i2 w
+      else Printf.fprintf oc "C %d %d %d %.17g\n" i1 i2 i3 w)
+    g
+
+let read ic =
+  let g = Fgraph.create () in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if String.length line > 0 && line.[0] <> '#' then begin
+         match String.split_on_char ' ' line with
+         | [ "S"; i; w ] -> (
+           match (int_of_string_opt i, float_of_string_opt w) with
+           | Some i, Some w -> Fgraph.add_singleton g ~i ~w
+           | _ -> fail "line %d: bad singleton" !lineno)
+         | [ "C"; i1; i2; "-"; w ] -> (
+           match
+             (int_of_string_opt i1, int_of_string_opt i2, float_of_string_opt w)
+           with
+           | Some i1, Some i2, Some w -> Fgraph.add_clause g ~i1 ~i2 ~w ()
+           | _ -> fail "line %d: bad clause" !lineno)
+         | [ "C"; i1; i2; i3; w ] -> (
+           match
+             ( int_of_string_opt i1,
+               int_of_string_opt i2,
+               int_of_string_opt i3,
+               float_of_string_opt w )
+           with
+           | Some i1, Some i2, Some i3, Some w ->
+             Fgraph.add_clause g ~i1 ~i2 ~i3 ~w ()
+           | _ -> fail "line %d: bad clause" !lineno)
+         | _ -> fail "line %d: unrecognized record" !lineno
+       end
+     done
+   with End_of_file -> ());
+  g
+
+let to_file g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write g oc)
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read ic)

@@ -1,0 +1,1 @@
+lib/grounding/ground.ml: Array Factor_graph Fun Kb List Logs Mln Printf Queries Relational

@@ -1,0 +1,1 @@
+lib/grounding/ground.mli: Factor_graph Kb Relational

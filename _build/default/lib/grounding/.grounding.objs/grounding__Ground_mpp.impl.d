@@ -1,0 +1,1 @@
+lib/grounding/ground_mpp.ml: Factor_graph Kb List Logs Mln Mpp Queries Relational

@@ -1,0 +1,1 @@
+lib/grounding/ground_mpp.mli: Factor_graph Kb Mpp

@@ -1,0 +1,1 @@
+lib/grounding/queries.ml: Array Factor_graph Kb Mln Relational

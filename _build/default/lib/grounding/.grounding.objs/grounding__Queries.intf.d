@@ -1,0 +1,1 @@
+lib/grounding/queries.mli: Factor_graph Kb Mln Relational

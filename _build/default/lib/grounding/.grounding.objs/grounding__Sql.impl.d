@@ -1,0 +1,1 @@
+lib/grounding/sql.ml: Array List Mln Printf Queries String

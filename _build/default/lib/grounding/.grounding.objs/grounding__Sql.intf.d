@@ -1,0 +1,1 @@
+lib/grounding/sql.mli: Mln

@@ -1,0 +1,158 @@
+module Table = Relational.Table
+module Ops = Relational.Ops
+module Stats = Relational.Stats
+module Pattern = Mln.Pattern
+module Storage = Kb.Storage
+module Fgraph = Factor_graph.Fgraph
+
+let src = Logs.Src.create "probkb.grounding" ~doc:"ProbKB grounding driver"
+
+module Log = (val Logs.src_log src)
+
+type options = {
+  max_iterations : int;
+  apply_constraints : (Storage.t -> int) option;
+  distinct_before_merge : bool;
+  build_factors : bool;
+  semi_naive : bool;
+  initial_delta : Table.t option;
+  on_iteration : (iteration:int -> new_facts:int -> unit) option;
+}
+
+let default_options =
+  {
+    max_iterations = 15;
+    apply_constraints = None;
+    distinct_before_merge = true;
+    build_factors = true;
+    semi_naive = false;
+    initial_delta = None;
+    on_iteration = None;
+  }
+
+type result = {
+  graph : Fgraph.t;
+  iterations : int;
+  converged : bool;
+  facts_per_iteration : int list;
+  new_fact_count : int;
+  removed_by_constraints : int;
+  n_singleton_factors : int;
+  n_clause_factors : int;
+  stats : Stats.t;
+}
+
+let all_atom_cols = [| 0; 1; 2; 3; 4 |]
+
+let active_patterns prepared =
+  List.filter
+    (fun pat -> Mln.Partition.count (Queries.partitions prepared) pat > 0)
+    Pattern.all
+
+let run ?(options = default_options) kb =
+  let pi = Kb.Gamma.pi kb in
+  let prepared = Queries.prepare (Kb.Gamma.partitions kb) in
+  let patterns = active_patterns prepared in
+  let stats = Stats.create () in
+  let graph = Fgraph.create () in
+  let removed = ref 0 in
+  let total_new = ref 0 in
+  let facts_per_iteration = ref [] in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (* Constraints are applied once before inference starts (the paper's
+     Section 6.1.1 protocol) and then after every iteration (Algorithm 1,
+     line 6): an entity that already violates Ω must not seed the very
+     first round of joins. *)
+  (match options.apply_constraints with
+  | Some f -> removed := !removed + f pi
+  | None -> ());
+  (* Semi-naive evaluation joins only against the previous iteration's
+     delta; it is sound only when facts are never deleted mid-run, so a
+     constraint hook forces naive evaluation. *)
+  let semi_naive =
+    (options.semi_naive || options.initial_delta <> None)
+    && options.apply_constraints = None
+  in
+  let delta = ref options.initial_delta in
+  (* Closure phase: Algorithm 1, lines 2-7. *)
+  while (not !converged) && !iterations < options.max_iterations do
+    incr iterations;
+    let iteration = !iterations in
+    let new_facts = ref 0 in
+    (* Algorithm 1, lines 3-5: every Ti is computed against the same TΠ
+       snapshot; the results are merged only after all partitions ran. *)
+    let results =
+      List.map
+        (fun pat ->
+          let label = Printf.sprintf "Query 1-%d" (Pattern.index pat + 1) in
+          Stats.time stats ~label ~rows:Table.nrows (fun () ->
+              let t =
+                match (semi_naive, !delta) with
+                | true, Some d -> Queries.ground_atoms_delta prepared pat pi ~delta:d
+                | _ -> Queries.ground_atoms prepared pat pi
+              in
+              if options.distinct_before_merge then Ops.distinct t all_atom_cols
+              else t))
+        patterns
+    in
+    let before_merge = Table.nrows (Storage.table pi) in
+    List.iter
+      (fun atoms -> new_facts := !new_facts + Storage.merge_new pi atoms)
+      results;
+    if semi_naive then begin
+      let facts = Storage.table pi in
+      delta :=
+        Some
+          (Table.sub facts
+             (Array.init
+                (Table.nrows facts - before_merge)
+                (fun i -> before_merge + i)))
+    end;
+    (match options.apply_constraints with
+    | Some f -> removed := !removed + f pi
+    | None -> ());
+    total_new := !total_new + !new_facts;
+    Log.debug (fun m ->
+        m "iteration %d: +%d facts (T_Pi now %d)" iteration !new_facts
+          (Storage.size pi));
+    facts_per_iteration := Storage.size pi :: !facts_per_iteration;
+    (match options.on_iteration with
+    | Some f -> f ~iteration ~new_facts:!new_facts
+    | None -> ());
+    if !new_facts = 0 then converged := true
+  done;
+  (* Factor phase: Algorithm 1, lines 8-10. *)
+  let n_clause_factors = ref 0 in
+  let n_singleton_factors = ref 0 in
+  if options.build_factors then begin
+    List.iter
+      (fun pat ->
+        let label = Printf.sprintf "Query 2-%d" (Pattern.index pat + 1) in
+        let produced =
+          Stats.time stats ~label ~rows:Fun.id (fun () ->
+              Queries.ground_factors prepared pat pi graph)
+        in
+        n_clause_factors := !n_clause_factors + produced)
+      patterns;
+    n_singleton_factors :=
+      Stats.time stats ~label:"singletons" ~rows:Fun.id (fun () ->
+          Queries.singleton_factors pi graph);
+    Log.debug (fun m ->
+        m "factors: %d clause + %d singleton" !n_clause_factors
+          !n_singleton_factors)
+  end;
+  {
+    graph;
+    iterations = !iterations;
+    converged = !converged;
+    facts_per_iteration = List.rev !facts_per_iteration;
+    new_fact_count = !total_new;
+    removed_by_constraints = !removed;
+    n_singleton_factors = !n_singleton_factors;
+    n_clause_factors = !n_clause_factors;
+    stats;
+  }
+
+let closure ?(options = default_options) kb =
+  run ~options:{ options with build_factors = false } kb

@@ -1,0 +1,56 @@
+(** Algorithm 1 — the grounding driver.
+
+    Repeatedly applies every rule partition in batches, merging new facts
+    into [TΠ], applying semantic constraints, until the transitive closure
+    is reached (or an iteration budget is exhausted); then applies the
+    partitions once more to construct the ground factors, plus one
+    singleton factor per weighted base fact. *)
+
+type options = {
+  max_iterations : int;  (** closure iteration budget (paper: 15 suffice) *)
+  apply_constraints : (Kb.Storage.t -> int) option;
+      (** the [applyConstraints(TΠ)] hook of Algorithm 1, line 6; returns
+          the number of facts removed (see [Quality.Semantic]) *)
+  distinct_before_merge : bool;
+      (** deduplicate query outputs before merging (bounds peak memory on
+          rule sets with heavy overlap; default true) *)
+  build_factors : bool;  (** run the groundFactors phase (default true) *)
+  semi_naive : bool;
+      (** delta-driven evaluation: each iteration joins only against the
+          facts added by the previous one instead of the whole of [TΠ]
+          (sound because derivation is monotone; disabled automatically
+          when a constraint hook deletes facts mid-run).  An optimization
+          the paper leaves on the table — see the ablation benchmark.
+          Default [false], matching the paper's Algorithm 1 *)
+  initial_delta : Relational.Table.t option;
+      (** incremental mode: a table with the [TΠ] schema holding the facts
+          that were just added to an already-closed store; the first
+          iteration joins only against them (implies [semi_naive]).  This
+          is the paper's knowledge-expansion loop run *continuously*: new
+          extractions arrive, only their consequences are derived *)
+  on_iteration : (iteration:int -> new_facts:int -> unit) option;
+      (** progress callback *)
+}
+
+val default_options : options
+
+type result = {
+  graph : Factor_graph.Fgraph.t;  (** [TΦ] *)
+  iterations : int;  (** closure iterations executed *)
+  converged : bool;  (** true iff a fixpoint was reached *)
+  facts_per_iteration : int list;
+      (** [TΠ] size after each iteration, oldest first *)
+  new_fact_count : int;  (** facts added by inference in total *)
+  removed_by_constraints : int;  (** facts deleted by the constraint hook *)
+  n_singleton_factors : int;
+  n_clause_factors : int;
+  stats : Relational.Stats.t;  (** per-query timings and cardinalities *)
+}
+
+(** [run ?options kb] grounds the knowledge base in place: inferred facts
+    are merged into [kb]'s fact store with null weights. *)
+val run : ?options:options -> Kb.Gamma.t -> result
+
+(** [closure ?options kb] is {!run} with [build_factors = false] — computes
+    only the fact closure (the repeated Query 1 phase of Table 3). *)
+val closure : ?options:options -> Kb.Gamma.t -> result

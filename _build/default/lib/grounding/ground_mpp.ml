@@ -1,0 +1,231 @@
+module Table = Relational.Table
+module Join = Relational.Join
+module Ops = Relational.Ops
+module Pattern = Mln.Pattern
+module Storage = Kb.Storage
+module Fgraph = Factor_graph.Fgraph
+module Shape = Queries.Shape
+
+let src = Logs.Src.create "probkb.mpp" ~doc:"ProbKB distributed grounding"
+
+module Log = (val Logs.src_log src)
+
+type mode = Views | No_views
+
+type options = {
+  max_iterations : int;
+  apply_constraints : (Storage.t -> int) option;
+  build_factors : bool;
+  on_iteration :
+    (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
+}
+
+let default_options =
+  {
+    max_iterations = 15;
+    apply_constraints = None;
+    build_factors = true;
+    on_iteration = None;
+  }
+
+type result = {
+  graph : Fgraph.t;
+  iterations : int;
+  converged : bool;
+  new_fact_count : int;
+  n_singleton_factors : int;
+  n_clause_factors : int;
+  sim_seconds : float;
+  load_sim_seconds : float;
+  motion_bytes : int;
+  cost : Mpp.Cost.t;
+}
+
+(* In Greenplum the INSERT ... SELECT that merges new facts, the head
+   resolution and the singleton scan all run distributed; this driver
+   executes them materially on the coordinator (so results can be compared
+   bit-for-bit with the single-node engine) but charges them at the
+   distributed rate: one motion that ships the rows to their home segments
+   plus balanced per-segment CPU. *)
+let distributed_step cluster cost label rows row_bytes =
+  let nseg = cluster.Mpp.Cluster.nseg in
+  let bytes = rows * row_bytes * (nseg - 1) / max 1 nseg in
+  Mpp.Cost.charge cost
+    (Mpp.Cost.Redistribute { table = label; rows; bytes })
+    (cluster.Mpp.Cluster.motion_latency_s
+    +. (float_of_int bytes /. cluster.Mpp.Cluster.bandwidth_bytes_per_s));
+  Mpp.Cost.charge cost
+    (Mpp.Cost.Coordinator { label; rows })
+    (float_of_int (rows / max 1 nseg + 1) *. cluster.Mpp.Cluster.cost_per_row)
+
+let active_patterns parts =
+  List.filter (fun pat -> Mln.Partition.count parts pat > 0) Pattern.all
+
+let run ?(options = default_options) ?(mode = Views) cluster kb =
+  let pi = Kb.Gamma.pi kb in
+  let parts = Kb.Gamma.partitions kb in
+  let patterns = active_patterns parts in
+  let cost = Mpp.Cost.create () in
+  let graph = Fgraph.create () in
+  (* One-time distribution work (replicating the MLN tables, building the
+     initial views / base table) is load, not query time — the paper's
+     Table 3 accounts it in the Load column. *)
+  let load_sim = ref 0. in
+  let first_distribution = ref true in
+  (* MLN tables are small: replicate them once. *)
+  let m_repl =
+    List.map
+      (fun pat ->
+        let tbl = Mln.Partition.table parts pat in
+        let bytes = Table.byte_size tbl * (cluster.Mpp.Cluster.nseg - 1) in
+        Mpp.Cost.charge cost
+          (Mpp.Cost.Broadcast
+             { table = Table.name tbl; rows = Table.nrows tbl; bytes })
+          (cluster.Mpp.Cluster.motion_latency_s
+          +. (float_of_int bytes /. cluster.Mpp.Cluster.bandwidth_bytes_per_s));
+        (pat, Mpp.Dtable.partition cluster tbl Mpp.Dtable.Replicated))
+      patterns
+  in
+  load_sim := Mpp.Cost.elapsed cost;
+  let m_of pat = List.assoc pat m_repl in
+  (* Distribution refresh.  Greenplum ships only the rows inserted since
+     the previous iteration (the views are distributed tables receiving
+     INSERTs), so motions are charged on the delta; the re-partition
+     itself is executed materially on the whole table. *)
+  let prev_rows = ref 0 in
+  let distribute_facts () =
+    let facts = Storage.table pi in
+    let delta = max 0 (Table.nrows facts - !prev_rows) in
+    prev_rows := Table.nrows facts;
+    let charge_delta copies =
+      let nseg = cluster.Mpp.Cluster.nseg in
+      let bytes =
+        copies * delta * Table.row_bytes facts * (nseg - 1) / max 1 nseg
+      in
+      let label = if !first_distribution then "T_Pi(load)" else "T_Pi(delta)" in
+      let seconds =
+        cluster.Mpp.Cluster.motion_latency_s
+        +. (float_of_int bytes /. cluster.Mpp.Cluster.bandwidth_bytes_per_s)
+      in
+      Mpp.Cost.charge cost
+        (Mpp.Cost.Redistribute { table = label; rows = copies * delta; bytes })
+        seconds;
+      if !first_distribution then begin
+        load_sim := !load_sim +. seconds;
+        first_distribution := false
+      end
+    in
+    match mode with
+    | Views ->
+      charge_delta (List.length Mpp.Matview.distribution_keys);
+      let silent = Mpp.Cost.create () in
+      `Views (Mpp.Matview.create cluster silent facts)
+    | No_views ->
+      charge_delta 1;
+      `Pn (Mpp.Dtable.partition cluster facts (Mpp.Dtable.Hash [| 0 |]))
+  in
+  let djoin = Mpp.Djoin.hash_join cluster cost in
+  let run_pattern distributed pat ~factors =
+    let s = Queries.shape_of pat in
+    let m = m_of pat in
+    (* Joins against the replicated Mi tables are collocated under any
+       distribution, so they read the finest (best-balanced) replica; the
+       J ⋈ TΠ join needs the view aligned with its key. *)
+    let balanced_view () =
+      match distributed with
+      | `Views v -> Mpp.Matview.finest v
+      | `Pn dt -> dt
+    in
+    let view key =
+      match distributed with
+      | `Views v -> Mpp.Matview.pick v key
+      | `Pn dt -> dt
+    in
+    let cols = if factors then Queries.atom_i_cols else Queries.atom_cols in
+    let out = if factors then Queries.factors_out s else Queries.atoms_out s in
+    let oweight =
+      if factors then Join.Weight_of Join.Build else Join.No_weight
+    in
+    match s with
+    | Shape.One_atom s1 ->
+      djoin ~name:(Pattern.to_string pat) ~cols ~out ~oweight ~dedup:true
+        (m, s1.m_key)
+        (balanced_view (), s1.t_key)
+    | Shape.Two_atom s2 ->
+      let j =
+        djoin
+          ~name:(Pattern.to_string pat ^ "_J")
+          ~cols:Queries.j_cols ~out:(Queries.step1_out s)
+          ~oweight:(Join.Weight_of Join.Build) ~dedup:true (m, s2.m_key1)
+          (balanced_view (), s2.t_key1)
+      in
+      djoin ~name:(Pattern.to_string pat) ~cols ~out ~oweight ~dedup:true
+        (j, s2.j_key2)
+        (view s2.t_key2, s2.t_key2)
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  let total_new = ref 0 in
+  (* Apply constraints once before inference starts (Section 6.1.1). *)
+  (match options.apply_constraints with
+  | Some f -> ignore (f pi)
+  | None -> ());
+  while (not !converged) && !iterations < options.max_iterations do
+    incr iterations;
+    (* redistribute(TΠ): refresh the views / re-load the pn table. *)
+    let distributed = distribute_facts () in
+    let results =
+      List.map
+        (fun pat ->
+          let dt = run_pattern distributed pat ~factors:false in
+          let gathered = Mpp.Dtable.gather dt in
+          let distinct = Ops.distinct gathered [| 0; 1; 2; 3; 4 |] in
+          distributed_step cluster cost "distinct+merge" (Table.nrows gathered)
+            (Table.row_bytes gathered);
+          distinct)
+        patterns
+    in
+    let new_facts = ref 0 in
+    List.iter (fun atoms -> new_facts := !new_facts + Storage.merge_new pi atoms) results;
+    (match options.apply_constraints with
+    | Some f -> ignore (f pi)
+    | None -> ());
+    total_new := !total_new + !new_facts;
+    Log.debug (fun m ->
+        m "iteration %d: +%d facts, sim %.3fs" !iterations !new_facts
+          (Mpp.Cost.elapsed cost));
+    (match options.on_iteration with
+    | Some f ->
+      f ~iteration:!iterations ~new_facts:!new_facts
+        ~sim_elapsed:(Mpp.Cost.elapsed cost)
+    | None -> ());
+    if !new_facts = 0 then converged := true
+  done;
+  let n_clause_factors = ref 0 in
+  let n_singleton_factors = ref 0 in
+  if options.build_factors then begin
+    let distributed = distribute_facts () in
+    List.iter
+      (fun pat ->
+        let dt = run_pattern distributed pat ~factors:true in
+        let rows = Mpp.Dtable.gather dt in
+        distributed_step cluster cost "resolve heads" (Table.nrows rows)
+          (Table.row_bytes rows);
+        n_clause_factors :=
+          !n_clause_factors + Queries.resolve_heads rows pi graph)
+      patterns;
+    n_singleton_factors := Queries.singleton_factors pi graph;
+    distributed_step cluster cost "singletons" !n_singleton_factors 32
+  end;
+  {
+    graph;
+    iterations = !iterations;
+    converged = !converged;
+    new_fact_count = !total_new;
+    n_singleton_factors = !n_singleton_factors;
+    n_clause_factors = !n_clause_factors;
+    sim_seconds = Mpp.Cost.elapsed cost;
+    load_sim_seconds = !load_sim;
+    motion_bytes = Mpp.Cost.motion_bytes cost;
+    cost;
+  }

@@ -1,0 +1,47 @@
+(** Distributed grounding — ProbKB-p and ProbKB-pn (paper, Section 4.4).
+
+    Runs the same grounding queries as {!Ground}, but with every
+    [Mi ⋈ TΠ] join executed on the simulated MPP cluster.  In [Views]
+    mode (ProbKB-p) the fact side of each join comes from the
+    redistributed materialized views, so it is always collocated and only
+    intermediates move; in [No_views] mode (ProbKB-pn) the fact table is
+    distributed by its primary key and every join pays redistribution or
+    broadcast motions — the two plans of Figure 4.
+
+    Results (the inferred facts and the ground factors) are identical to
+    the single-node driver; the differential tests assert it. *)
+
+type mode =
+  | Views  (** ProbKB-p: redistributed materialized views *)
+  | No_views  (** ProbKB-pn: base distribution only *)
+
+type options = {
+  max_iterations : int;
+  apply_constraints : (Kb.Storage.t -> int) option;
+  build_factors : bool;
+  on_iteration :
+    (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
+      (** progress callback with the cumulative simulated clock *)
+}
+
+val default_options : options
+
+type result = {
+  graph : Factor_graph.Fgraph.t;
+  iterations : int;
+  converged : bool;
+  new_fact_count : int;
+  n_singleton_factors : int;
+  n_clause_factors : int;
+  sim_seconds : float;  (** simulated cluster time, including load *)
+  load_sim_seconds : float;
+      (** one-time distribution work (view creation, MLN replication) —
+          the paper's Table 3 Load column; subtract from [sim_seconds]
+          for steady-state query time *)
+  motion_bytes : int;  (** bytes shipped by motions *)
+  cost : Mpp.Cost.t;  (** the full trace (Figure 4-style plan) *)
+}
+
+(** [run ?options ?mode cluster kb] grounds [kb] in place on the simulated
+    cluster. *)
+val run : ?options:options -> ?mode:mode -> Mpp.Cluster.t -> Kb.Gamma.t -> result

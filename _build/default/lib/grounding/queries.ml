@@ -1,0 +1,350 @@
+module Table = Relational.Table
+module Index = Relational.Index
+module Join = Relational.Join
+module Pattern = Mln.Pattern
+module Storage = Kb.Storage
+module Fgraph = Factor_graph.Fgraph
+
+(* Column layouts, fixed by the storage modules:
+   TΠ:      I=0  R=1  x=2  C1=3  y=4  C2=5
+   M1/M2:   R1=0 R2=1 C1=2 C2=3
+   M3..M6:  R1=0 R2=1 R3=2 C1=3 C2=4 C3=5
+   J (the Mi ⋈ TΠ intermediate of two-atom patterns):
+            R1=0 R3=1 C1=2 C2=3 C3=4 z=5 x=6 I2=7 *)
+
+(* Physical description of the queries of one pattern. *)
+module Shape = struct
+type t =
+  | One_atom of {
+      m_key : int array;  (* join key columns on Mi *)
+      t_key : int array;  (* join key columns on TΠ *)
+      x_src : int;  (* TΠ column holding the head's x value *)
+      y_src : int;  (* TΠ column holding the head's y value *)
+    }
+  | Two_atom of {
+      m_key1 : int array;  (* step 1: Mi side *)
+      t_key1 : int array;  (* step 1: TΠ side (the q atom) *)
+      z_src : int;  (* TΠ column holding z in the q atom *)
+      x_src : int;  (* TΠ column holding x in the q atom *)
+      j_key2 : int array;  (* step 2: J side *)
+      t_key2 : int array;  (* step 2: TΠ side (the r atom) *)
+      y_src : int;  (* TΠ column holding y in the r atom *)
+    }
+
+end
+
+open Shape
+
+(* TΠ columns *)
+let tR = 1
+let tx = 2
+let tC1 = 3
+let ty = 4
+let tC2 = 5
+
+let shape_of : Pattern.t -> Shape.t = function
+  | Pattern.P1 ->
+    (* p(x,y) <- q(x,y):  M.R2 = T.R, M.C1 = T.C1, M.C2 = T.C2 *)
+    One_atom
+      { m_key = [| 1; 2; 3 |]; t_key = [| tR; tC1; tC2 |]; x_src = tx; y_src = ty }
+  | Pattern.P2 ->
+    (* p(x,y) <- q(y,x):  q's first argument is y ∈ C2, second is x ∈ C1 *)
+    One_atom
+      { m_key = [| 1; 3; 2 |]; t_key = [| tR; tC1; tC2 |]; x_src = ty; y_src = tx }
+  | Pattern.P3 ->
+    (* p(x,y) <- q(z,x), r(z,y) *)
+    Two_atom
+      {
+        m_key1 = [| 1; 5; 3 |] (* R2, C3, C1 *);
+        t_key1 = [| tR; tC1; tC2 |];
+        z_src = tx;
+        x_src = ty;
+        j_key2 = [| 1; 4; 3; 5 |] (* R3, C3, C2, z *);
+        t_key2 = [| tR; tC1; tC2; tx |];
+        y_src = ty;
+      }
+  | Pattern.P4 ->
+    (* p(x,y) <- q(x,z), r(z,y) *)
+    Two_atom
+      {
+        m_key1 = [| 1; 3; 5 |] (* R2, C1, C3 *);
+        t_key1 = [| tR; tC1; tC2 |];
+        z_src = ty;
+        x_src = tx;
+        j_key2 = [| 1; 4; 3; 5 |];
+        t_key2 = [| tR; tC1; tC2; tx |];
+        y_src = ty;
+      }
+  | Pattern.P5 ->
+    (* p(x,y) <- q(z,x), r(y,z) *)
+    Two_atom
+      {
+        m_key1 = [| 1; 5; 3 |];
+        t_key1 = [| tR; tC1; tC2 |];
+        z_src = tx;
+        x_src = ty;
+        j_key2 = [| 1; 3; 4; 5 |] (* R3, C2, C3, z *);
+        t_key2 = [| tR; tC1; tC2; ty |];
+        y_src = tx;
+      }
+  | Pattern.P6 ->
+    (* p(x,y) <- q(x,z), r(y,z) *)
+    Two_atom
+      {
+        m_key1 = [| 1; 3; 5 |];
+        t_key1 = [| tR; tC1; tC2 |];
+        z_src = ty;
+        x_src = tx;
+        j_key2 = [| 1; 3; 4; 5 |];
+        t_key2 = [| tR; tC1; tC2; ty |];
+        y_src = tx;
+      }
+
+type prepared = {
+  parts : Mln.Partition.t;
+  m_index : Index.t array; (* per pattern, on the step-1 Mi key *)
+  mirror_index : Index.t option array; (* lazily built for semi-naive *)
+}
+
+let step1_key pat =
+  match shape_of pat with
+  | One_atom s -> s.m_key
+  | Two_atom s -> s.m_key1
+
+let prepare parts =
+  {
+    parts;
+    m_index =
+      Array.init 6 (fun i ->
+          let pat = Pattern.of_index i in
+          Index.build (Mln.Partition.table parts pat) (step1_key pat));
+    mirror_index = Array.make 6 None;
+  }
+
+let partitions p = p.parts
+
+let j_cols = [| "R1"; "R3"; "C1"; "C2"; "C3"; "z"; "x"; "I2" |]
+let atom_cols = [| "R"; "x"; "C1"; "y"; "C2" |]
+let atom_i_cols = [| "R"; "x"; "C1"; "y"; "C2"; "I2"; "I3" |]
+
+let step1_out (s : Shape.t) =
+  match s with
+  | One_atom _ -> invalid_arg "Queries.step1_out"
+  | Two_atom s ->
+    [|
+      Join.Col (Join.Build, 0);
+      Join.Col (Join.Build, 2);
+      Join.Col (Join.Build, 3);
+      Join.Col (Join.Build, 4);
+      Join.Col (Join.Build, 5);
+      Join.Col (Join.Probe, s.z_src);
+      Join.Col (Join.Probe, s.x_src);
+      Join.Col (Join.Probe, 0);
+    |]
+
+let atoms_out (s : Shape.t) =
+  match s with
+  | One_atom s ->
+    [|
+      Join.Col (Join.Build, 0);
+      Join.Col (Join.Probe, s.x_src);
+      Join.Col (Join.Build, 2);
+      Join.Col (Join.Probe, s.y_src);
+      Join.Col (Join.Build, 3);
+    |]
+  | Two_atom s ->
+    [|
+      Join.Col (Join.Build, 0);
+      Join.Col (Join.Build, 6);
+      Join.Col (Join.Build, 2);
+      Join.Col (Join.Probe, s.y_src);
+      Join.Col (Join.Build, 3);
+    |]
+
+let factors_out (s : Shape.t) =
+  match s with
+  | One_atom s ->
+    [|
+      Join.Col (Join.Build, 0);
+      Join.Col (Join.Probe, s.x_src);
+      Join.Col (Join.Build, 2);
+      Join.Col (Join.Probe, s.y_src);
+      Join.Col (Join.Build, 3);
+      Join.Col (Join.Probe, 0);
+      Join.Const Fgraph.null;
+    |]
+  | Two_atom s ->
+    [|
+      Join.Col (Join.Build, 0);
+      Join.Col (Join.Build, 6);
+      Join.Col (Join.Build, 2);
+      Join.Col (Join.Probe, s.y_src);
+      Join.Col (Join.Build, 3);
+      Join.Col (Join.Build, 7);
+      Join.Col (Join.Probe, 0);
+    |]
+
+(* Step 1 of two-atom patterns: J = Mi ⋈ (q side) — [q_tbl] is normally
+   TΠ, or the delta facts under semi-naive evaluation. *)
+let step1 midx pat (s : Shape.t) q_tbl =
+  match s with
+  | One_atom _ -> invalid_arg "step1"
+  | Two_atom s2 ->
+    Join.hash_join_pre
+      ~name:(Pattern.to_string pat ^ "_J")
+      ~cols:j_cols ~out:(step1_out s)
+      ~oweight:(Join.Weight_of Join.Build)
+      ~dedup:true midx (q_tbl, s2.t_key1)
+
+(* The atoms query against explicit fact tables for each body atom. *)
+let ground_atoms_tables midx pat ~q_tbl ~r_tbl =
+  let s = shape_of pat in
+  match s with
+  | One_atom s1 ->
+    Join.hash_join_pre
+      ~name:("atoms_" ^ Pattern.to_string pat)
+      ~cols:atom_cols ~out:(atoms_out s)
+      ~oweight:Join.No_weight ~dedup:true midx (q_tbl, s1.t_key)
+  | Two_atom s2 ->
+    let j = step1 midx pat s q_tbl in
+    Join.hash_join
+      ~name:("atoms_" ^ Pattern.to_string pat)
+      ~cols:atom_cols ~out:(atoms_out s)
+      ~oweight:Join.No_weight ~dedup:true (j, s2.j_key2) (r_tbl, s2.t_key2)
+
+let ground_atoms p pat pi =
+  let t = Storage.table pi in
+  ground_atoms_tables p.m_index.(Pattern.index pat) pat ~q_tbl:t ~r_tbl:t
+
+(* Resolve heads against TΠ and emit factor rows. *)
+let resolve_heads rows pi g =
+  let idx = Storage.key_index pi in
+  let facts = Storage.table pi in
+  let kv = Array.make 5 0 in
+  let produced = ref 0 in
+  for r = 0 to Table.nrows rows - 1 do
+    for i = 0 to 4 do
+      kv.(i) <- Table.get rows r i
+    done;
+    match Index.first_match idx kv with
+    | Some head_row ->
+      let i1 = Table.get facts head_row 0 in
+      let i2 = Table.get rows r 5 and i3 = Table.get rows r 6 in
+      Fgraph.add_clause g ~i1 ~i2
+        ?i3:(if i3 = Fgraph.null then None else Some i3)
+        ~w:(Table.weight rows r) ();
+      incr produced
+    | None -> () (* head was deleted by quality control *)
+  done;
+  !produced
+
+(* --- semi-naive (delta) evaluation -------------------------------
+
+   New facts at iteration k+1 need at least one body atom bound to a
+   fact from iteration k's delta:
+
+     Δ(q ⋈ r) = (Δ ⋈_q T) ∪ (T ⋈_q Δ_r)
+
+   The second union term pivots the join to start from the r atom; by the
+   patterns' symmetry this is the *mirrored* pattern run on transformed
+   rule rows: swapping the roles of x and y maps
+   q(x-atom), r(y-atom) to r(x-atom), q(y-atom) with
+   P3↔P3, P4↔P5, P5↔P4, P6↔P6, rows (R1,R2,R3,C1,C2,C3) →
+   (R1,R3,R2,C2,C1,C3), and the head emitted with x and y swapped. *)
+
+let mirror_pattern = function
+  | Pattern.P3 -> Pattern.P3
+  | Pattern.P4 -> Pattern.P5
+  | Pattern.P5 -> Pattern.P4
+  | Pattern.P6 -> Pattern.P6
+  | (Pattern.P1 | Pattern.P2) as p -> p
+
+let mirror_rule_table pat tbl =
+  let mp = mirror_pattern pat in
+  let out =
+    Table.create ~weighted:true
+      ~name:(Table.name tbl ^ "_mirror")
+      (Pattern.columns mp)
+  in
+  Table.iter
+    (fun r ->
+      Table.append_w out
+        [|
+          Table.get tbl r 0; Table.get tbl r 2; Table.get tbl r 1;
+          Table.get tbl r 4; Table.get tbl r 3; Table.get tbl r 5;
+        |]
+        (Table.weight tbl r))
+    tbl;
+  out
+
+(* Swap the head columns back: (R, x', C1', y', C2') → (R, y', C2', x', C1'). *)
+let swap_xy atoms =
+  let out = Table.create ~name:(Table.name atoms) atom_cols in
+  Table.iter
+    (fun r ->
+      Table.append out
+        [|
+          Table.get atoms r 0; Table.get atoms r 3; Table.get atoms r 4;
+          Table.get atoms r 1; Table.get atoms r 2;
+        |])
+    atoms;
+  out
+
+let mirror_index p pat =
+  match p.mirror_index.(Pattern.index pat) with
+  | Some idx -> idx
+  | None ->
+    let mp = mirror_pattern pat in
+    let tbl =
+      mirror_rule_table pat (Mln.Partition.table (partitions p) pat)
+    in
+    let idx = Index.build tbl (step1_key mp) in
+    p.mirror_index.(Pattern.index pat) <- Some idx;
+    idx
+
+let ground_atoms_delta p pat pi ~delta =
+  let t = Storage.table pi in
+  let midx = p.m_index.(Pattern.index pat) in
+  match shape_of pat with
+  | Shape.One_atom _ -> ground_atoms_tables midx pat ~q_tbl:delta ~r_tbl:t
+  | Shape.Two_atom _ ->
+    let via_q = ground_atoms_tables midx pat ~q_tbl:delta ~r_tbl:t in
+    let mp = mirror_pattern pat in
+    let via_r =
+      swap_xy
+        (ground_atoms_tables (mirror_index p pat) mp ~q_tbl:delta ~r_tbl:t)
+    in
+    Table.append_all via_q via_r;
+    via_q
+
+let ground_factors p pat pi g =
+  let s = shape_of pat in
+  let t = Storage.table pi in
+  let rows =
+    match s with
+    | One_atom s1 ->
+      Join.hash_join_pre
+        ~name:("factors_" ^ Pattern.to_string pat)
+        ~cols:atom_i_cols ~out:(factors_out s)
+        ~oweight:(Join.Weight_of Join.Build)
+        p.m_index.(Pattern.index pat)
+        (t, s1.t_key)
+    | Two_atom s2 ->
+      let j = step1 p.m_index.(Pattern.index pat) pat s t in
+      Join.hash_join
+        ~name:("factors_" ^ Pattern.to_string pat)
+        ~cols:atom_i_cols ~out:(factors_out s)
+        ~oweight:(Join.Weight_of Join.Build) (j, s2.j_key2) (t, s2.t_key2)
+  in
+  resolve_heads rows pi g
+
+let singleton_factors pi g =
+  let n = ref 0 in
+  Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      if not (Table.is_null_weight w) then begin
+        Fgraph.add_singleton g ~i:id ~w;
+        incr n
+      end)
+    pi;
+  !n

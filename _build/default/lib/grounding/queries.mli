@@ -1,0 +1,104 @@
+(** The batch grounding queries (paper, Figure 3 and Section 4.3).
+
+    Each structural partition [Mi] has one [groundAtoms] query (Query 1-i)
+    and one [groundFactors] query (Query 2-i).  A query joins the [Mi]
+    table with the fact table [TΠ] on the relation and class columns —
+    thereby applying *every* rule of the partition in one batch — instead
+    of issuing one query per rule as Tuffy does.
+
+    One-atom patterns compile to a single hash join; two-atom patterns to
+    two (Mi ⋈ TΠ, then the intermediate ⋈ TΠ with the shared-variable
+    equality folded into the join key, e.g. [T2.x = T3.x] for pattern 3). *)
+
+(** Physical description of one pattern's queries: the join keys (as
+    column positions of [Mi], [TΠ] and the intermediate [J]) and the
+    [TΠ] columns that supply the head's variables.  Exposed so the MPP
+    driver executes exactly the same plans distributed. *)
+module Shape : sig
+  type t =
+    | One_atom of {
+        m_key : int array;
+        t_key : int array;
+        x_src : int;
+        y_src : int;
+      }
+    | Two_atom of {
+        m_key1 : int array;
+        t_key1 : int array;
+        z_src : int;
+        x_src : int;
+        j_key2 : int array;
+        t_key2 : int array;
+        y_src : int;
+      }
+end
+
+(** [shape_of pat] is the query shape of a partition. *)
+val shape_of : Mln.Pattern.t -> Shape.t
+
+(** Column names of the intermediate and result tables. *)
+val j_cols : string array
+
+val atom_cols : string array
+val atom_i_cols : string array
+
+(** Projection (SELECT) lists of the three join kinds. *)
+val step1_out : Shape.t -> Relational.Join.out_col array
+
+val atoms_out : Shape.t -> Relational.Join.out_col array
+val factors_out : Shape.t -> Relational.Join.out_col array
+
+(** [resolve_heads rows pi g] finalizes a factor query: probe each row's
+    head key [(R, x, C1, y, C2)] against [TΠ] and emit
+    [(I1, I2, I3, w)] into [g]; rows whose head is missing (deleted by
+    quality control) are skipped.  Returns the factor count. *)
+val resolve_heads :
+  Relational.Table.t -> Kb.Storage.t -> Factor_graph.Fgraph.t -> int
+
+type prepared
+(** Hash indexes over the six [Mi] tables, built once and reused across
+    iterations. *)
+
+(** [prepare parts] indexes the partition tables. *)
+val prepare : Mln.Partition.t -> prepared
+
+(** [partitions p] is the underlying partition set. *)
+val partitions : prepared -> Mln.Partition.t
+
+(** [ground_atoms p pat pi] is Query 1-i: the head atoms derivable by the
+    rules of partition [pat] from the current facts.  The result has
+    columns [R, x, C1, y, C2] and may contain duplicates (the caller
+    deduplicates when merging into [TΠ]). *)
+val ground_atoms :
+  prepared -> Mln.Pattern.t -> Kb.Storage.t -> Relational.Table.t
+
+(** [ground_atoms_delta p pat pi ~delta] is the semi-naive variant of
+    Query 1-i: only derivations with at least one body atom bound to a
+    [delta] fact (a table with the [TΠ] schema).  For two-atom patterns
+    this runs the plan twice — once with Δ on the first body atom, once
+    with Δ on the second via the *mirrored* pattern (P3↔P3, P4↔P5,
+    P6↔P6 with transformed rule rows) — and unions the results. *)
+val ground_atoms_delta :
+  prepared ->
+  Mln.Pattern.t ->
+  Kb.Storage.t ->
+  delta:Relational.Table.t ->
+  Relational.Table.t
+
+(** [ground_factors p pat pi g] is Query 2-i: for every ground rule of
+    partition [pat] whose body facts and head fact all exist in [TΠ],
+    append the factor [(I1, I2, I3, w)] to [g]; [w] is the rule weight.
+    Returns the number of factors produced.  Per Proposition 1 of the
+    paper, a deduplicated [Mi] produces no duplicate [(I1, I2, I3)]
+    within the partition. *)
+val ground_factors :
+  prepared ->
+  Mln.Pattern.t ->
+  Kb.Storage.t ->
+  Factor_graph.Fgraph.t ->
+  int
+
+(** [singleton_factors pi g] is [groundFactors(TΠ)] (Algorithm 1,
+    line 10): one singleton factor per fact with a non-null weight.
+    Returns the count. *)
+val singleton_factors : Kb.Storage.t -> Factor_graph.Fgraph.t -> int

@@ -1,0 +1,124 @@
+(* Rendering the grounding queries as the SQL of the paper's Figure 3.
+
+   The queries are *executed* by the relational engine's operators; this
+   module prints what they would be as SQL, for EXPLAIN-style debugging
+   and for documentation parity with the paper. *)
+
+module Pattern = Mln.Pattern
+module Shape = Queries.Shape
+
+(* TΠ column names by position. *)
+let t_col = [| "I"; "R"; "x"; "C1"; "y"; "C2" |]
+
+let m_col ~two = function
+  | 0 -> "R1"
+  | 1 -> "R2"
+  | 2 -> if two then "R3" else "C1"
+  | 3 -> if two then "C1" else "C2"
+  | 4 -> "C2"
+  | 5 -> "C3"
+  | c -> invalid_arg (Printf.sprintf "Sql.m_col %d" c)
+
+let join_conds mi ~two ~alias m_key t_key =
+  List.init (Array.length m_key) (fun i ->
+      Printf.sprintf "%s.%s = %s.%s" mi
+        (m_col ~two m_key.(i))
+        alias
+        t_col.(t_key.(i)))
+  |> String.concat " AND "
+
+let ground_atoms pat =
+  let mi = Pattern.to_string pat in
+  match Queries.shape_of pat with
+  | Shape.One_atom s ->
+    Printf.sprintf
+      "SELECT %s.R1 AS R, T.%s AS x, %s.C1 AS C1, T.%s AS y, %s.C2 AS C2\n\
+       FROM %s JOIN T ON %s;"
+      mi
+      t_col.(s.x_src)
+      mi
+      t_col.(s.y_src)
+      mi mi
+      (join_conds mi ~two:false ~alias:"T" s.m_key s.t_key)
+  | Shape.Two_atom s ->
+    (* The shared z variable: the q atom's z column equals the r atom's z
+       column (folded into t_key2's last component in the physical plan;
+       spelled out as a WHERE clause here, as in the paper). *)
+    let z_q = t_col.(s.z_src) in
+    let z_r = t_col.(s.t_key2.(Array.length s.t_key2 - 1)) in
+    Printf.sprintf
+      "SELECT %s.R1 AS R, T2.%s AS x, %s.C1 AS C1, T3.%s AS y, %s.C2 AS C2\n\
+       FROM %s JOIN T T2 ON %s\n\
+      \        JOIN T T3 ON %s\n\
+       WHERE T2.%s = T3.%s;"
+      mi
+      t_col.(s.x_src)
+      mi
+      t_col.(s.y_src)
+      mi mi
+      (join_conds mi ~two:true ~alias:"T2" s.m_key1 s.t_key1)
+      (let j_name = function
+         | 1 -> "R3"
+         | 2 -> "C1"
+         | 3 -> "C2"
+         | 4 -> "C3"
+         | j -> invalid_arg (Printf.sprintf "Sql: J column %d" j)
+       in
+       let n = Array.length s.j_key2 - 1 in
+       List.init n (fun i ->
+           Printf.sprintf "%s.%s = T3.%s" mi
+             (j_name s.j_key2.(i))
+             t_col.(s.t_key2.(i)))
+       |> String.concat " AND ")
+      z_q z_r
+
+let ground_factors pat =
+  let mi = Pattern.to_string pat in
+  match Queries.shape_of pat with
+  | Shape.One_atom s ->
+    Printf.sprintf
+      "SELECT T1.I AS I1, T2.I AS I2, %s.w AS w\n\
+       FROM %s JOIN T T2 ON %s\n\
+      \        JOIN T T1 ON %s.R1 = T1.R AND %s.C1 = T1.C1 AND %s.C2 = T1.C2\n\
+       WHERE T1.x = T2.%s AND T1.y = T2.%s;"
+      mi mi
+      (join_conds mi ~two:false ~alias:"T2" s.m_key s.t_key)
+      mi mi mi
+      t_col.(s.x_src)
+      t_col.(s.y_src)
+  | Shape.Two_atom s ->
+    Printf.sprintf
+      "SELECT T1.I AS I1, T2.I AS I2, T3.I AS I3, %s.w AS w\n\
+       FROM %s JOIN T T1 ON %s.R1 = T1.R AND %s.C1 = T1.C1 AND %s.C2 = T1.C2\n\
+      \        JOIN T T2 ON %s\n\
+      \        JOIN T T3 ON %s\n\
+       WHERE T1.x = T2.%s AND T1.y = T3.%s AND T2.%s = T3.%s;"
+      mi mi mi mi mi
+      (join_conds mi ~two:true ~alias:"T2" s.m_key1 s.t_key1)
+      (let j_name = function
+         | 1 -> "R3"
+         | 2 -> "C1"
+         | 3 -> "C2"
+         | 4 -> "C3"
+         | j -> invalid_arg (Printf.sprintf "Sql: J column %d" j)
+       in
+       let n = Array.length s.j_key2 - 1 in
+       List.init n (fun i ->
+           Printf.sprintf "%s.%s = T3.%s" mi
+             (j_name s.j_key2.(i))
+             t_col.(s.t_key2.(i)))
+       |> String.concat " AND ")
+      t_col.(s.x_src)
+      t_col.(s.y_src)
+      t_col.(s.z_src)
+      t_col.(s.t_key2.(Array.length s.t_key2 - 1))
+
+let apply_constraints =
+  "DELETE FROM T\n\
+   WHERE (T.x, T.C1) IN (\n\
+  \  SELECT DISTINCT T.x, T.C1\n\
+  \  FROM T JOIN FC ON T.R = FC.R\n\
+  \  WHERE FC.arg = 1\n\
+  \  GROUP BY T.R, T.x, T.C1, T.C2\n\
+  \  HAVING COUNT(*) > MIN(FC.deg)\n\
+   );"

@@ -1,0 +1,16 @@
+(** SQL rendering of the grounding queries (the paper's Figure 3).
+
+    The queries are executed by the relational engine's physical
+    operators; this module prints their SQL form for EXPLAIN-style
+    inspection — Query 1-i ([ground_atoms]), Query 2-i ([ground_factors])
+    and Query 3 ([apply_constraints]), exactly as the paper presents
+    them. *)
+
+(** [ground_atoms pat] is Query 1-i for partition [pat]. *)
+val ground_atoms : Mln.Pattern.t -> string
+
+(** [ground_factors pat] is Query 2-i for partition [pat]. *)
+val ground_factors : Mln.Pattern.t -> string
+
+(** Query 3 — the batch functional-constraint application. *)
+val apply_constraints : string

@@ -1,0 +1,1 @@
+lib/inference/bp.ml: Array Factor_graph Float List

@@ -1,0 +1,1 @@
+lib/inference/bp.mli: Factor_graph

@@ -1,0 +1,1 @@
+lib/inference/chromatic.ml: Array Factor_graph Gibbs List Random

@@ -1,0 +1,1 @@
+lib/inference/chromatic.mli: Factor_graph Gibbs

@@ -1,0 +1,1 @@
+lib/inference/diagnostics.ml: Array Factor_graph Float Gibbs List Random

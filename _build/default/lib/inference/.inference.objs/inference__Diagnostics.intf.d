@@ -1,0 +1,1 @@
+lib/inference/diagnostics.mli: Factor_graph Gibbs

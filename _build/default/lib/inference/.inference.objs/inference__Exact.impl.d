@@ -1,0 +1,1 @@
+lib/inference/exact.ml: Array Factor_graph Float Printf

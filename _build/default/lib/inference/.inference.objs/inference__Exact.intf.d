@@ -1,0 +1,1 @@
+lib/inference/exact.mli: Factor_graph

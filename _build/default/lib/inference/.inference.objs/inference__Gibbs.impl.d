@@ -1,0 +1,1 @@
+lib/inference/gibbs.ml: Array Factor_graph Random

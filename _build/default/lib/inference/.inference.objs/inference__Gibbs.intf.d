@@ -1,0 +1,1 @@
+lib/inference/gibbs.mli: Factor_graph

@@ -1,0 +1,1 @@
+lib/inference/map_inference.ml: Array Exact Factor_graph Float Random

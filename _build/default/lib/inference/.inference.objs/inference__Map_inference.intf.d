@@ -1,0 +1,1 @@
+lib/inference/map_inference.mli: Factor_graph

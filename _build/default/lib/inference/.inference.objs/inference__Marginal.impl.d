@@ -1,0 +1,1 @@
+lib/inference/marginal.ml: Array Bp Chromatic Exact Factor_graph Gibbs Hashtbl

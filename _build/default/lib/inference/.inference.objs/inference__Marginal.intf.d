@@ -1,0 +1,1 @@
+lib/inference/marginal.mli: Bp Factor_graph Gibbs Hashtbl

@@ -1,0 +1,31 @@
+(** Loopy belief propagation (sum-product) for marginal inference.
+
+    The paper lists the sum-product algorithm over factor graphs
+    (Kschischang et al., cited as [25]) among the general inference
+    algorithms applicable to ground MLNs, and GraphLab's residual belief
+    propagation among the parallel ones.  This module implements damped,
+    flooding-schedule loopy BP specialized to ProbKB's factor kinds
+    (singleton priors and ground Horn clauses of one or two body atoms).
+
+    On acyclic ground graphs BP is exact; on loopy graphs it is a fast
+    deterministic approximation that complements the Gibbs samplers (no
+    burn-in, no variance). *)
+
+type options = {
+  max_iterations : int;  (** message sweeps *)
+  damping : float;  (** message damping in [0, 1) — higher is more stable *)
+  tolerance : float;  (** stop when no message moves more than this *)
+}
+
+val default_options : options
+
+type stats = {
+  iterations : int;  (** sweeps executed *)
+  converged : bool;  (** max message delta fell below tolerance *)
+  max_delta : float;  (** final max message change *)
+}
+
+(** [marginals ?options c] is the BP estimate of P(X = 1) per dense
+    variable, with convergence statistics. *)
+val marginals :
+  ?options:options -> Factor_graph.Fgraph.compiled -> float array * stats

@@ -1,0 +1,68 @@
+module Fgraph = Factor_graph.Fgraph
+
+type stats = { n_colors : int; ideal_speedup : float }
+
+let neighbors c v each =
+  for k = c.Fgraph.adj_off.(v) to c.Fgraph.adj_off.(v + 1) - 1 do
+    let f = c.Fgraph.adj.(k) in
+    let touch u = if u >= 0 && u <> v then each u in
+    touch c.Fgraph.head.(f);
+    touch c.Fgraph.body1.(f);
+    touch c.Fgraph.body2.(f)
+  done
+
+let color c =
+  let n = Fgraph.nvars c in
+  let colors = Array.make n (-1) in
+  let forbidden = Array.make (n + 1) (-1) in
+  for v = 0 to n - 1 do
+    neighbors c v (fun u -> if colors.(u) >= 0 then forbidden.(colors.(u)) <- v);
+    let k = ref 0 in
+    while forbidden.(!k) = v do
+      incr k
+    done;
+    colors.(v) <- !k
+  done;
+  colors
+
+let classes colors =
+  let n_colors = 1 + Array.fold_left max (-1) colors in
+  let by_color = Array.make n_colors [] in
+  Array.iteri (fun v k -> by_color.(k) <- v :: by_color.(k)) colors;
+  Array.map (fun l -> Array.of_list (List.rev l)) by_color
+
+let marginals ?(options = Gibbs.default_options) c =
+  let n = Fgraph.nvars c in
+  let by_color = classes (color c) in
+  let rng = Random.State.make [| options.seed |] in
+  let assignment = Array.init n (fun _ -> Random.State.bool rng) in
+  let acc = Array.make n 0. in
+  let probs = Array.make n 0. in
+  let sweep estimate =
+    Array.iter
+      (fun cls ->
+        (* One parallel step: conditionals of a colour class are mutually
+           independent, so compute them all before flipping any. *)
+        Array.iter (fun v -> probs.(v) <- Gibbs.conditional c assignment v) cls;
+        Array.iter
+          (fun v ->
+            assignment.(v) <- Random.State.float rng 1. < probs.(v);
+            if estimate then acc.(v) <- acc.(v) +. probs.(v))
+          cls)
+      by_color
+  in
+  for _ = 1 to options.burn_in do
+    sweep false
+  done;
+  for _ = 1 to options.samples do
+    sweep true
+  done;
+  Array.map (fun a -> a /. float_of_int (max 1 options.samples)) acc
+
+let schedule_stats c =
+  let by_color = classes (color c) in
+  let n_colors = Array.length by_color in
+  let n = float_of_int (Fgraph.nvars c) in
+  (* With unbounded processors each colour costs one step. *)
+  let span = float_of_int (max 1 n_colors) in
+  { n_colors; ideal_speedup = (if n = 0. then 1. else n /. span) }

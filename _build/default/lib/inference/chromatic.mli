@@ -1,0 +1,32 @@
+(** Chromatic ("parallel") Gibbs sampling.
+
+    The parallel Gibbs sampler of Gonzalez et al. (AISTATS 2011) — the
+    algorithm behind the GraphLab engine the paper hands its factor graphs
+    to — colours the Markov blanket graph and updates each colour class
+    jointly: variables of one colour share no factor, so their conditionals
+    are mutually independent and may be sampled "in parallel".  On this
+    single-core reproduction the colour classes are swept sequentially, but
+    the schedule (and hence the Markov chain) is exactly the parallel one,
+    and {!stats} reports the idealized parallel span. *)
+
+type stats = {
+  n_colors : int;
+  ideal_speedup : float;
+      (** sequential work / parallel span with unbounded processors:
+          [nvars / max_color_class_size] is the bound the colouring itself
+          imposes; we report [nvars /. n_colors /. max_class] refined as
+          span = Σ per-colour 1 (one parallel step per colour). *)
+}
+
+(** [color c] greedily colours the variable-interaction graph; two
+    variables are adjacent when some factor mentions both.  Returns the
+    colour per dense variable. *)
+val color : Factor_graph.Fgraph.compiled -> int array
+
+(** [marginals ?options c] estimates marginals with the chromatic
+    schedule.  Options are shared with {!Gibbs.options}. *)
+val marginals :
+  ?options:Gibbs.options -> Factor_graph.Fgraph.compiled -> float array
+
+(** [schedule_stats c] is the colouring statistics for reporting. *)
+val schedule_stats : Factor_graph.Fgraph.compiled -> stats

@@ -1,0 +1,31 @@
+(** Sampler convergence diagnostics.
+
+    MCMC estimates are only trustworthy once the chains have mixed; the
+    standard check is the Gelman–Rubin potential scale reduction factor
+    (R̂): run several independent chains and compare between-chain to
+    within-chain variance.  Values near 1 indicate convergence; the usual
+    acceptance threshold is 1.1.
+
+    This is operational support the paper's pipeline leaves to GraphLab;
+    here it closes the loop for the built-in Gibbs sampler. *)
+
+type report = {
+  r_hat : float array;  (** per dense variable *)
+  max_r_hat : float;
+  chains : int;
+  samples_per_chain : int;
+}
+
+(** [r_hat ?chains ?options c] runs [chains] (default 4) independent Gibbs
+    chains (seeds derived from [options.seed]) and computes per-variable
+    R̂ over the Rao-Blackwellized conditionals.  Variables whose chains
+    show no variance (fully determined) report R̂ = 1. *)
+val r_hat :
+  ?chains:int ->
+  ?options:Gibbs.options ->
+  Factor_graph.Fgraph.compiled ->
+  report
+
+(** [converged ?threshold report] is [max_r_hat < threshold]
+    (default 1.1). *)
+val converged : ?threshold:float -> report -> bool

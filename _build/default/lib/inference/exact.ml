@@ -1,0 +1,47 @@
+module Fgraph = Factor_graph.Fgraph
+
+let max_vars = 25
+
+let sum_weights c assignment =
+  let total = ref 0. in
+  for f = 0 to Array.length c.Fgraph.head - 1 do
+    if Fgraph.satisfied c f assignment then
+      total := !total +. c.Fgraph.fweight.(f)
+  done;
+  !total
+
+let fold_worlds c k =
+  let n = Fgraph.nvars c in
+  if n > max_vars then
+    invalid_arg
+      (Printf.sprintf "Exact: %d variables exceeds the limit of %d" n max_vars);
+  let assignment = Array.make n false in
+  for world = 0 to (1 lsl n) - 1 do
+    for v = 0 to n - 1 do
+      assignment.(v) <- (world lsr v) land 1 = 1
+    done;
+    k assignment
+  done
+
+let marginals c =
+  let n = Fgraph.nvars c in
+  let mass = Array.make n 0. in
+  let z = ref 0. in
+  (* Stabilize with the max exponent. *)
+  let max_e = ref neg_infinity in
+  fold_worlds c (fun a -> max_e := Float.max !max_e (sum_weights c a));
+  let max_e = !max_e in
+  fold_worlds c (fun a ->
+      let p = exp (sum_weights c a -. max_e) in
+      z := !z +. p;
+      for v = 0 to n - 1 do
+        if a.(v) then mass.(v) <- mass.(v) +. p
+      done);
+  Array.map (fun m -> m /. !z) mass
+
+let log_partition c =
+  let max_e = ref neg_infinity in
+  fold_worlds c (fun a -> max_e := Float.max !max_e (sum_weights c a));
+  let z = ref 0. in
+  fold_worlds c (fun a -> z := !z +. exp (sum_weights c a -. !max_e));
+  !max_e +. log !z

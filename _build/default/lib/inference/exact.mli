@@ -1,0 +1,17 @@
+(** Exact marginal inference by exhaustive enumeration.
+
+    Computes the marginal distribution P(Xᵢ = 1) of equation (4) of the
+    paper exactly, by summing the unnormalized measure
+    [exp(Σᵢ Wᵢ nᵢ(x))] over all 2ⁿ worlds.  Only feasible for small ground
+    factor graphs; it exists to validate the samplers. *)
+
+(** Maximum number of variables accepted (25). *)
+val max_vars : int
+
+(** [marginals c] is the exact marginal P(X = 1) per dense variable.
+    @raise Invalid_argument if the graph has more than {!max_vars}
+    variables. *)
+val marginals : Factor_graph.Fgraph.compiled -> float array
+
+(** [log_partition c] is [log Z], the log normalization constant. *)
+val log_partition : Factor_graph.Fgraph.compiled -> float

@@ -1,0 +1,41 @@
+module Fgraph = Factor_graph.Fgraph
+
+type options = { burn_in : int; samples : int; seed : int }
+
+let default_options = { burn_in = 200; samples = 800; seed = 42 }
+
+let conditional c assignment v =
+  let delta = ref 0. in
+  let prev = assignment.(v) in
+  for k = c.Fgraph.adj_off.(v) to c.Fgraph.adj_off.(v + 1) - 1 do
+    let f = c.Fgraph.adj.(k) in
+    assignment.(v) <- true;
+    let s1 = Fgraph.satisfied c f assignment in
+    assignment.(v) <- false;
+    let s0 = Fgraph.satisfied c f assignment in
+    if s1 <> s0 then
+      delta :=
+        !delta +. if s1 then c.Fgraph.fweight.(f) else -.c.Fgraph.fweight.(f)
+  done;
+  assignment.(v) <- prev;
+  1. /. (1. +. exp (-. !delta))
+
+let marginals ?(options = default_options) c =
+  let n = Fgraph.nvars c in
+  let rng = Random.State.make [| options.seed |] in
+  let assignment = Array.init n (fun _ -> Random.State.bool rng) in
+  let acc = Array.make n 0. in
+  let sweep estimate =
+    for v = 0 to n - 1 do
+      let p1 = conditional c assignment v in
+      assignment.(v) <- Random.State.float rng 1. < p1;
+      if estimate then acc.(v) <- acc.(v) +. p1
+    done
+  in
+  for _ = 1 to options.burn_in do
+    sweep false
+  done;
+  for _ = 1 to options.samples do
+    sweep true
+  done;
+  Array.map (fun a -> a /. float_of_int (max 1 options.samples)) acc

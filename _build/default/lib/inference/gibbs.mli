@@ -1,0 +1,24 @@
+(** Gibbs sampling for marginal inference.
+
+    ProbKB delegates marginal inference over the ground factor graph to a
+    Gibbs sampler (the paper uses the parallel sampler of GraphLab; see
+    also {!Chromatic}).  This module is the sequential sweep sampler with
+    Rao-Blackwellized marginal estimates: instead of averaging 0/1 samples
+    it averages the exact conditional P(Xᵥ = 1 | rest) used at each update,
+    which has strictly lower variance. *)
+
+type options = {
+  burn_in : int;  (** sweeps discarded before estimation *)
+  samples : int;  (** estimation sweeps *)
+  seed : int;  (** RNG seed (runs are deterministic given the seed) *)
+}
+
+val default_options : options
+
+(** [conditional c assignment v] is P(Xᵥ = 1 | X₋ᵥ) under the current
+    assignment — exposed for the chromatic sampler and for tests. *)
+val conditional : Factor_graph.Fgraph.compiled -> bool array -> int -> float
+
+(** [marginals ?options c] estimates the marginal P(X = 1) per dense
+    variable. *)
+val marginals : ?options:options -> Factor_graph.Fgraph.compiled -> float array

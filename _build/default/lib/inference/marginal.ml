@@ -1,0 +1,20 @@
+module Fgraph = Factor_graph.Fgraph
+
+type method_ =
+  | Exact
+  | Gibbs of Gibbs.options
+  | Chromatic of Gibbs.options
+  | Bp of Bp.options
+
+let infer_compiled c = function
+  | Exact -> Exact.marginals c
+  | Gibbs options -> Gibbs.marginals ~options c
+  | Chromatic options -> Chromatic.marginals ~options c
+  | Bp options -> fst (Bp.marginals ~options c)
+
+let infer g m =
+  let c = Fgraph.compile g in
+  let marg = infer_compiled c m in
+  let out = Hashtbl.create (Array.length marg) in
+  Array.iteri (fun v p -> Hashtbl.replace out c.Fgraph.var_ids.(v) p) marg;
+  out

@@ -1,0 +1,21 @@
+(** Front-end for marginal inference over a ground factor graph.
+
+    Completes the ProbKB pipeline of Figure 1: grounding produces [TΦ]; an
+    inference engine turns it into per-fact marginal probabilities that are
+    stored back into the knowledge base, avoiding query-time computation
+    (paper, Section 2.2). *)
+
+type method_ =
+  | Exact  (** enumeration; small graphs only *)
+  | Gibbs of Gibbs.options
+  | Chromatic of Gibbs.options  (** the GraphLab-style parallel schedule *)
+  | Bp of Bp.options  (** loopy belief propagation (sum-product) *)
+
+(** [infer g method_] compiles [g] and returns fact identifier →
+    P(fact = true). *)
+val infer : Factor_graph.Fgraph.t -> method_ -> (int, float) Hashtbl.t
+
+(** [infer_compiled c method_] runs on an already compiled graph and
+    returns marginals per dense variable. *)
+val infer_compiled :
+  Factor_graph.Fgraph.compiled -> method_ -> float array

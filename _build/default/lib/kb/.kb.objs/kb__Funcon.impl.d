@@ -1,0 +1,1 @@
+lib/kb/funcon.ml: Format List Printf Relational

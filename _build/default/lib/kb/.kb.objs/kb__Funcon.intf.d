@@ -1,0 +1,1 @@
+lib/kb/funcon.mli: Format Relational

@@ -1,0 +1,1 @@
+lib/kb/gamma.ml: Format Funcon Lazy List Mln Printf Relational Storage

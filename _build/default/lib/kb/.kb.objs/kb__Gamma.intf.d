@@ -1,0 +1,1 @@
+lib/kb/gamma.mli: Format Funcon Mln Relational Storage

@@ -1,0 +1,1 @@
+lib/kb/loader.ml: Funcon Gamma List Mln Printf Relational Storage String

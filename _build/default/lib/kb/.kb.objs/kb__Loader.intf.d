@@ -1,0 +1,1 @@
+lib/kb/loader.mli: Gamma

@@ -1,0 +1,1 @@
+lib/kb/query.ml: Array Float Fun Hashtbl List Option Relational Storage

@@ -1,0 +1,1 @@
+lib/kb/query.mli: Storage

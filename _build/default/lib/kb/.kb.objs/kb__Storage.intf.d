@@ -1,0 +1,1 @@
+lib/kb/storage.mli: Relational

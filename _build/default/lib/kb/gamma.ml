@@ -1,0 +1,147 @@
+module Dict = Relational.Dict
+module Table = Relational.Table
+module Index = Relational.Index
+
+type t = {
+  entities : Dict.t;
+  classes : Dict.t;
+  relations : Dict.t;
+  tc : Table.t;
+  tr : Table.t;
+  pi : Storage.t;
+  mutable rules : Mln.Clause.t list;
+  mutable omega : Funcon.t list;
+  (* Maintained indexes for idempotent declarations. *)
+  tc_idx : Index.t Lazy.t ref;
+  tr_idx : Index.t Lazy.t ref;
+}
+
+let create () =
+  let tc = Table.create ~name:"T_C" [| "C"; "e" |] in
+  let tr = Table.create ~name:"T_R" [| "R"; "C1"; "C2" |] in
+  {
+    entities = Dict.create ();
+    classes = Dict.create ();
+    relations = Dict.create ();
+    tc;
+    tr;
+    pi = Storage.create ();
+    rules = [];
+    omega = [];
+    tc_idx = ref (lazy (Index.build tc [| 0; 1 |]));
+    tr_idx = ref (lazy (Index.build tr [| 0; 1; 2 |]));
+  }
+
+let create_like kb =
+  let fresh = create () in
+  {
+    fresh with
+    entities = kb.entities;
+    classes = kb.classes;
+    relations = kb.relations;
+  }
+
+let entities kb = kb.entities
+let classes kb = kb.classes
+let relations kb = kb.relations
+let tc kb = kb.tc
+let tr kb = kb.tr
+let pi kb = kb.pi
+let rules kb = List.rev kb.rules
+let omega kb = List.rev kb.omega
+let entity kb name = Dict.intern kb.entities name
+let cls kb name = Dict.intern kb.classes name
+let relation kb name = Dict.intern kb.relations name
+
+let declare_member kb ~cls ~entity =
+  let idx = Lazy.force !(kb.tc_idx) in
+  if not (Index.mem idx [| cls; entity |]) then begin
+    Table.append kb.tc [| cls; entity |];
+    Index.add idx (Table.nrows kb.tc - 1)
+  end
+
+let declare_relation kb ~r ~domain ~range =
+  let idx = Lazy.force !(kb.tr_idx) in
+  if not (Index.mem idx [| r; domain; range |]) then begin
+    Table.append kb.tr [| r; domain; range |];
+    Index.add idx (Table.nrows kb.tr - 1)
+  end
+
+let member kb ~cls ~entity =
+  Index.mem (Lazy.force !(kb.tc_idx)) [| cls; entity |]
+
+let members kb ~cls =
+  let acc = ref [] in
+  Table.iter
+    (fun r -> if Table.get kb.tc r 0 = cls then acc := Table.get kb.tc r 1 :: !acc)
+    kb.tc;
+  List.rev !acc
+
+let subclass kb ~sub ~super =
+  List.for_all (fun e -> member kb ~cls:super ~entity:e) (members kb ~cls:sub)
+
+let add_fact kb ~r ~x ~c1 ~y ~c2 ~w =
+  declare_member kb ~cls:c1 ~entity:x;
+  declare_member kb ~cls:c2 ~entity:y;
+  declare_relation kb ~r ~domain:c1 ~range:c2;
+  match Storage.add kb.pi ~r ~x ~c1 ~y ~c2 ~w with
+  | `Added id | `Dup id -> id
+
+let add_fact_by_name kb ~r ~x ~c1 ~y ~c2 ~w =
+  add_fact kb ~r:(relation kb r) ~x:(entity kb x) ~c1:(cls kb c1)
+    ~y:(entity kb y) ~c2:(cls kb c2) ~w
+
+let add_rule kb c =
+  if Mln.Clause.is_hard c then
+    invalid_arg "Gamma.add_rule: hard rules belong in Omega";
+  kb.rules <- c :: kb.rules
+
+let set_rules kb rules =
+  List.iter
+    (fun c ->
+      if Mln.Clause.is_hard c then
+        invalid_arg "Gamma.set_rules: hard rules belong in Omega")
+    rules;
+  kb.rules <- List.rev rules
+
+let add_funcon kb fc = kb.omega <- fc :: kb.omega
+let partitions kb = Mln.Partition.of_rules kb.rules
+
+type stats = {
+  n_entities : int;
+  n_classes : int;
+  n_relations : int;
+  n_rules : int;
+  n_facts : int;
+  n_constraints : int;
+}
+
+let stats kb =
+  {
+    n_entities = Dict.size kb.entities;
+    n_classes = Dict.size kb.classes;
+    n_relations = Dict.size kb.relations;
+    n_rules = List.length kb.rules;
+    n_facts = Storage.size kb.pi;
+    n_constraints = List.length kb.omega;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v># relations  %d@,# rules      %d@,# entities   %d@,# facts      %d@,# classes    %d@,# constraints %d@]"
+    s.n_relations s.n_rules s.n_entities s.n_facts s.n_classes s.n_constraints
+
+let pp_fact kb ppf id =
+  match Storage.row_of_id kb.pi id with
+  | None -> Format.fprintf ppf "<fact %d: deleted>" id
+  | Some row ->
+    let t = Storage.table kb.pi in
+    let r = Table.get t row 1
+    and x = Table.get t row 2
+    and y = Table.get t row 4 in
+    let w = Table.weight t row in
+    Format.fprintf ppf "%s(%s, %s)%s"
+      (Dict.name kb.relations r)
+      (Dict.name kb.entities x)
+      (Dict.name kb.entities y)
+      (if Table.is_null_weight w then "" else Printf.sprintf " %.2f" w)

@@ -1,0 +1,110 @@
+exception Load_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Load_error s)) fmt
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  try go [] with e -> close_in_noerr ic; raise e
+
+let data_lines lines =
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> String.length l > 0 && l.[0] <> '#')
+
+let split_tabs line = String.split_on_char '\t' line
+
+let load_facts kb lines =
+  let added = ref 0 in
+  List.iter
+    (fun (lineno, line) ->
+      match split_tabs line with
+      | [ r; x; c1; y; c2; w ] ->
+        let w =
+          if String.equal w "-" then Relational.Table.null_weight
+          else
+            match float_of_string_opt w with
+            | Some f -> f
+            | None -> fail "facts line %d: bad weight %S" lineno w
+        in
+        let before = Storage.size (Gamma.pi kb) in
+        ignore (Gamma.add_fact_by_name kb ~r ~x ~c1 ~y ~c2 ~w);
+        if Storage.size (Gamma.pi kb) > before then incr added
+      | fields ->
+        fail "facts line %d: expected 6 tab-separated fields, got %d" lineno
+          (List.length fields))
+    (data_lines lines);
+  !added
+
+let load_rules kb lines =
+  let intern_rel = Gamma.relation kb and intern_cls = Gamma.cls kb in
+  let n = ref 0 in
+  List.iter
+    (fun (lineno, line) ->
+      match Mln.Parse.parse_rule ~intern_rel ~intern_cls line with
+      | clause ->
+        Gamma.add_rule kb clause;
+        incr n
+      | exception Mln.Parse.Syntax_error msg -> fail "rules line %d: %s" lineno msg)
+    (data_lines lines);
+  !n
+
+let load_constraints kb lines =
+  let n = ref 0 in
+  List.iter
+    (fun (lineno, line) ->
+      match split_tabs line with
+      | [ r; ftype; deg ] ->
+        let ftype =
+          match ftype with
+          | "I" | "1" -> Funcon.Type_I
+          | "II" | "2" -> Funcon.Type_II
+          | s -> fail "constraints line %d: bad type %S" lineno s
+        in
+        let degree =
+          match int_of_string_opt deg with
+          | Some d when d >= 1 -> d
+          | _ -> fail "constraints line %d: bad degree %S" lineno deg
+        in
+        Gamma.add_funcon kb
+          (Funcon.make ~rel:(Gamma.relation kb r) ~ftype ~degree);
+        incr n
+      | fields ->
+        fail "constraints line %d: expected 3 fields, got %d" lineno
+          (List.length fields))
+    (data_lines lines);
+  !n
+
+let load_file loader kb path = loader kb (read_lines path)
+let load_facts_file kb path = load_file load_facts kb path
+let load_rules_file kb path = load_file load_rules kb path
+let load_constraints_file kb path = load_file load_constraints kb path
+
+let save_facts kb oc =
+  let entities = Gamma.entities kb
+  and classes = Gamma.classes kb
+  and relations = Gamma.relations kb in
+  Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      Printf.fprintf oc "%s\t%s\t%s\t%s\t%s\t%s\n"
+        (Relational.Dict.name relations r)
+        (Relational.Dict.name entities x)
+        (Relational.Dict.name classes c1)
+        (Relational.Dict.name entities y)
+        (Relational.Dict.name classes c2)
+        (if Relational.Table.is_null_weight w then "-"
+         else Printf.sprintf "%g" w))
+    (Gamma.pi kb)
+
+let save_rules kb oc =
+  let rel_name = Relational.Dict.name (Gamma.relations kb)
+  and cls_name = Relational.Dict.name (Gamma.classes kb) in
+  List.iter
+    (fun c -> Printf.fprintf oc "%s\n" (Mln.Pretty.clause ~rel_name ~cls_name c))
+    (Gamma.rules kb)

@@ -1,0 +1,38 @@
+(** Bulk loading and saving knowledge bases as text files.
+
+    Facts use one tab-separated line per fact:
+    [relation <TAB> subject <TAB> subject_class <TAB> object <TAB>
+     object_class <TAB> weight]; rules use the {!Mln.Parse} syntax; and
+    functional constraints use
+    [relation <TAB> I|II <TAB> degree].  Lines that are empty or start
+    with [#] are skipped everywhere. *)
+
+exception Load_error of string
+
+(** [load_facts kb lines] bulk-inserts facts into [kb]; returns the number
+    of (non-duplicate) facts added. *)
+val load_facts : Gamma.t -> string list -> int
+
+(** [load_rules kb lines] parses rules, interning symbols in [kb]'s
+    dictionaries, and adds them to [H]; returns how many were added. *)
+val load_rules : Gamma.t -> string list -> int
+
+(** [load_constraints kb lines] parses functional constraints into Ω;
+    returns how many were added. *)
+val load_constraints : Gamma.t -> string list -> int
+
+(** [load_facts_file kb path], [load_rules_file kb path],
+    [load_constraints_file kb path] read the given file. *)
+val load_facts_file : Gamma.t -> string -> int
+
+val load_rules_file : Gamma.t -> string -> int
+val load_constraints_file : Gamma.t -> string -> int
+
+(** [save_facts kb oc] writes every stored fact in the fact format
+    (inferred facts get weight [-]); [save_rules kb oc] writes [H]. *)
+val save_facts : Gamma.t -> out_channel -> unit
+
+val save_rules : Gamma.t -> out_channel -> unit
+
+(** [read_lines path] reads a whole text file as lines. *)
+val read_lines : string -> string list

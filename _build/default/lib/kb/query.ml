@@ -1,0 +1,94 @@
+module Table = Relational.Table
+
+type fact = {
+  id : int;
+  rel : int;
+  x : int;
+  c1 : int;
+  y : int;
+  c2 : int;
+  weight : float;
+}
+
+type t = {
+  facts : fact array;
+  by_rel : (int, int list) Hashtbl.t; (* relation -> fact positions *)
+  by_entity : (int, int list) Hashtbl.t; (* entity (either side) -> positions *)
+}
+
+let push tbl k v =
+  Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+
+let prepare pi =
+  let n = Storage.size pi in
+  let facts = Array.make n { id = 0; rel = 0; x = 0; c1 = 0; y = 0; c2 = 0; weight = nan } in
+  let pos = ref 0 in
+  Storage.iter
+    (fun ~id ~r ~x ~c1 ~y ~c2 ~w ->
+      facts.(!pos) <- { id; rel = r; x; c1; y; c2; weight = w };
+      incr pos)
+    pi;
+  let by_rel = Hashtbl.create 256 and by_entity = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i f ->
+      push by_rel f.rel i;
+      push by_entity f.x i;
+      if f.y <> f.x then push by_entity f.y i)
+    facts;
+  { facts; by_rel; by_entity }
+
+let size q = Array.length q.facts
+
+let candidates q ?r ?x ?y () =
+  (* Pick the most selective index among the bound components. *)
+  let of_tbl tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+  let pools =
+    List.filter_map Fun.id
+      [
+        Option.map (fun x -> of_tbl q.by_entity x) x;
+        Option.map (fun y -> of_tbl q.by_entity y) y;
+        Option.map (fun r -> of_tbl q.by_rel r) r;
+      ]
+  in
+  match pools with
+  | [] -> List.init (Array.length q.facts) Fun.id
+  | pools ->
+    List.fold_left
+      (fun best pool -> if List.length pool < List.length best then pool else best)
+      (List.hd pools) (List.tl pools)
+
+let lookup q ?r ?x ?y () =
+  candidates q ?r ?x ?y ()
+  |> List.filter_map (fun i ->
+         let f = q.facts.(i) in
+         let ok =
+           (match r with None -> true | Some r -> f.rel = r)
+           && (match x with None -> true | Some x -> f.x = x)
+           && match y with None -> true | Some y -> f.y = y
+         in
+         if ok then Some f else None)
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let about q entity =
+  Option.value ~default:[] (Hashtbl.find_opt q.by_entity entity)
+  |> List.map (fun i -> q.facts.(i))
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let top_k q ?r ~k () =
+  let pool =
+    match r with
+    | Some r ->
+      Option.value ~default:[] (Hashtbl.find_opt q.by_rel r)
+      |> List.map (fun i -> q.facts.(i))
+    | None -> Array.to_list q.facts
+  in
+  let rank f = if Float.is_nan f.weight then neg_infinity else f.weight in
+  List.stable_sort (fun a b -> compare (rank b) (rank a)) pool
+  |> List.filteri (fun i _ -> i < k)
+
+let count q ~r =
+  List.length (Option.value ~default:[] (Hashtbl.find_opt q.by_rel r))
+
+let relations q =
+  Hashtbl.fold (fun r pool acc -> (r, List.length pool) :: acc) q.by_rel []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

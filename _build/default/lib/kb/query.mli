@@ -1,0 +1,50 @@
+(** Querying the expanded knowledge base.
+
+    ProbKB stores inference results directly in the KB so that queries are
+    plain lookups — "avoiding query-time computation and improving system
+    responsivity" (paper, Section 2.2).  This module is that query path:
+    secondary indexes over [TΠ] (by relation, by entity) and a small
+    pattern-query API returning facts with their stored probabilities.
+
+    A [Query.t] is a snapshot: build it after expansion; rebuild after
+    mutating the store. *)
+
+(** A materialized fact. *)
+type fact = {
+  id : int;
+  rel : int;
+  x : int;
+  c1 : int;
+  y : int;
+  c2 : int;
+  weight : float;  (** extraction confidence or stored marginal; [nan] if
+                       inference was not run *)
+}
+
+type t
+
+(** [prepare pi] builds the secondary indexes (O(|TΠ|)). *)
+val prepare : Storage.t -> t
+
+(** [size q] is the number of indexed facts. *)
+val size : t -> int
+
+(** [lookup q ?r ?x ?y ()] is every fact matching the bound components,
+    dispatched through the most selective available index. *)
+val lookup : t -> ?r:int -> ?x:int -> ?y:int -> unit -> fact list
+
+(** [about q entity] is every fact mentioning [entity] in either
+    position. *)
+val about : t -> int -> fact list
+
+(** [top_k q ?r ~k ()] is the [k] most probable facts (optionally within
+    one relation), most probable first; facts without a stored weight rank
+    last. *)
+val top_k : t -> ?r:int -> k:int -> unit -> fact list
+
+(** [count q ~r] is the number of facts of relation [r]. *)
+val count : t -> r:int -> int
+
+(** [relations q] is the distinct relations with facts, with counts,
+    largest first. *)
+val relations : t -> (int * int) list

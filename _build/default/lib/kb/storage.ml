@@ -1,0 +1,133 @@
+module Table = Relational.Table
+module Index = Relational.Index
+
+let cols = [| "I"; "R"; "x"; "C1"; "y"; "C2" |]
+let key_cols = [| 1; 2; 3; 4; 5 |]
+
+type t = {
+  mutable facts : Table.t;
+  mutable key_idx : Index.t;
+  mutable next_id : int;
+  mutable id_map : (int, int) Hashtbl.t option; (* id -> row, lazy *)
+  banned : (int * int * int * int * int, unit) Hashtbl.t;
+}
+
+let create () =
+  let facts = Table.create ~weighted:true ~name:"T_Pi" cols in
+  {
+    facts;
+    key_idx = Index.build facts key_cols;
+    next_id = 0;
+    id_map = None;
+    banned = Hashtbl.create 16;
+  }
+
+let table s = s.facts
+let key_index s = s.key_idx
+let size s = Table.nrows s.facts
+
+let find s ~r ~x ~c1 ~y ~c2 =
+  match Index.first_match s.key_idx [| r; x; c1; y; c2 |] with
+  | Some row -> Some (Table.get s.facts row 0)
+  | None -> None
+
+let add s ~r ~x ~c1 ~y ~c2 ~w =
+  match find s ~r ~x ~c1 ~y ~c2 with
+  | Some id -> `Dup id
+  | None ->
+    let id = s.next_id in
+    s.next_id <- id + 1;
+    Table.append_w s.facts [| id; r; x; c1; y; c2 |] w;
+    Index.add s.key_idx (Table.nrows s.facts - 1);
+    (match s.id_map with
+    | Some m -> Hashtbl.replace m id (Table.nrows s.facts - 1)
+    | None -> ());
+    `Added id
+
+(* [tbl] has columns R x C1 y C2 at positions 0..4. *)
+let new_key_cols = [| 0; 1; 2; 3; 4 |]
+
+let merge_new s tbl =
+  let added = ref 0 in
+  let buf = Array.make 6 0 in
+  let is_banned r =
+    Hashtbl.length s.banned > 0
+    && Hashtbl.mem s.banned
+         ( Table.get tbl r 0, Table.get tbl r 1, Table.get tbl r 2,
+           Table.get tbl r 3, Table.get tbl r 4 )
+  in
+  for r = 0 to Table.nrows tbl - 1 do
+    if (not (Index.mem_row s.key_idx tbl new_key_cols r)) && not (is_banned r)
+    then begin
+      let id = s.next_id in
+      s.next_id <- id + 1;
+      buf.(0) <- id;
+      for i = 0 to 4 do
+        buf.(i + 1) <- Table.get tbl r i
+      done;
+      Table.append s.facts buf;
+      (* inferred: null weight *)
+      Index.add s.key_idx (Table.nrows s.facts - 1);
+      (match s.id_map with
+      | Some m -> Hashtbl.replace m id (Table.nrows s.facts - 1)
+      | None -> ());
+      incr added
+    end
+  done;
+  !added
+
+let delete_where ?(ban = false) s p =
+  let before = Table.nrows s.facts in
+  if ban then
+    Table.iter
+      (fun r ->
+        if p s.facts r then
+          Hashtbl.replace s.banned
+            ( Table.get s.facts r 1, Table.get s.facts r 2,
+              Table.get s.facts r 3, Table.get s.facts r 4,
+              Table.get s.facts r 5 )
+            ())
+      s.facts;
+  let kept = Table.filter s.facts (fun r -> not (p s.facts r)) in
+  s.facts <- kept;
+  s.key_idx <- Index.build kept key_cols;
+  s.id_map <- None;
+  before - Table.nrows kept
+
+let banned_count s = Hashtbl.length s.banned
+
+let iter f s =
+  for row = 0 to Table.nrows s.facts - 1 do
+    f
+      ~id:(Table.get s.facts row 0)
+      ~r:(Table.get s.facts row 1)
+      ~x:(Table.get s.facts row 2)
+      ~c1:(Table.get s.facts row 3)
+      ~y:(Table.get s.facts row 4)
+      ~c2:(Table.get s.facts row 5)
+      ~w:(Table.weight s.facts row)
+  done
+
+let row_of_id s id =
+  let m =
+    match s.id_map with
+    | Some m -> m
+    | None ->
+      let m = Hashtbl.create (max 16 (Table.nrows s.facts)) in
+      for row = 0 to Table.nrows s.facts - 1 do
+        Hashtbl.replace m (Table.get s.facts row 0) row
+      done;
+      s.id_map <- Some m;
+      m
+  in
+  Hashtbl.find_opt m id
+
+let copy s =
+  let facts = Table.copy s.facts in
+  {
+    facts;
+    key_idx = Index.build facts key_cols;
+    next_id = s.next_id;
+    id_map = None;
+    banned = Hashtbl.copy s.banned;
+  }

@@ -1,0 +1,74 @@
+(** The fact table [TΠ].
+
+    All facts — extracted and inferred — live in one table with schema
+    [(I, R, x, C1, y, C2, w)] (paper, Definition 4): a single table rather
+    than one table per relation, which is what lets grounding apply rule
+    batches with one join per partition.  [C1]/[C2] replicate the class
+    information into the fact rows so grounding joins never touch
+    [TC]/[TR].
+
+    A fact is identified by its key [(R, x, C1, y, C2)]; the weight [w] is
+    the extraction confidence for base facts and null for inferred facts
+    (their probability is produced later by marginal inference). *)
+
+type t
+
+(** The fact-key columns within {!table}: positions of [R, x, C1, y, C2]. *)
+val key_cols : int array
+
+(** [create ()] is an empty fact store. *)
+val create : unit -> t
+
+(** [table s] is the underlying [TΠ] table with columns
+    [I, R, x, C1, y, C2] and a weight column.  Treat as read-only; mutate
+    through this module so the key index stays consistent. *)
+val table : t -> Relational.Table.t
+
+(** [key_index s] is the maintained index on the fact key, usable as the
+    build side of joins against [TΠ]. *)
+val key_index : t -> Relational.Index.t
+
+(** [size s] is the number of stored facts. *)
+val size : t -> int
+
+(** [add s ~r ~x ~c1 ~y ~c2 ~w] inserts a fact if its key is new and
+    returns [`Added id]; otherwise returns [`Dup id] of the existing
+    fact. *)
+val add :
+  t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> w:float ->
+  [ `Added of int | `Dup of int ]
+
+(** [find s ~r ~x ~c1 ~y ~c2] is the identifier of the matching fact. *)
+val find : t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> int option
+
+(** [merge_new s tbl] inserts every row of [tbl] — which must have columns
+    [R, x, C1, y, C2] — as a new inferred fact (null weight) unless the key
+    already exists.  This is the [TΠ ← TΠ ∪ (∪ Tj)] step of Algorithm 1,
+    line 5.  Returns the number of facts actually added. *)
+val merge_new : t -> Relational.Table.t -> int
+
+(** [delete_where ?ban s p] removes the facts whose row satisfies [p]
+    (given the backing table and a row index), compacts the table and
+    rebuilds the index.  Fact identifiers are stable across deletions.
+    With [ban = true] (default [false]) the removed keys are remembered
+    and {!merge_new} will never re-insert them: facts removed as
+    constraint violations must not be re-derived by the next grounding
+    iteration (paper, Section 5.1 — errors are removed "to avoid further
+    propagation").  Returns the number of facts removed. *)
+val delete_where : ?ban:bool -> t -> (Relational.Table.t -> int -> bool) -> int
+
+(** [banned_count s] is the number of banned keys. *)
+val banned_count : t -> int
+
+(** [iter f s] applies
+    [f ~id ~r ~x ~c1 ~y ~c2 ~w] to every stored fact. *)
+val iter :
+  (id:int -> r:int -> x:int -> c1:int -> y:int -> c2:int -> w:float -> unit) ->
+  t -> unit
+
+(** [row_of_id s id] is the current row index of fact [id], if present
+    (linear scan cached in a lazily built map; invalidated on deletes). *)
+val row_of_id : t -> int -> int option
+
+(** [copy s] is an independent deep copy. *)
+val copy : t -> t

@@ -1,0 +1,1 @@
+lib/mln/clause.mli:

@@ -1,0 +1,1 @@
+lib/mln/parse.ml: Clause Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/mln/parse.mli: Clause

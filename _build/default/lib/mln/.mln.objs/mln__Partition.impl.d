@@ -1,0 +1,1 @@
+lib/mln/partition.ml: Array Clause List Pattern Relational

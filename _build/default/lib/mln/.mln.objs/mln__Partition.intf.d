@@ -1,0 +1,1 @@
+lib/mln/partition.mli: Clause Pattern Relational

@@ -1,0 +1,1 @@
+lib/mln/pattern.ml: Array Clause Option Printf

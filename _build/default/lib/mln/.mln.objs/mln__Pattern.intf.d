@@ -1,0 +1,1 @@
+lib/mln/pattern.mli: Clause

@@ -1,0 +1,1 @@
+lib/mln/pretty.ml: Clause Hashtbl List Printf String

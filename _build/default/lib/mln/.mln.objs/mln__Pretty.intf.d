@@ -1,0 +1,1 @@
+lib/mln/pretty.mli: Clause

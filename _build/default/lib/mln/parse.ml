@@ -1,0 +1,181 @@
+exception Syntax_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+
+(* ---- lexer ---- *)
+
+type token =
+  | Tnum of float
+  | Tident of string
+  | Tlpar
+  | Trpar
+  | Tcomma
+  | Tcolon
+  | Tarrow (* ":-" *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '\''
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' then (toks := Tlpar :: !toks; incr i)
+    else if c = ')' then (toks := Trpar :: !toks; incr i)
+    else if c = ',' then (toks := Tcomma :: !toks; incr i)
+    else if c = ':' then
+      if !i + 1 < n && line.[!i + 1] = '-' then (toks := Tarrow :: !toks; i := !i + 2)
+      else (toks := Tcolon :: !toks; incr i)
+    else if (c >= '0' && c <= '9') || c = '-' || c = '+' then begin
+      let j = ref !i in
+      incr j;
+      while
+        !j < n
+        && (let d = line.[!j] in
+            (d >= '0' && d <= '9') || d = '.' || d = 'e' || d = 'E' || d = '-' || d = '+')
+      do
+        incr j
+      done;
+      let s = String.sub line !i (!j - !i) in
+      (match float_of_string_opt s with
+      | Some f -> toks := Tnum f :: !toks
+      | None -> fail "bad number %S" s);
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char line.[!j] do
+        incr j
+      done;
+      toks := Tident (String.sub line !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* ---- parser ---- *)
+
+type rawvar = { v : Clause.var; cls : string option }
+type rawatom = { name : string; v1 : rawvar; v2 : rawvar }
+
+let var_of_string = function
+  | "x" -> Clause.X
+  | "y" -> Clause.Y
+  | "z" -> Clause.Z
+  | s -> fail "unknown variable %S (only x, y, z are allowed)" s
+
+let parse_var = function
+  | Tident v :: Tcolon :: Tident cls :: rest ->
+    ({ v = var_of_string v; cls = Some cls }, rest)
+  | Tident v :: rest -> ({ v = var_of_string v; cls = None }, rest)
+  | _ -> fail "expected a variable"
+
+let parse_atom = function
+  | Tident name :: Tlpar :: rest -> (
+    let v1, rest = parse_var rest in
+    match rest with
+    | Tcomma :: rest -> (
+      let v2, rest = parse_var rest in
+      match rest with
+      | Trpar :: rest -> ({ name; v1; v2 }, rest)
+      | _ -> fail "expected ')' in atom %s" name)
+    | _ -> fail "expected ',' in atom %s" name)
+  | _ -> fail "expected an atom"
+
+let rec parse_body toks =
+  let atom, rest = parse_atom toks in
+  match rest with
+  | Tcomma :: rest ->
+    let atoms, rest = parse_body rest in
+    (atom :: atoms, rest)
+  | _ -> ([ atom ], rest)
+
+let parse_rule ~intern_rel ~intern_cls line =
+  let toks = tokenize line in
+  let weight, toks =
+    match toks with
+    | Tnum w :: rest -> (w, rest)
+    | Tident "inf" :: rest -> (infinity, rest)
+    | _ -> fail "rule must start with a weight"
+  in
+  let head, toks = parse_atom toks in
+  let body, rest =
+    match toks with
+    | Tarrow :: rest -> parse_body rest
+    | _ -> fail "expected ':-' after the head atom"
+  in
+  if rest <> [] then fail "trailing tokens after rule body";
+  if (head.v1.v, head.v2.v) <> (Clause.X, Clause.Y) then
+    fail "head must be of the form rel(x, y)";
+  (* Collect class annotations and check consistency. *)
+  let classes : (Clause.var, string) Hashtbl.t = Hashtbl.create 4 in
+  let note rv =
+    match rv.cls with
+    | None -> ()
+    | Some c -> (
+      match Hashtbl.find_opt classes rv.v with
+      | None -> Hashtbl.add classes rv.v c
+      | Some c' when String.equal c c' -> ()
+      | Some c' ->
+        fail "variable %s annotated with both %s and %s"
+          (Clause.var_name rv.v) c' c)
+  in
+  note head.v1;
+  note head.v2;
+  List.iter (fun a -> note a.v1; note a.v2) body;
+  let class_of v =
+    match Hashtbl.find_opt classes v with
+    | Some c -> intern_cls c
+    | None -> fail "variable %s has no class annotation" (Clause.var_name v)
+  in
+  let c1 = class_of Clause.X and c2 = class_of Clause.Y in
+  let mk_atom (a : rawatom) =
+    { Clause.rel = intern_rel a.name; a = a.v1.v; b = a.v2.v }
+  in
+  let clause =
+    match body with
+    | [ _ ] ->
+      {
+        Clause.head_rel = intern_rel head.name;
+        body = List.map mk_atom body;
+        c1;
+        c2;
+        c3 = None;
+        weight;
+      }
+    | [ q; r ] ->
+      (* Normalize atom order: the x-atom first, the y-atom second. *)
+      let uses_x (a : rawatom) = a.v1.v = Clause.X || a.v2.v = Clause.X in
+      let q, r = if uses_x q then (q, r) else (r, q) in
+      {
+        Clause.head_rel = intern_rel head.name;
+        body = [ mk_atom q; mk_atom r ];
+        c1;
+        c2;
+        c3 = Some (class_of Clause.Z);
+        weight;
+      }
+    | _ -> fail "rule bodies must have one or two atoms"
+  in
+  if not (Clause.valid clause) then
+    fail "rule is not one of the six supported Horn shapes";
+  clause
+
+let parse_lines ~intern_rel ~intern_cls lines =
+  let parse lineno line =
+    let trimmed = String.trim line in
+    if String.length trimmed = 0 || trimmed.[0] = '#' then None
+    else
+      try Some (parse_rule ~intern_rel ~intern_cls trimmed)
+      with Syntax_error msg -> fail "line %d: %s" (lineno + 1) msg
+  in
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi parse
+  |> List.filter_map Fun.id

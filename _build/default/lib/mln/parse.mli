@@ -1,0 +1,32 @@
+(** Parsing the textual rule format.
+
+    ProbKB stores MLNs relationally, but rules enter the system as text
+    (the Sherlock rule files).  The concrete syntax, one rule per line:
+
+    {v
+    1.40  live_in(x:Writer, y:Place) :- born_in(x, y)
+    0.32  located_in(x:Place, y:City) :- live_in(z:Writer, x), live_in(z, y)
+    inf   same_city(x:City, y:City) :- capital_of(x, z:Country), capital_of(y, z)
+    v}
+
+    Variables are exactly [x], [y], [z]; each variable must be annotated
+    with its class ([var:Class]) at least once per rule, and annotations
+    must agree.  Lines that are empty or start with [#] are skipped. *)
+
+exception Syntax_error of string
+(** Raised with a human-readable message (including line number for
+    {!parse_lines}) on malformed input. *)
+
+(** [parse_rule ~intern_rel ~intern_cls line] parses a single rule.  The
+    callbacks map relation and class names to identifiers (typically
+    [Relational.Dict.intern]). *)
+val parse_rule :
+  intern_rel:(string -> int) -> intern_cls:(string -> int) -> string -> Clause.t
+
+(** [parse_lines ~intern_rel ~intern_cls lines] parses a whole rule file,
+    skipping blanks and comments. *)
+val parse_lines :
+  intern_rel:(string -> int) ->
+  intern_cls:(string -> int) ->
+  string list ->
+  Clause.t list

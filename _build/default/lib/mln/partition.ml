@@ -1,0 +1,43 @@
+module Table = Relational.Table
+
+type t = Table.t array (* indexed by Pattern.index *)
+
+let empty () =
+  Array.init 6 (fun i ->
+      let p = Pattern.of_index i in
+      Table.create ~weighted:true ~name:(Pattern.to_string p)
+        (Pattern.columns p))
+
+let add p c =
+  match Pattern.classify c with
+  | None -> invalid_arg "Partition.add: clause is not a valid Horn shape"
+  | Some pat ->
+    Table.append_w
+      p.(Pattern.index pat)
+      (Pattern.identifier_tuple pat c)
+      c.Clause.weight
+
+let of_rules rules =
+  let p = empty () in
+  List.iter (add p) rules;
+  p
+
+let table p pat = p.(Pattern.index pat)
+let count p pat = Table.nrows p.(Pattern.index pat)
+let rule_count p = Array.fold_left (fun acc t -> acc + Table.nrows t) 0 p
+
+let iter_rules f p =
+  List.iter
+    (fun pat ->
+      let tbl = table p pat in
+      let buf = Array.make (Pattern.arity pat) 0 in
+      for r = 0 to Table.nrows tbl - 1 do
+        Table.read_row tbl r buf;
+        f pat r (Pattern.of_identifier_tuple pat buf (Table.weight tbl r))
+      done)
+    Pattern.all
+
+let to_rules p =
+  let acc = ref [] in
+  iter_rules (fun _ _ c -> acc := c :: !acc) p;
+  List.rev !acc

@@ -1,0 +1,84 @@
+type t = P1 | P2 | P3 | P4 | P5 | P6
+
+let all = [ P1; P2; P3; P4; P5; P6 ]
+let index = function P1 -> 0 | P2 -> 1 | P3 -> 2 | P4 -> 3 | P5 -> 4 | P6 -> 5
+
+let of_index = function
+  | 0 -> P1
+  | 1 -> P2
+  | 2 -> P3
+  | 3 -> P4
+  | 4 -> P5
+  | 5 -> P6
+  | i -> invalid_arg (Printf.sprintf "Pattern.of_index: %d" i)
+
+let to_string p = "M" ^ string_of_int (index p + 1)
+
+let classify (c : Clause.t) =
+  if not (Clause.valid c) then None
+  else
+    match c.Clause.body with
+    | [ q ] -> (
+      match (q.Clause.a, q.Clause.b) with
+      | Clause.X, Clause.Y -> Some P1
+      | Clause.Y, Clause.X -> Some P2
+      | _ -> None)
+    | [ q; r ] -> (
+      match (q.Clause.a, q.Clause.b, r.Clause.a, r.Clause.b) with
+      | Clause.Z, Clause.X, Clause.Z, Clause.Y -> Some P3
+      | Clause.X, Clause.Z, Clause.Z, Clause.Y -> Some P4
+      | Clause.Z, Clause.X, Clause.Y, Clause.Z -> Some P5
+      | Clause.X, Clause.Z, Clause.Y, Clause.Z -> Some P6
+      | _ -> None)
+    | _ -> None
+
+let arity = function P1 | P2 -> 4 | P3 | P4 | P5 | P6 -> 6
+
+let columns p =
+  match p with
+  | P1 | P2 -> [| "R1"; "R2"; "C1"; "C2" |]
+  | P3 | P4 | P5 | P6 -> [| "R1"; "R2"; "R3"; "C1"; "C2"; "C3" |]
+
+let identifier_tuple p (c : Clause.t) =
+  if classify c <> Some p then
+    invalid_arg "Pattern.identifier_tuple: clause not in this partition";
+  match c.Clause.body with
+  | [ q ] -> [| c.Clause.head_rel; q.Clause.rel; c.Clause.c1; c.Clause.c2 |]
+  | [ q; r ] ->
+    [|
+      c.Clause.head_rel;
+      q.Clause.rel;
+      r.Clause.rel;
+      c.Clause.c1;
+      c.Clause.c2;
+      Option.get c.Clause.c3;
+    |]
+  | _ -> assert false
+
+let of_identifier_tuple p row weight =
+  let open Clause in
+  match p with
+  | P1 ->
+    make ~head_rel:row.(0)
+      ~body:[ { rel = row.(1); a = X; b = Y } ]
+      ~c1:row.(2) ~c2:row.(3) ~weight ()
+  | P2 ->
+    make ~head_rel:row.(0)
+      ~body:[ { rel = row.(1); a = Y; b = X } ]
+      ~c1:row.(2) ~c2:row.(3) ~weight ()
+  | P3 ->
+    make ~head_rel:row.(0)
+      ~body:[ { rel = row.(1); a = Z; b = X }; { rel = row.(2); a = Z; b = Y } ]
+      ~c1:row.(3) ~c2:row.(4) ~c3:row.(5) ~weight ()
+  | P4 ->
+    make ~head_rel:row.(0)
+      ~body:[ { rel = row.(1); a = X; b = Z }; { rel = row.(2); a = Z; b = Y } ]
+      ~c1:row.(3) ~c2:row.(4) ~c3:row.(5) ~weight ()
+  | P5 ->
+    make ~head_rel:row.(0)
+      ~body:[ { rel = row.(1); a = Z; b = X }; { rel = row.(2); a = Y; b = Z } ]
+      ~c1:row.(3) ~c2:row.(4) ~c3:row.(5) ~weight ()
+  | P6 ->
+    make ~head_rel:row.(0)
+      ~body:[ { rel = row.(1); a = X; b = Z }; { rel = row.(2); a = Y; b = Z } ]
+      ~c1:row.(3) ~c2:row.(4) ~c3:row.(5) ~weight ()

@@ -1,0 +1,48 @@
+(** Structural equivalence classes of Horn clauses.
+
+    Two clauses are structurally equivalent when they differ only in their
+    entity, class and relation symbols (paper, Definition 5).  For the Horn
+    clauses of {!Clause}, the quotient has exactly six classes — the rule
+    shapes (1)-(6) of Section 4.2.2:
+
+    {v
+    (1) p(x,y) ← q(x,y)          (4) p(x,y) ← q(x,z), r(z,y)
+    (2) p(x,y) ← q(y,x)          (5) p(x,y) ← q(z,x), r(y,z)
+    (3) p(x,y) ← q(z,x), r(z,y)  (6) p(x,y) ← q(x,z), r(y,z)
+    v} *)
+
+type t = P1 | P2 | P3 | P4 | P5 | P6
+
+(** All six patterns, in order. *)
+val all : t list
+
+(** [index p] is the 0-based partition index (P1 → 0, ..., P6 → 5). *)
+val index : t -> int
+
+(** [of_index i] is the inverse of {!index}.
+    @raise Invalid_argument if [i ∉ [0, 5]]. *)
+val of_index : int -> t
+
+(** [to_string p] is ["M1"] ... ["M6"]. *)
+val to_string : t -> string
+
+(** [classify c] is the pattern of clause [c], or [None] if [c] violates
+    the structural invariants of {!Clause.valid}. *)
+val classify : Clause.t -> t option
+
+(** [identifier_tuple p c] is the clause's identifier tuple within its
+    partition (paper, Definition 6): [(R1, R2, C1, C2)] for one-atom bodies
+    and [(R1, R2, R3, C1, C2, C3)] for two-atom bodies.
+    @raise Invalid_argument if [classify c <> Some p]. *)
+val identifier_tuple : t -> Clause.t -> int array
+
+(** [of_identifier_tuple p row weight] rebuilds the clause denoted by an
+    identifier tuple in partition [p] — the inverse of
+    {!identifier_tuple}. *)
+val of_identifier_tuple : t -> int array -> float -> Clause.t
+
+(** [arity p] is the identifier-tuple width (4 or 6). *)
+val arity : t -> int
+
+(** [columns p] is the column names of the partition table [Mi]. *)
+val columns : t -> string array

@@ -1,0 +1,1 @@
+lib/mpp/cluster.mli:

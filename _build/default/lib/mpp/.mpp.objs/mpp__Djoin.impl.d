@@ -1,0 +1,1 @@
+lib/mpp/djoin.ml: Array Cluster Cost Dtable Fun List Motion Printf Relational

@@ -1,0 +1,1 @@
+lib/mpp/djoin.mli: Cluster Cost Dtable Relational

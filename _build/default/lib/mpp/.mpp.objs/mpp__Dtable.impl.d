@@ -1,0 +1,1 @@
+lib/mpp/dtable.ml: Array Cluster Printf Relational

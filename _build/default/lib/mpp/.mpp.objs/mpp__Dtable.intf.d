@@ -1,0 +1,1 @@
+lib/mpp/dtable.mli: Cluster Relational

@@ -1,0 +1,1 @@
+lib/mpp/matview.ml: Array Cluster Cost Dtable List Relational

@@ -1,0 +1,1 @@
+lib/mpp/matview.mli: Cluster Cost Dtable Relational

@@ -1,0 +1,1 @@
+lib/mpp/motion.ml: Array Cluster Cost Dtable Printf Relational

@@ -1,0 +1,1 @@
+lib/mpp/motion.mli: Cluster Cost Dtable Relational

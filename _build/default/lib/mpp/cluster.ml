@@ -1,0 +1,16 @@
+type t = {
+  nseg : int;
+  bandwidth_bytes_per_s : float;
+  motion_latency_s : float;
+  cost_per_row : float;
+}
+
+let default =
+  {
+    nseg = 32;
+    bandwidth_bytes_per_s = 3.0e9;
+    motion_latency_s = 1.0e-3;
+    cost_per_row = 4.0e-8;
+  }
+
+let single_node = { default with nseg = 1 }

@@ -1,0 +1,29 @@
+(** Simulated shared-nothing cluster configuration.
+
+    The paper runs ProbKB-p on Greenplum over a 32-core cluster.  This
+    container has a single core, so the MPP layer executes segment work
+    sequentially but *for real* (rows are materially hash-partitioned and
+    moved), while a deterministic cost model charges simulated time:
+    per-segment CPU proportional to rows processed, plus network time for
+    redistribute/broadcast motions.  Figure 4 and Figure 6(c) are about
+    plan shape — which motions occur and how much data they ship — and
+    that is faithfully reproduced; only the clock is modeled. *)
+
+type t = {
+  nseg : int;  (** number of segments (paper: 32) *)
+  bandwidth_bytes_per_s : float;  (** aggregate interconnect bandwidth *)
+  motion_latency_s : float;  (** fixed startup cost per motion *)
+  cost_per_row : float;
+      (** seconds of segment CPU per row processed — calibrated to this
+          engine's real single-core throughput so that single-node
+          simulated time tracks measured wall time *)
+}
+
+(** 32 segments, 3 GB/s interconnect (the paper's cluster is a single
+    32-core host, so "interconnect" is local memory fabric), 1 ms motion
+    latency, and a row cost calibrated to ≈25 M rows/s. *)
+val default : t
+
+(** [single_node] is the degenerate 1-segment cluster used to put the
+    plain ProbKB configuration on the same simulated clock. *)
+val single_node : t

@@ -1,0 +1,37 @@
+(** Simulated-time accounting and plan traces.
+
+    Every distributed operator reports what it did (an {!op}) and how long
+    it would have taken on the cluster; the accumulated trace doubles as
+    the annotated query plan of the paper's Figure 4. *)
+
+type op =
+  | Seq_scan of { table : string; rows : int }
+  | Hash_join of { name : string; rows_out : int; max_seg_rows : int }
+  | Redistribute of { table : string; rows : int; bytes : int }
+  | Broadcast of { table : string; rows : int; bytes : int }
+  | Gather of { table : string; rows : int; bytes : int }
+  | Coordinator of { label : string; rows : int }
+
+type entry = { op : op; sim_seconds : float }
+type t
+
+val create : unit -> t
+
+(** [charge t op seconds] records an operation. *)
+val charge : t -> op -> float -> unit
+
+(** [elapsed t] is the total simulated time so far. *)
+val elapsed : t -> float
+
+(** [entries t] is the trace, oldest first. *)
+val entries : t -> entry list
+
+(** [reset t] clears the trace and the clock. *)
+val reset : t -> unit
+
+(** [motion_bytes t] is the total bytes shipped by motions. *)
+val motion_bytes : t -> int
+
+(** [pp_plan ppf t] prints the trace as an annotated plan in the style of
+    Figure 4 (operator, per-operator simulated duration). *)
+val pp_plan : Format.formatter -> t -> unit

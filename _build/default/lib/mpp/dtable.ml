@@ -1,0 +1,60 @@
+module Table = Relational.Table
+module Index = Relational.Index
+
+type dist = Hash of int array | Replicated | Unknown
+type t = { segs : Table.t array; dist : dist }
+
+let seg_of_row cluster key tbl r =
+  Index.hash_row tbl key r mod cluster.Cluster.nseg
+
+let partition cluster tbl dist =
+  match dist with
+  | Unknown -> invalid_arg "Dtable.partition: cannot partition to Unknown"
+  | Replicated ->
+    { segs = Array.init cluster.Cluster.nseg (fun _ -> Table.copy tbl); dist }
+  | Hash key ->
+    let segs =
+      Array.init cluster.Cluster.nseg (fun i ->
+          Table.create ~weighted:(Table.weighted tbl)
+            ~name:(Printf.sprintf "%s@%d" (Table.name tbl) i)
+            (Table.cols tbl))
+    in
+    Table.iter
+      (fun r -> Table.append_from segs.(seg_of_row cluster key tbl r) tbl r)
+      tbl;
+    { segs; dist }
+
+let of_segments segs dist = { segs; dist }
+let dist t = t.dist
+let nseg t = Array.length t.segs
+let seg t i = t.segs.(i)
+
+let nrows t =
+  match t.dist with
+  | Replicated -> Table.nrows t.segs.(0)
+  | Hash _ | Unknown ->
+    Array.fold_left (fun acc s -> acc + Table.nrows s) 0 t.segs
+
+let byte_size t =
+  match t.dist with
+  | Replicated -> Table.byte_size t.segs.(0)
+  | Hash _ | Unknown ->
+    Array.fold_left (fun acc s -> acc + Table.byte_size s) 0 t.segs
+
+let max_seg_rows t =
+  Array.fold_left (fun acc s -> max acc (Table.nrows s)) 0 t.segs
+
+let gather t =
+  match t.dist with
+  | Replicated -> Table.copy t.segs.(0)
+  | Hash _ | Unknown ->
+    let out =
+      Table.create
+        ~weighted:(Table.weighted t.segs.(0))
+        ~name:(Table.name t.segs.(0))
+        (Table.cols t.segs.(0))
+    in
+    Array.iter (fun s -> Table.append_all out s) t.segs;
+    out
+
+let name t = Table.name t.segs.(0)

@@ -1,0 +1,49 @@
+(** Distributed tables.
+
+    A distributed table is one logical table whose rows are spread over
+    the cluster's segments under a distribution policy.  Hash distribution
+    places a row by hashing its distribution-key columns — matching rows
+    of two tables hash-distributed on corresponding keys land on the same
+    segment, which is the collocation property the paper's materialized
+    views engineer (Section 4.4). *)
+
+type dist =
+  | Hash of int array  (** hash of the given columns *)
+  | Replicated  (** full copy on every segment *)
+  | Unknown  (** e.g. an intermediate join result: rows live where they
+                 were produced *)
+
+type t
+
+(** [partition cluster tbl dist] splits [tbl] into per-segment pieces
+    (a full copy each for [Replicated]; produced-where-they-are is not a
+    constructible policy — [Unknown] inputs are rejected).
+    @raise Invalid_argument on [Unknown]. *)
+val partition : Cluster.t -> Relational.Table.t -> dist -> t
+
+(** [of_segments segs dist] wraps already-materialized per-segment pieces
+    (used by operators for their outputs). *)
+val of_segments : Relational.Table.t array -> dist -> t
+
+val dist : t -> dist
+val nseg : t -> int
+
+(** [seg t i] is the i-th segment's local table. *)
+val seg : t -> int -> Relational.Table.t
+
+(** [nrows t] is the logical row count ([Replicated] counts one copy). *)
+val nrows : t -> int
+
+(** [byte_size t] is the logical byte size (one copy). *)
+val byte_size : t -> int
+
+(** [max_seg_rows t] is the largest per-segment cardinality — the skew
+    measure that bounds parallel speedup. *)
+val max_seg_rows : t -> int
+
+(** [gather t] concatenates the segments back into one table
+    ([Replicated] returns segment 0). *)
+val gather : t -> Relational.Table.t
+
+(** [name t] is the logical table name. *)
+val name : t -> string

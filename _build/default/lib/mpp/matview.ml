@@ -1,0 +1,48 @@
+(* TΠ columns: I=0 R=1 x=2 C1=3 y=4 C2=5. *)
+let distribution_keys =
+  [ [| 1; 3; 5 |]; [| 1; 3; 2; 5 |]; [| 1; 3; 5; 4 |]; [| 1; 3; 2; 5; 4 |] ]
+
+type t = { views : (int array * Dtable.t) list }
+
+let materialize cluster cost facts key =
+  let dt = Dtable.partition cluster facts (Dtable.Hash key) in
+  (* Building a view ships (nseg-1)/nseg of the table across the wire. *)
+  let bytes =
+    Dtable.byte_size dt * (cluster.Cluster.nseg - 1) / max 1 cluster.Cluster.nseg
+  in
+  Cost.charge cost
+    (Cost.Redistribute
+       {
+         table = Relational.Table.name facts;
+         rows = Relational.Table.nrows facts;
+         bytes;
+       })
+    (cluster.Cluster.motion_latency_s
+    +. (float_of_int bytes /. cluster.Cluster.bandwidth_bytes_per_s));
+  (key, dt)
+
+let create cluster cost facts =
+  { views = List.map (materialize cluster cost facts) distribution_keys }
+
+let refresh _old cluster cost facts = create cluster cost facts
+
+let subset d key = Array.for_all (fun c -> Array.exists (( = ) c) key) d
+
+let pick v key =
+  let best =
+    List.fold_left
+      (fun acc (d, dt) ->
+        if subset d key then
+          match acc with
+          | Some (d', _) when Array.length d' >= Array.length d -> acc
+          | _ -> Some (d, dt)
+        else acc)
+      None v.views
+  in
+  match best with
+  | Some (_, dt) -> dt
+  | None -> invalid_arg "Matview.pick: no view is a subset of the join key"
+
+let base v = List.assoc [| 1; 3; 5 |] v.views
+
+let finest v = List.assoc [| 1; 3; 2; 5; 4 |] v.views

@@ -1,0 +1,61 @@
+module Table = Relational.Table
+module Index = Relational.Index
+
+let seconds_for cluster bytes =
+  cluster.Cluster.motion_latency_s
+  +. (float_of_int bytes /. cluster.Cluster.bandwidth_bytes_per_s)
+
+let redistribute_cost cluster dt =
+  (* On average (nseg-1)/nseg of the rows change segment. *)
+  let moved =
+    Dtable.byte_size dt * (cluster.Cluster.nseg - 1) / max 1 cluster.Cluster.nseg
+  in
+  seconds_for cluster moved
+
+let broadcast_cost cluster dt =
+  seconds_for cluster (Dtable.byte_size dt * (cluster.Cluster.nseg - 1))
+
+let redistribute cluster cost dt key =
+  let nseg = cluster.Cluster.nseg in
+  let sample = Dtable.seg dt 0 in
+  let segs =
+    Array.init nseg (fun i ->
+        Table.create ~weighted:(Table.weighted sample)
+          ~name:(Printf.sprintf "%s@%d" (Table.name sample) i)
+          (Table.cols sample))
+  in
+  let moved = ref 0 in
+  for s = 0 to Dtable.nseg dt - 1 do
+    let local = Dtable.seg dt s in
+    Table.iter
+      (fun r ->
+        let target = Index.hash_row local key r mod nseg in
+        if target <> s then moved := !moved + Table.row_bytes local;
+        Table.append_from segs.(target) local r)
+      local
+  done;
+  let rows = Dtable.nrows dt in
+  Cost.charge cost
+    (Cost.Redistribute { table = Dtable.name dt; rows; bytes = !moved })
+    (seconds_for cluster !moved);
+  Dtable.of_segments segs (Dtable.Hash key)
+
+let broadcast cluster cost dt =
+  let full = Dtable.gather dt in
+  let bytes = Table.byte_size full * (cluster.Cluster.nseg - 1) in
+  Cost.charge cost
+    (Cost.Broadcast
+       { table = Dtable.name dt; rows = Table.nrows full; bytes })
+    (seconds_for cluster bytes);
+  Dtable.of_segments
+    (Array.init cluster.Cluster.nseg (fun i ->
+         if i = 0 then full else Table.copy full))
+    Dtable.Replicated
+
+let gather cluster cost dt =
+  let full = Dtable.gather dt in
+  let bytes = Table.byte_size full in
+  Cost.charge cost
+    (Cost.Gather { table = Dtable.name dt; rows = Table.nrows full; bytes })
+    (seconds_for cluster bytes);
+  full

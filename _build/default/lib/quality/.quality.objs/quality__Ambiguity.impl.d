@@ -1,0 +1,1 @@
+lib/quality/ambiguity.ml: Hashtbl Kb List Option Relational Semantic

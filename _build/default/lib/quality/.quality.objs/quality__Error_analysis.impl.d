@@ -1,0 +1,1 @@
+lib/quality/error_analysis.ml: Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/quality/error_analysis.mli: Format

@@ -1,0 +1,1 @@
+lib/quality/lint.ml: Hashtbl Kb List Mln Option Relational

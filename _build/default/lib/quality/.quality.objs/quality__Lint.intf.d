@@ -1,0 +1,1 @@
+lib/quality/lint.mli: Kb Mln

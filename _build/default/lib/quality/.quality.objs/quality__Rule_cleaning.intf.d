@@ -1,0 +1,1 @@
+lib/quality/rule_cleaning.mli: Mln

@@ -1,0 +1,1 @@
+lib/quality/rule_feedback.ml: Array Factor_graph Hashtbl Kb List Mln Relational Rule_cleaning

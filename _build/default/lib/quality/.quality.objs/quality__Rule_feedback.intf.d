@@ -1,0 +1,1 @@
+lib/quality/rule_feedback.mli: Factor_graph Kb Mln Rule_cleaning

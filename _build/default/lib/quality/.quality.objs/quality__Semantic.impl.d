@@ -1,0 +1,1 @@
+lib/quality/semantic.ml: Format Hashtbl Kb List Relational

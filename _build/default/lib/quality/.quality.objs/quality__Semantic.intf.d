@@ -1,0 +1,1 @@
+lib/quality/semantic.mli: Format Kb

@@ -1,0 +1,30 @@
+module Table = Relational.Table
+module Storage = Kb.Storage
+
+let suspects pi omega =
+  let per_entity = Hashtbl.create 64 in
+  List.iter
+    (fun (v : Semantic.violation) ->
+      Hashtbl.replace per_entity v.Semantic.entity
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_entity v.Semantic.entity)))
+    (Semantic.violations pi omega);
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) per_entity []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let remove_entities pi entities =
+  if entities = [] then 0
+  else begin
+    let bad = Hashtbl.create (List.length entities) in
+    List.iter (fun e -> Hashtbl.replace bad e ()) entities;
+    Storage.delete_where pi (fun t row ->
+        Hashtbl.mem bad (Table.get t row 2) || Hashtbl.mem bad (Table.get t row 4))
+  end
+
+let facts_mentioning pi entity =
+  let n = ref 0 in
+  let t = Storage.table pi in
+  Table.iter
+    (fun row ->
+      if Table.get t row 2 = entity || Table.get t row 4 = entity then incr n)
+    t;
+  !n

@@ -1,0 +1,23 @@
+(** Ambiguity detection (paper, Section 5.2).
+
+    Ambiguous entities — one surface name covering several real-world
+    objects, e.g. "Mandel" — invalidate the equality checks of the
+    two-atom grounding joins and are a major source of functional
+    constraint violations.  Detection therefore piggybacks on
+    {!Semantic.violations}: entities that violate a functional constraint
+    are flagged as ambiguity suspects and (greedily) removed. *)
+
+(** [suspects pi omega] is the deduplicated list of entities currently
+    violating some functional constraint, with the number of distinct
+    constraints each violates. *)
+val suspects : Kb.Storage.t -> Kb.Funcon.t list -> (int * int) list
+
+(** [remove_entities pi entities] deletes every fact mentioning any of the
+    given entities in either argument position (the aggressive variant of
+    Query 3 used when an entity is deemed ambiguous rather than merely a
+    position-wise violator).  Returns the number of deleted facts. *)
+val remove_entities : Kb.Storage.t -> int list -> int
+
+(** [facts_mentioning pi entity] counts facts with [entity] in either
+    position. *)
+val facts_mentioning : Kb.Storage.t -> int -> int

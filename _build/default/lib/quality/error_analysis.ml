@@ -1,0 +1,56 @@
+type source =
+  | Ambiguous_entity
+  | Ambiguous_join_key
+  | Incorrect_rule
+  | Incorrect_extraction
+  | General_type
+  | Synonym
+
+let all_sources =
+  [
+    Ambiguous_entity;
+    Ambiguous_join_key;
+    Incorrect_rule;
+    Incorrect_extraction;
+    General_type;
+    Synonym;
+  ]
+
+let source_name = function
+  | Ambiguous_entity -> "ambiguities (detected)"
+  | Ambiguous_join_key -> "ambiguous join keys"
+  | Incorrect_rule -> "incorrect rules"
+  | Incorrect_extraction -> "incorrect extractions"
+  | General_type -> "general types"
+  | Synonym -> "synonyms"
+
+type report = { total : int; counts : (source * int) list }
+
+let categorize ~classify violations =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let s = classify v in
+      Hashtbl.replace tally s (1 + Option.value ~default:0 (Hashtbl.find_opt tally s)))
+    violations;
+  {
+    total = List.length violations;
+    counts =
+      List.map
+        (fun s -> (s, Option.value ~default:0 (Hashtbl.find_opt tally s)))
+        all_sources;
+  }
+
+let fraction report source =
+  if report.total = 0 then 0.
+  else
+    float_of_int (List.assoc source report.counts) /. float_of_int report.total
+
+let pp ppf report =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (s, n) ->
+      Format.fprintf ppf "%-26s %5d  (%4.1f%%)@," (source_name s) n
+        (100. *. fraction report s))
+    report.counts;
+  Format.fprintf ppf "total %d@]" report.total

@@ -1,0 +1,22 @@
+type scored = { clause : Mln.Clause.t; score : float }
+
+let top ~theta rules =
+  if theta < 0. || theta > 1. then
+    invalid_arg "Rule_cleaning.top: theta must be in [0, 1]";
+  let n = List.length rules in
+  let keep = int_of_float (ceil (theta *. float_of_int n)) in
+  let sorted =
+    (* Stable sort by descending score preserves input order on ties. *)
+    List.stable_sort (fun a b -> compare b.score a.score) rules
+  in
+  List.filteri (fun i _ -> i < keep) sorted
+
+let clean ~theta rules = List.map (fun r -> r.clause) (top ~theta rules)
+
+let threshold_score ~theta rules =
+  match List.rev (top ~theta rules) with
+  | [] -> None
+  | last :: _ -> Some last.score
+
+let score_by_weight clauses =
+  List.map (fun c -> { clause = c; score = c.Mln.Clause.weight }) clauses

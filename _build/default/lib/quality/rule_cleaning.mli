@@ -1,0 +1,25 @@
+(** Rule cleaning (paper, Section 5.3).
+
+    Machine-learned rules are noisy; ProbKB ranks rules by their
+    statistical-significance score (Sherlock's conditional-probability
+    scoring) and keeps the top θ fraction.  The paper's Table 4 grid uses
+    θ ∈ {1, 0.5, 0.2, 0.1}. *)
+
+(** A rule with its learned score (higher is more trusted). *)
+type scored = { clause : Mln.Clause.t; score : float }
+
+(** [top ~theta rules] keeps the [⌈θ·n⌉] best-scored rules, preserving
+    the relative order of the input within equal scores.
+    @raise Invalid_argument unless [0 ≤ θ ≤ 1]. *)
+val top : theta:float -> scored list -> scored list
+
+(** [clean ~theta rules] is [top] projected back to clauses. *)
+val clean : theta:float -> scored list -> Mln.Clause.t list
+
+(** [threshold_score ~theta rules] is the score of the last kept rule
+    ([None] when nothing is kept). *)
+val threshold_score : theta:float -> scored list -> float option
+
+(** [score_by_weight rules] scores each clause by its MLN weight — the
+    fallback when no learner scores are available. *)
+val score_by_weight : Mln.Clause.t list -> scored list

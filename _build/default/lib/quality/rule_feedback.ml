@@ -1,0 +1,138 @@
+module Gamma = Kb.Gamma
+module Storage = Kb.Storage
+module Table = Relational.Table
+module Clause = Mln.Clause
+module Pattern = Mln.Pattern
+module Fgraph = Factor_graph.Fgraph
+
+type report = { clause : Clause.t; derived : int; blamed : int }
+
+let penalty r =
+  if r.derived = 0 then 0.
+  else float_of_int r.blamed /. float_of_int r.derived
+
+type fact = { rel : int; x : int; c1 : int; y : int; c2 : int }
+
+let fact_of pi id =
+  match Storage.row_of_id pi id with
+  | None -> None
+  | Some row ->
+    let t = Storage.table pi in
+    Some
+      {
+        rel = Table.get t row 1;
+        x = Table.get t row 2;
+        c1 = Table.get t row 3;
+        y = Table.get t row 4;
+        c2 = Table.get t row 5;
+      }
+
+(* Candidate identifier tuples per pattern, from the head and body facts
+   of one ground factor.  Entity coincidences can make several patterns
+   structurally consistent; each candidate is checked against the actual
+   rule set, with the factor weight as the tiebreaker. *)
+let candidates head body =
+  match body with
+  | [ q ] ->
+    (if q.rel >= 0 && q.x = head.x && q.y = head.y && q.c1 = head.c1 && q.c2 = head.c2
+     then [ (Pattern.P1, [| head.rel; q.rel; head.c1; head.c2 |]) ]
+     else [])
+    @
+    if q.x = head.y && q.y = head.x && q.c1 = head.c2 && q.c2 = head.c1 then
+      [ (Pattern.P2, [| head.rel; q.rel; head.c1; head.c2 |]) ]
+    else []
+  | [ q; r ] ->
+    let tuple rq rr c3 = [| head.rel; rq; rr; head.c1; head.c2; c3 |] in
+    List.concat
+      [
+        (* P3: q(z,x), r(z,y) *)
+        (if
+           q.y = head.x && q.c2 = head.c1 && r.y = head.y && r.c2 = head.c2
+           && q.x = r.x && q.c1 = r.c1
+         then [ (Pattern.P3, tuple q.rel r.rel q.c1) ]
+         else []);
+        (* P4: q(x,z), r(z,y) *)
+        (if
+           q.x = head.x && q.c1 = head.c1 && r.y = head.y && r.c2 = head.c2
+           && q.y = r.x && q.c2 = r.c1
+         then [ (Pattern.P4, tuple q.rel r.rel q.c2) ]
+         else []);
+        (* P5: q(z,x), r(y,z) *)
+        (if
+           q.y = head.x && q.c2 = head.c1 && r.x = head.y && r.c1 = head.c2
+           && q.x = r.y && q.c1 = r.c2
+         then [ (Pattern.P5, tuple q.rel r.rel q.c1) ]
+         else []);
+        (* P6: q(x,z), r(y,z) *)
+        (if
+           q.x = head.x && q.c1 = head.c1 && r.x = head.y && r.c1 = head.c2
+           && q.y = r.y && q.c2 = r.c2
+         then [ (Pattern.P6, tuple q.rel r.rel q.c2) ]
+         else []);
+      ]
+  | _ -> []
+
+let attribute ~kb ~graph ~bad_facts =
+  let pi = Gamma.pi kb in
+  let rules = Gamma.rules kb in
+  (* (pattern index, identifier tuple, weight) -> rule position *)
+  let rule_map = Hashtbl.create (2 * List.length rules) in
+  List.iteri
+    (fun i c ->
+      match Pattern.classify c with
+      | Some p ->
+        Hashtbl.replace rule_map
+          (Pattern.index p, Pattern.identifier_tuple p c, c.Clause.weight)
+          i
+      | None -> ())
+    rules;
+  let derived = Array.make (List.length rules) 0 in
+  let blamed = Array.make (List.length rules) 0 in
+  let bad = Hashtbl.create (List.length bad_facts) in
+  List.iter (fun f -> Hashtbl.replace bad f ()) bad_facts;
+  Fgraph.iter
+    (fun _ (i1, i2, i3, w) ->
+      if i2 <> Fgraph.null then begin
+        (* a clause factor *)
+        let facts =
+          match (fact_of pi i1, fact_of pi i2) with
+          | Some head, Some b1 ->
+            if i3 = Fgraph.null then Some (head, [ b1 ])
+            else (
+              match fact_of pi i3 with
+              | Some b2 -> Some (head, [ b1; b2 ])
+              | None -> None)
+          | _ -> None
+        in
+        match facts with
+        | None -> ()
+        | Some (head, body) ->
+          let rule =
+            List.find_map
+              (fun (p, tuple) ->
+                Hashtbl.find_opt rule_map (Pattern.index p, tuple, w))
+              (candidates head body)
+          in
+          (match rule with
+          | Some i ->
+            derived.(i) <- derived.(i) + 1;
+            if Hashtbl.mem bad i1 then blamed.(i) <- blamed.(i) + 1
+          | None -> ())
+      end)
+    graph;
+  List.mapi
+    (fun i clause -> { clause; derived = derived.(i); blamed = blamed.(i) })
+    rules
+
+let rescore ~alpha scored reports =
+  let by_clause = Hashtbl.create (List.length reports) in
+  List.iter
+    (fun r -> Hashtbl.replace by_clause r.clause (penalty r))
+    reports;
+  List.map
+    (fun (s : Rule_cleaning.scored) ->
+      match Hashtbl.find_opt by_clause s.Rule_cleaning.clause with
+      | Some p ->
+        { s with Rule_cleaning.score = s.Rule_cleaning.score -. (alpha *. p) }
+      | None -> s)
+    scored

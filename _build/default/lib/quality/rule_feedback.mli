@@ -1,0 +1,38 @@
+(** Constraint-driven rule feedback.
+
+    Section 6.2.3 of the paper observes that incorrect rules lead to
+    constraint violations and suggests feeding that signal back to the
+    rule learner ("it is possible to use semantic constraints to improve
+    rule learners").  This module implements it: the factor graph records
+    which facts derived which (lineage), so every constraint-violating
+    fact can be attributed to the rules that produced it.  Rules whose
+    derivations disproportionately violate constraints are penalized, and
+    the rescored list plugs straight back into {!Rule_cleaning}. *)
+
+type report = {
+  clause : Mln.Clause.t;
+  derived : int;  (** ground factors this rule produced *)
+  blamed : int;  (** of those, how many derived a violating fact *)
+}
+
+(** [penalty r] is [blamed / derived] in [0, 1] (0 when nothing was
+    derived). *)
+val penalty : report -> float
+
+(** [attribute ~kb ~graph ~bad_facts] matches every clause factor of
+    [graph] back to the rule that produced it (by reconstructing the
+    rule's identifier tuple from the head/body facts and the factor
+    weight) and tallies how many factors derived a fact in [bad_facts].
+    Call it on the grounded store *before* the violating facts are
+    deleted, so their rows are still resolvable.  Rules that derived
+    nothing are included with [derived = 0]. *)
+val attribute :
+  kb:Kb.Gamma.t -> graph:Factor_graph.Fgraph.t -> bad_facts:int list ->
+  report list
+
+(** [rescore ~alpha scored reports] lowers each rule's score by
+    [alpha × penalty]; rules without a report keep their score.  Feed the
+    result to {!Rule_cleaning.top}. *)
+val rescore :
+  alpha:float -> Rule_cleaning.scored list -> report list ->
+  Rule_cleaning.scored list

@@ -1,0 +1,1 @@
+lib/relational/colstats.ml: Array Hashtbl Table

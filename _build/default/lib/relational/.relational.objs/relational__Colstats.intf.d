@@ -1,0 +1,1 @@
+lib/relational/colstats.mli: Table

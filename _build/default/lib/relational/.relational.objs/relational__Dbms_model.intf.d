@@ -1,0 +1,1 @@
+lib/relational/dbms_model.mli:

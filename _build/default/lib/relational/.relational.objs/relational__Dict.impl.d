@@ -1,0 +1,1 @@
+lib/relational/dict.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/relational/join.ml: Array Fun Index Table

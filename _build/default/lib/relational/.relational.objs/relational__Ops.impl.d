@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Array Fun Index Join List Printf Table

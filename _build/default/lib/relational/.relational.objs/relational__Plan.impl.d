@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Colstats Float Format Fun Join Ops Option Printf Sort Stats String Table

@@ -1,0 +1,1 @@
+lib/relational/sort.ml: Array Fun Join Table

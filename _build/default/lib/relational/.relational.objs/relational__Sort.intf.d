@@ -1,0 +1,1 @@
+lib/relational/sort.mli: Join Table

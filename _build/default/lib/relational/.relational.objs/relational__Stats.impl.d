@@ -1,0 +1,1 @@
+lib/relational/stats.ml: Format Hashtbl List Option Unix

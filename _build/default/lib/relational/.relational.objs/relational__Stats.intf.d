@@ -1,0 +1,1 @@
+lib/relational/stats.mli: Format

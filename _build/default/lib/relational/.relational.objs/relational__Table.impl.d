@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Float Fmt Format String

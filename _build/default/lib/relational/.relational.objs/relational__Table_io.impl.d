@@ -1,0 +1,1 @@
+lib/relational/table_io.ml: Array Fun List Printf String Table

@@ -1,0 +1,40 @@
+(** Per-statement DBMS cost model.
+
+    ProbKB and Tuffy both run *inside an RDBMS*: every rule application is
+    an SQL statement that pays parse / plan / execute-startup / result
+    round-trip costs, and every relation is a catalog table whose creation
+    and bulk-load carry fixed costs.  This reproduction executes the same
+    logical plans as in-process operators, whose per-call dispatch cost is
+    nanoseconds — so the very overhead whose *amortization* is the paper's
+    headline contribution (batching 30,912 statements into 6) would vanish
+    from the measurements.
+
+    This module restores it as an explicit, documented model: a fixed cost
+    per SQL statement and per table created.  The default constants are
+    derived from the paper's own Table 3 rather than guessed:
+
+    - Tuffy-T spends 78.5 min on 30,912 rule statements × 4 iterations
+      ⇒ ≈ 38 ms per statement;
+    - Tuffy-T loads 83K per-relation tables in 18.22 min
+      ⇒ ≈ 13 ms per table created.
+
+    Benchmarks report both the raw in-process time and the modeled DBMS
+    time ([measured + statements·per_statement + tables·per_table]); the
+    *shape* of every comparison (who wins, crossover positions) is driven
+    by the statement counts, which are real, not modeled. *)
+
+type t = {
+  per_statement : float;  (** seconds per SQL statement issued *)
+  per_table : float;  (** seconds per table created during load *)
+}
+
+(** The Table-3-derived constants (38 ms, 13 ms). *)
+val default : t
+
+(** A zero-cost model (raw in-process time). *)
+val zero : t
+
+(** [modeled_seconds m ~statements ~tables_created ~measured] is the
+    modeled DBMS execution time. *)
+val modeled_seconds :
+  t -> statements:int -> tables_created:int -> measured:float -> float

@@ -1,0 +1,43 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable size : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  {
+    by_name = Hashtbl.create initial_capacity;
+    names = Array.make (max 1 initial_capacity) "";
+    size = 0;
+  }
+
+let grow d =
+  let names = Array.make (2 * Array.length d.names) "" in
+  Array.blit d.names 0 names 0 d.size;
+  d.names <- names
+
+let intern d s =
+  match Hashtbl.find_opt d.by_name s with
+  | Some id -> id
+  | None ->
+    let id = d.size in
+    if id >= Array.length d.names then grow d;
+    d.names.(id) <- s;
+    d.size <- id + 1;
+    Hashtbl.add d.by_name s id;
+    id
+
+let find d s = Hashtbl.find d.by_name s
+let find_opt d s = Hashtbl.find_opt d.by_name s
+
+let name d id =
+  if id < 0 || id >= d.size then invalid_arg "Dict.name: id out of range";
+  d.names.(id)
+
+let mem d s = Hashtbl.mem d.by_name s
+let size d = d.size
+
+let iter f d =
+  for id = 0 to d.size - 1 do
+    f id d.names.(id)
+  done

@@ -1,0 +1,36 @@
+(** String dictionaries.
+
+    ProbKB dictionary-encodes every knowledge-base symbol (entity, class and
+    relation names) as a dense integer identifier so that joins and
+    selections never compare strings (paper, Section 4.2: the tables
+    [D_E], [D_C], [D_R]).  A dictionary is an append-only bijection between
+    strings and the integers [0 .. size - 1]. *)
+
+type t
+
+(** [create ()] is an empty dictionary. *)
+val create : ?initial_capacity:int -> unit -> t
+
+(** [intern d s] returns the identifier of [s], assigning the next free
+    identifier if [s] has not been seen before. *)
+val intern : t -> string -> int
+
+(** [find d s] is the identifier of [s].
+    @raise Not_found if [s] was never interned. *)
+val find : t -> string -> int
+
+(** [find_opt d s] is [Some id] if [s] was interned, else [None]. *)
+val find_opt : t -> string -> int option
+
+(** [name d id] is the string whose identifier is [id].
+    @raise Invalid_argument if [id] is out of range. *)
+val name : t -> int -> string
+
+(** [mem d s] is [true] iff [s] was interned. *)
+val mem : t -> string -> bool
+
+(** [size d] is the number of distinct interned strings. *)
+val size : t -> int
+
+(** [iter f d] applies [f id name] to every entry in identifier order. *)
+val iter : (int -> string -> unit) -> t -> unit

@@ -1,0 +1,93 @@
+type side = Build | Probe
+type out_col = Col of side * int | Const of int
+type out_weight = No_weight | Weight_of of side
+
+let emit out oweight btbl ptbl result dedup_idx buf br pr =
+  for i = 0 to Array.length out - 1 do
+    buf.(i) <-
+      (match out.(i) with
+      | Const v -> v
+      | Col (Build, c) -> Table.get btbl br c
+      | Col (Probe, c) -> Table.get ptbl pr c)
+  done;
+  let fresh =
+    match dedup_idx with
+    | None -> true
+    | Some idx -> not (Index.mem idx buf)
+  in
+  if fresh then begin
+    (match oweight with
+    | No_weight -> Table.append result buf
+    | Weight_of Build -> Table.append_w result buf (Table.weight btbl br)
+    | Weight_of Probe -> Table.append_w result buf (Table.weight ptbl pr));
+    match dedup_idx with
+    | Some idx -> Index.add idx (Table.nrows result - 1)
+    | None -> ()
+  end
+
+let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual bidx
+    (ptbl, pkey) =
+  let btbl = Index.table bidx in
+  if Array.length (Index.key bidx) <> Array.length pkey then
+    invalid_arg "Join.hash_join: key arity mismatch";
+  let weighted = oweight <> No_weight in
+  let result = Table.create ~weighted ~name cols in
+  (* Inline DISTINCT: dedup on all integer output columns as rows are
+     emitted, so duplicate-heavy queries never materialize their raw
+     output. *)
+  let dedup_idx =
+    if dedup then
+      Some (Index.build result (Array.init (Array.length out) Fun.id))
+    else None
+  in
+  let buf = Array.make (Array.length out) 0 in
+  let kv = Array.make (Array.length pkey) 0 in
+  let nprobe = Table.nrows ptbl in
+  (match residual with
+  | None ->
+    for pr = 0 to nprobe - 1 do
+      for i = 0 to Array.length pkey - 1 do
+        kv.(i) <- Table.get ptbl pr pkey.(i)
+      done;
+      Index.iter_matches bidx kv (fun br ->
+          emit out oweight btbl ptbl result dedup_idx buf br pr)
+    done
+  | Some keep ->
+    for pr = 0 to nprobe - 1 do
+      for i = 0 to Array.length pkey - 1 do
+        kv.(i) <- Table.get ptbl pr pkey.(i)
+      done;
+      Index.iter_matches bidx kv (fun br ->
+          if keep br pr then emit out oweight btbl ptbl result dedup_idx buf br pr)
+    done);
+  result
+
+let hash_join ~name ~cols ~out ~oweight ?dedup ?residual (btbl, bkey)
+    (ptbl, pkey) =
+  let bidx = Index.build btbl bkey in
+  hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual bidx (ptbl, pkey)
+
+let nested_loop ~name ~cols ~out ~oweight ?residual (btbl, bkey) (ptbl, pkey) =
+  if Array.length bkey <> Array.length pkey then
+    invalid_arg "Join.nested_loop: key arity mismatch";
+  let weighted = oweight <> No_weight in
+  let result = Table.create ~weighted ~name cols in
+  let buf = Array.make (Array.length out) 0 in
+  let keys_equal br pr =
+    let rec eq i =
+      i >= Array.length bkey
+      || Table.get btbl br bkey.(i) = Table.get ptbl pr pkey.(i) && eq (i + 1)
+    in
+    eq 0
+  in
+  let keep = match residual with None -> fun _ _ -> true | Some f -> f in
+  for pr = 0 to Table.nrows ptbl - 1 do
+    for br = 0 to Table.nrows btbl - 1 do
+      if keys_equal br pr && keep br pr then
+        emit out oweight btbl ptbl result None buf br pr
+    done
+  done;
+  result
+
+let semi_join_absent tbl key idx =
+  Table.filter tbl (fun r -> not (Index.mem_row idx tbl key r))

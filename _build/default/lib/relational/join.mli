@@ -1,0 +1,80 @@
+(** Hash joins.
+
+    The grounding queries of the paper (Queries 1-i, 2-i, 3) are equi-joins
+    between the rule partition tables [Mi] and the fact table [TΠ].  This
+    module provides the single physical operator they compile to: a
+    build/probe hash join with projection, optional residual predicate and
+    weight propagation.
+
+    The output specification names, for each output column, which side and
+    column it is read from; this is the SELECT clause of the SQL queries in
+    Figure 3 of the paper. *)
+
+(** Which input a projected column or weight comes from. *)
+type side =
+  | Build  (** the (usually smaller) side the hash table is built on *)
+  | Probe  (** the side streamed through the hash table *)
+
+(** One output column of the join. *)
+type out_col =
+  | Col of side * int  (** column [i] of the given side *)
+  | Const of int  (** a constant *)
+
+(** Where the output weight column comes from. *)
+type out_weight =
+  | No_weight  (** output is not weighted *)
+  | Weight_of of side  (** copy the weight of the given side's row *)
+
+(** [hash_join ~name ~out ~oweight ?residual (b, bkey) (p, pkey)] joins
+    tables [b] and [p] on the equality of their key columns ([bkey] against
+    [pkey], positionally).  For every matching pair of rows the optional
+    [residual b_row p_row] predicate is evaluated; surviving pairs are
+    projected through [out] into a fresh table named [name] whose columns
+    are named [cols].  With [dedup = true] (default [false]) the join
+    performs an inline DISTINCT over the integer output columns — the
+    first matching row wins — so duplicate-heavy queries never
+    materialize their raw output.
+
+    @raise Invalid_argument if the key arities differ. *)
+val hash_join :
+  name:string ->
+  cols:string array ->
+  out:out_col array ->
+  oweight:out_weight ->
+  ?dedup:bool ->
+  ?residual:(int -> int -> bool) ->
+  Table.t * int array ->
+  Table.t * int array ->
+  Table.t
+
+(** [hash_join_pre ~build_index ...] is {!hash_join} but reuses an already
+    built index on the build side (its table and key are taken from the
+    index).  This models reusing a persistent index across the queries of
+    one grounding iteration. *)
+val hash_join_pre :
+  name:string ->
+  cols:string array ->
+  out:out_col array ->
+  oweight:out_weight ->
+  ?dedup:bool ->
+  ?residual:(int -> int -> bool) ->
+  Index.t ->
+  Table.t * int array ->
+  Table.t
+
+(** [nested_loop ...] is a reference implementation of the same operator
+    with O(n·m) complexity.  It exists for differential testing only. *)
+val nested_loop :
+  name:string ->
+  cols:string array ->
+  out:out_col array ->
+  oweight:out_weight ->
+  ?residual:(int -> int -> bool) ->
+  Table.t * int array ->
+  Table.t * int array ->
+  Table.t
+
+(** [semi_join_absent tbl key idx] is the anti-semi-join: the rows of [tbl]
+    whose [key] columns match no row of the index.  Used to keep only facts
+    not already present in [TΠ] when merging grounding results. *)
+val semi_join_absent : Table.t -> int array -> Index.t -> Table.t

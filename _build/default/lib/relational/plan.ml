@@ -1,0 +1,193 @@
+type pred =
+  | Eq_const of int * int
+  | Eq_cols of int * int
+  | Lt_const of int * int
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Scan of Table.t
+  | Select of pred * t
+  | Project of int array * t
+  | Equi_join of { left : t; right : t; lkey : int array; rkey : int array }
+  | Distinct of int array option * t
+  | Order_by of int array * t
+
+let check_cols what schema cols =
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= Array.length schema then
+        invalid_arg
+          (Printf.sprintf "Plan.%s: column %d out of range (width %d)" what c
+             (Array.length schema)))
+    cols
+
+let rec columns = function
+  | Scan tbl -> Table.cols tbl
+  | Select (_, child) -> columns child
+  | Project (cols, child) ->
+    let schema = columns child in
+    check_cols "project" schema cols;
+    Array.map (fun c -> schema.(c)) cols
+  | Equi_join { left; right; lkey; rkey } ->
+    let ls = columns left and rs = columns right in
+    check_cols "join(left)" ls lkey;
+    check_cols "join(right)" rs rkey;
+    if Array.length lkey <> Array.length rkey then
+      invalid_arg "Plan.join: key arity mismatch";
+    Array.append ls rs
+  | Distinct (key, child) ->
+    let schema = columns child in
+    Option.iter (check_cols "distinct" schema) key;
+    schema
+  | Order_by (key, child) ->
+    let schema = columns child in
+    check_cols "order_by" schema key;
+    schema
+
+(* --- cardinality estimation --- *)
+
+let eq_selectivity = 0.1
+let range_selectivity = 0.3
+
+let rec pred_selectivity = function
+  | Eq_const _ | Eq_cols _ -> eq_selectivity
+  | Lt_const _ -> range_selectivity
+  | And (a, b) -> pred_selectivity a *. pred_selectivity b
+  | Or (a, b) ->
+    let sa = pred_selectivity a and sb = pred_selectivity b in
+    sa +. sb -. (sa *. sb)
+  | Not p -> 1. -. pred_selectivity p
+
+let rec estimate_rows = function
+  | Scan tbl -> Table.nrows tbl
+  | Select (p, child) ->
+    int_of_float
+      (Float.round (pred_selectivity p *. float_of_int (estimate_rows child)))
+  | Project (_, child) -> estimate_rows child
+  | Equi_join { left; right; lkey; rkey } ->
+    (* |L|·|R| / max(ndv_L(key), ndv_R(key)), with NDVs taken from base
+       tables when available and estimated otherwise. *)
+    let nl = estimate_rows left and nr = estimate_rows right in
+    let ndv_of node key fallback =
+      match node with
+      | Scan tbl -> Colstats.ndv_key (Colstats.analyze tbl) key
+      | _ -> max 1 (fallback / 10)
+    in
+    let d = max (ndv_of left lkey nl) (ndv_of right rkey nr) in
+    if d = 0 then 0 else nl * nr / max 1 d
+  | Distinct (_, child) -> estimate_rows child
+  | Order_by (_, child) -> estimate_rows child
+
+(* --- execution --- *)
+
+let compile_pred p tbl =
+  let rec eval p r =
+    match p with
+    | Eq_const (c, v) -> Table.get tbl r c = v
+    | Eq_cols (a, b) -> Table.get tbl r a = Table.get tbl r b
+    | Lt_const (c, v) -> Table.get tbl r c < v
+    | And (a, b) -> eval a r && eval b r
+    | Or (a, b) -> eval a r || eval b r
+    | Not a -> not (eval a r)
+  in
+  eval p
+
+let all_cols tbl = Array.init (Table.width tbl) Fun.id
+
+let project_table tbl cols name =
+  let schema = Array.map (fun c -> (Table.cols tbl).(c)) cols in
+  let out = Table.create ~weighted:(Table.weighted tbl) ~name schema in
+  let buf = Array.make (Array.length cols) 0 in
+  Table.iter
+    (fun r ->
+      Array.iteri (fun i c -> buf.(i) <- Table.get tbl r c) cols;
+      if Table.weighted tbl then Table.append_w out buf (Table.weight tbl r)
+      else Table.append out buf)
+    tbl;
+  out
+
+let rec run ?stats p =
+  (* Validate schemas eagerly so errors carry plan context. *)
+  ignore (columns p);
+  let timed label rows f =
+    match stats with
+    | None -> f ()
+    | Some st -> Stats.time st ~label ~rows f
+  in
+  match p with
+  | Scan tbl -> tbl
+  | Select (pred, child) ->
+    let input = run ?stats child in
+    timed "select" Table.nrows (fun () ->
+        Table.filter input (compile_pred pred input))
+  | Project (cols, child) ->
+    let input = run ?stats child in
+    timed "project" Table.nrows (fun () -> project_table input cols "project")
+  | Equi_join { left; right; lkey; rkey } ->
+    let l = run ?stats left and r = run ?stats right in
+    timed "hash_join" Table.nrows (fun () ->
+        (* Build on the smaller materialized input. *)
+        let build_left = Table.nrows l <= Table.nrows r in
+        let btbl, bkey, ptbl, pkey =
+          if build_left then (l, lkey, r, rkey) else (r, rkey, l, lkey)
+        in
+        (* Output order is l's columns then r's, regardless of which side
+           physically builds. *)
+        let out_for tbl side =
+          Array.map (fun c -> Join.Col (side, c)) (all_cols tbl)
+        in
+        let out =
+          Array.append
+            (out_for l (if build_left then Join.Build else Join.Probe))
+            (out_for r (if build_left then Join.Probe else Join.Build))
+        in
+        Join.hash_join ~name:"join" ~cols:(columns p) ~out
+          ~oweight:Join.No_weight (btbl, bkey) (ptbl, pkey))
+  | Distinct (key, child) ->
+    let input = run ?stats child in
+    let key = Option.value key ~default:(all_cols input) in
+    timed "distinct" Table.nrows (fun () -> Ops.distinct input key)
+  | Order_by (key, child) ->
+    let input = run ?stats child in
+    timed "sort" Table.nrows (fun () -> Sort.sort input key)
+
+(* --- explain --- *)
+
+let rec explain_node ppf ~indent p =
+  let pad = String.make indent ' ' in
+  let schema = String.concat ", " (Array.to_list (columns p)) in
+  let est = estimate_rows p in
+  (match p with
+  | Scan tbl ->
+    Format.fprintf ppf "%sSeq Scan on %s  (rows=%d)@," pad (Table.name tbl)
+      (Table.nrows tbl)
+  | Select (_, _) -> Format.fprintf ppf "%sFilter  (est=%d)@," pad est
+  | Project (cols, _) ->
+    Format.fprintf ppf "%sProject [%s]  (est=%d)@," pad
+      (String.concat ";" (Array.to_list (Array.map string_of_int cols)))
+      est
+  | Equi_join { lkey; rkey; _ } ->
+    Format.fprintf ppf "%sHash Join on %s = %s  (est=%d)@," pad
+      (String.concat "," (Array.to_list (Array.map string_of_int lkey)))
+      (String.concat "," (Array.to_list (Array.map string_of_int rkey)))
+      est
+  | Distinct (_, _) -> Format.fprintf ppf "%sDistinct  (est=%d)@," pad est
+  | Order_by (key, _) ->
+    Format.fprintf ppf "%sSort by [%s]  (est=%d)@," pad
+      (String.concat ";" (Array.to_list (Array.map string_of_int key)))
+      est);
+  Format.fprintf ppf "%s  -> [%s]@," pad schema;
+  match p with
+  | Scan _ -> ()
+  | Select (_, c) | Project (_, c) | Distinct (_, c) | Order_by (_, c) ->
+    explain_node ppf ~indent:(indent + 2) c
+  | Equi_join { left; right; _ } ->
+    explain_node ppf ~indent:(indent + 2) left;
+    explain_node ppf ~indent:(indent + 2) right
+
+let explain ppf p =
+  Format.fprintf ppf "@[<v>";
+  explain_node ppf ~indent:0 p;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Logical query plans.
+
+    The grounding engine calls the physical operators directly (its six
+    query shapes are fixed), but a knowledge base is also a database, and
+    ad-hoc queries deserve a planner: this module provides composable
+    logical plans with an executor, statistics-based cardinality
+    estimates, automatic build-side selection for joins, and an EXPLAIN
+    printer.
+
+    Column addressing is positional: each node exposes an output schema
+    ({!columns}); joins concatenate the left and the right schemas. *)
+
+(** Row predicates over a node's output columns. *)
+type pred =
+  | Eq_const of int * int  (** column = constant *)
+  | Eq_cols of int * int  (** column = column *)
+  | Lt_const of int * int  (** column < constant *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Scan of Table.t
+  | Select of pred * t
+  | Project of int array * t  (** keep the given child columns, in order *)
+  | Equi_join of { left : t; right : t; lkey : int array; rkey : int array }
+      (** output = left columns ++ right columns *)
+  | Distinct of int array option * t  (** [None] = over all columns *)
+  | Order_by of int array * t
+
+(** [columns p] is the output schema (column names).
+    @raise Invalid_argument on out-of-range column references. *)
+val columns : t -> string array
+
+(** [estimate_rows p] is a textbook cardinality estimate: selections take
+    fixed selectivities, equi-joins use |L|·|R| / max(ndv keys), distinct
+    caps at the input estimate. *)
+val estimate_rows : t -> int
+
+(** [run ?stats p] materializes the plan bottom-up.  Hash joins build on
+    the smaller (materialized) input; [Order_by] uses the sort operator;
+    when [stats] is given, each node's execution is recorded. *)
+val run : ?stats:Stats.t -> t -> Table.t
+
+(** [explain ppf p] prints the plan tree with schemas and row
+    estimates. *)
+val explain : Format.formatter -> t -> unit

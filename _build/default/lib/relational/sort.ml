@@ -1,0 +1,92 @@
+let compare_rows t key a b =
+  let rec go i =
+    if i >= Array.length key then 0
+    else
+      let c = compare (Table.get t a key.(i)) (Table.get t b key.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let sort t key =
+  let order = Array.init (Table.nrows t) Fun.id in
+  (* Array.sort is not stable; sorting (key, original position) pairs is. *)
+  Array.sort
+    (fun a b ->
+      let c = compare_rows t key a b in
+      if c <> 0 then c else compare a b)
+    order;
+  Table.sub t order
+
+let is_sorted t key =
+  let rec go r =
+    r + 1 >= Table.nrows t || (compare_rows t key r (r + 1) <= 0 && go (r + 1))
+  in
+  go 0
+
+let compare_cross a akey ra b bkey rb =
+  let rec go i =
+    if i >= Array.length akey then 0
+    else
+      let c = compare (Table.get a ra akey.(i)) (Table.get b rb bkey.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let merge_join ~name ~cols ~out ~oweight (a, akey) (b, bkey) =
+  if Array.length akey <> Array.length bkey then
+    invalid_arg "Sort.merge_join: key arity mismatch";
+  if not (is_sorted a akey) then
+    invalid_arg "Sort.merge_join: left input is not sorted";
+  if not (is_sorted b bkey) then
+    invalid_arg "Sort.merge_join: right input is not sorted";
+  let weighted = oweight <> Join.No_weight in
+  let result = Table.create ~weighted ~name cols in
+  let buf = Array.make (Array.length out) 0 in
+  let emit ra rb =
+    for i = 0 to Array.length out - 1 do
+      buf.(i) <-
+        (match out.(i) with
+        | Join.Const v -> v
+        | Join.Col (Join.Build, c) -> Table.get a ra c
+        | Join.Col (Join.Probe, c) -> Table.get b rb c)
+    done;
+    match oweight with
+    | Join.No_weight -> Table.append result buf
+    | Join.Weight_of Join.Build -> Table.append_w result buf (Table.weight a ra)
+    | Join.Weight_of Join.Probe -> Table.append_w result buf (Table.weight b rb)
+  in
+  let na = Table.nrows a and nb = Table.nrows b in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let c = compare_cross a akey !i b bkey !j in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      (* Emit the cross product of the equal-key groups. *)
+      let i_end = ref !i in
+      while !i_end < na && compare_rows a akey !i !i_end = 0 do
+        incr i_end
+      done;
+      let j_end = ref !j in
+      while !j_end < nb && compare_rows b bkey !j !j_end = 0 do
+        incr j_end
+      done;
+      for ra = !i to !i_end - 1 do
+        for rb = !j to !j_end - 1 do
+          emit ra rb
+        done
+      done;
+      i := !i_end;
+      j := !j_end
+    end
+  done;
+  result
+
+let distinct_sorted t key =
+  if not (is_sorted t key) then
+    invalid_arg "Sort.distinct_sorted: input is not sorted";
+  let out = Table.create ~weighted:(Table.weighted t) ~name:(Table.name t) (Table.cols t) in
+  for r = 0 to Table.nrows t - 1 do
+    if r = 0 || compare_rows t key (r - 1) r <> 0 then Table.append_from out t r
+  done;
+  out

@@ -1,0 +1,34 @@
+(** Sorting and sort-based operators.
+
+    The grounding queries run on hash operators, but a production engine
+    needs order-based physical alternatives: sort, sort-merge join and
+    sort-based distinct.  They are differential-tested against the hash
+    operators and compared in the micro-benchmarks (hash wins on these
+    workloads, which is why {!Join.hash_join} is the default — the same
+    choice PostgreSQL's planner makes for equality joins on untyped
+    integer keys). *)
+
+(** [sort t key] is a new table with the rows of [t] ordered by the [key]
+    columns (lexicographically, ascending); the sort is stable. *)
+val sort : Table.t -> int array -> Table.t
+
+(** [is_sorted t key] checks the ordering. *)
+val is_sorted : Table.t -> int array -> bool
+
+(** [merge_join ~name ~cols ~out ~oweight (a, akey) (b, bkey)] is the
+    equi-join of two tables {e already sorted} on their keys, by linear
+    merge.  Output spec as in {!Join.hash_join} ([Build] = [a],
+    [Probe] = [b]).
+    @raise Invalid_argument if an input is not sorted on its key. *)
+val merge_join :
+  name:string ->
+  cols:string array ->
+  out:Join.out_col array ->
+  oweight:Join.out_weight ->
+  Table.t * int array ->
+  Table.t * int array ->
+  Table.t
+
+(** [distinct_sorted t key] deduplicates a [key]-sorted table on the key
+    columns, keeping the first row of each group. *)
+val distinct_sorted : Table.t -> int array -> Table.t

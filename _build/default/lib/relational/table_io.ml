@@ -1,0 +1,78 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let write tbl oc =
+  Printf.fprintf oc "#table %s %s%s\n" (Table.name tbl)
+    (if Table.weighted tbl then "weighted " else "")
+    (String.concat " " (Array.to_list (Table.cols tbl)));
+  let width = Table.width tbl in
+  Table.iter
+    (fun r ->
+      for c = 0 to width - 1 do
+        if c > 0 then output_char oc '\t';
+        output_string oc (string_of_int (Table.get tbl r c))
+      done;
+      if Table.weighted tbl then begin
+        output_char oc '\t';
+        let w = Table.weight tbl r in
+        output_string oc
+          (if Table.is_null_weight w then "-" else Printf.sprintf "%.17g" w)
+      end;
+      output_char oc '\n')
+    tbl
+
+let read ic =
+  let header = try input_line ic with End_of_file -> fail "empty input" in
+  let tbl =
+    match String.split_on_char ' ' header with
+    | "#table" :: name :: "weighted" :: cols when cols <> [] ->
+      Table.create ~weighted:true ~name (Array.of_list cols)
+    | "#table" :: name :: cols when cols <> [] ->
+      Table.create ~name (Array.of_list cols)
+    | _ -> fail "bad header %S" header
+  in
+  let width = Table.width tbl in
+  let buf = Array.make width 0 in
+  let lineno = ref 1 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.length line > 0 then begin
+         let fields = String.split_on_char '\t' line in
+         let expected = width + if Table.weighted tbl then 1 else 0 in
+         if List.length fields <> expected then
+           fail "line %d: expected %d fields, got %d" !lineno expected
+             (List.length fields);
+         List.iteri
+           (fun i f ->
+             if i < width then
+               match int_of_string_opt f with
+               | Some v -> buf.(i) <- v
+               | None -> fail "line %d: bad integer %S" !lineno f)
+           fields;
+         if Table.weighted tbl then begin
+           let w = List.nth fields width in
+           let w =
+             if String.equal w "-" then Table.null_weight
+             else
+               match float_of_string_opt w with
+               | Some f -> f
+               | None -> fail "line %d: bad weight %S" !lineno w
+           in
+           Table.append_w tbl buf w
+         end
+         else Table.append tbl buf
+       end
+     done
+   with End_of_file -> ());
+  tbl
+
+let to_file tbl path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write tbl oc)
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read ic)

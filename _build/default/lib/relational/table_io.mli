@@ -1,0 +1,27 @@
+(** Spilling tables to disk.
+
+    Tab-separated text with a one-line header carrying the schema:
+
+    {v
+    #table T_Pi weighted I R x C1 y C2
+    0	3	17	1	24	2	0.96
+    1	3	18	1	24	2	-
+    v}
+
+    Weights serialize as [-] when null.  The format exists for
+    checkpointing intermediate tables and moving them between processes;
+    knowledge-base-level I/O (with symbol names) lives in [Kb.Loader]. *)
+
+exception Parse_error of string
+
+(** [write tbl oc] writes the table. *)
+val write : Table.t -> out_channel -> unit
+
+(** [read ic] parses a table written by {!write}.
+    @raise Parse_error on malformed input. *)
+val read : in_channel -> Table.t
+
+(** [to_file tbl path] / [of_file path] are file-level conveniences. *)
+val to_file : Table.t -> string -> unit
+
+val of_file : string -> Table.t

@@ -1,0 +1,1 @@
+lib/workload/noise.ml: Array Float Fun Grounding Hashtbl Kb List Mln Option Printf Quality Relational Reverb_sherlock Rng

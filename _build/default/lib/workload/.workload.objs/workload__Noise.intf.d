@@ -1,0 +1,1 @@
+lib/workload/noise.mli: Kb Mln Quality Reverb_sherlock

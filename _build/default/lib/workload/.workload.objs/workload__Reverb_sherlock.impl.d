@@ -1,0 +1,1 @@
+lib/workload/reverb_sherlock.ml: Array Float Hashtbl Kb List Mln Option Printf Rng Zipf

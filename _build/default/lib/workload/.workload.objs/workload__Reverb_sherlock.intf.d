@@ -1,0 +1,1 @@
+lib/workload/reverb_sherlock.mli: Kb Mln Rng

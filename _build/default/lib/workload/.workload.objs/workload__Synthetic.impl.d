@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Reverb_sherlock

@@ -1,0 +1,47 @@
+type t = { state : Random.State.t; seed : int }
+
+let create seed = { state = Random.State.make [| seed |]; seed }
+
+let split t name =
+  let h = Hashtbl.hash (t.seed, name) in
+  { state = Random.State.make [| t.seed; h |]; seed = h }
+
+let int t bound = Random.State.int t.state (max 1 bound)
+let float t bound = Random.State.float t.state bound
+let bool t p = Random.State.float t.state 1. < p
+
+let gaussian t ~mu ~sigma =
+  let u1 = max epsilon_float (Random.State.float t.state 1.) in
+  let u2 = Random.State.float t.state 1. in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  (* Floyd's algorithm. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun v () ->
+      out.(!i) <- v;
+      incr i)
+    chosen;
+  Array.sort compare out;
+  out

@@ -1,0 +1,20 @@
+let s1 ~scale ~seed ~n_rules =
+  Reverb_sherlock.generate
+    {
+      Reverb_sherlock.default_config with
+      scale;
+      seed;
+      n_rules = Some n_rules;
+    }
+
+let s2 ~scale ~seed ~n_facts =
+  Reverb_sherlock.generate
+    {
+      Reverb_sherlock.default_config with
+      scale;
+      seed;
+      n_facts = Some n_facts;
+    }
+
+let paper_s1_points = [ 10_000; 200_000; 500_000; 1_000_000 ]
+let paper_s2_points = [ 100_000; 2_000_000; 5_000_000; 10_000_000 ]

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Fmt Grounding Inference Kb List Mpp Option Probkb Relational String Tutil

@@ -1,0 +1,1 @@
+test/test_factor_graph.ml: Alcotest Array Factor_graph Filename Hashtbl List QCheck Sys Tutil

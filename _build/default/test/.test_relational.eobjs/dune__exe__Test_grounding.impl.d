@@ -1,0 +1,1 @@
+test/test_grounding.ml: Alcotest Factor_graph Fmt Grounding Hashtbl Kb List Mln Option Printf QCheck Relational String Tutil Workload

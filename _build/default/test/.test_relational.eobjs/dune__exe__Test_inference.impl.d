@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Factor_graph Float Fun Hashtbl Inference List Printf QCheck Random Tutil

@@ -1,0 +1,1 @@
+test/test_kb.ml: Alcotest Filename Grounding Kb List Mln QCheck Relational Sys Tutil

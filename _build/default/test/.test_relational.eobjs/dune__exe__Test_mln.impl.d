@@ -1,0 +1,1 @@
+test/test_mln.ml: Alcotest Array List Mln Option QCheck Relational Tutil

@@ -1,0 +1,1 @@
+test/test_mpp.ml: Alcotest Factor_graph Grounding Hashtbl Kb List Mpp Option QCheck Quality Random Relational Tutil Workload

@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Grounding Kb List Mln Printf QCheck Quality Relational String Tutil

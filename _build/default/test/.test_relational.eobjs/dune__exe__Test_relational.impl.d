@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Filename Float Fmt Fun List Printf QCheck Random Relational String Sys Tutil

@@ -1,0 +1,1 @@
+test/test_tuffy.ml: Alcotest Factor_graph Grounding Kb List Printf Relational Tuffy Tutil Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Kb Lazy List Mln Printf QCheck Quality Relational Tutil Workload

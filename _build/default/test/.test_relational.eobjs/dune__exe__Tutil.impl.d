@@ -1,0 +1,1 @@
+test/tutil.ml: Array Fmt Kb List QCheck QCheck_alcotest Random Relational

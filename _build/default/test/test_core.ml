@@ -1,0 +1,211 @@
+(* The Probkb facade: configuration plumbing and the full pipeline. *)
+
+let check_int = Alcotest.(check int)
+
+let test_expand_worked_example () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine = Probkb.Engine.create ~config:(Probkb.Config.no_inference Probkb.Config.default) kb in
+  let e = Probkb.Engine.expand engine in
+  Alcotest.(check bool) "converged" true e.Probkb.Engine.converged;
+  check_int "new facts" 5 e.Probkb.Engine.new_fact_count;
+  check_int "factors" 8 e.Probkb.Engine.n_factors;
+  check_int "rules used" 6 e.Probkb.Engine.rules_used
+
+let test_run_stores_marginals () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create
+      ~config:{ Probkb.Config.default with inference = Some Inference.Marginal.Exact }
+      kb
+  in
+  let result = Probkb.Engine.run engine in
+  check_int "all inferred facts got probabilities" 5
+    result.Probkb.Engine.marginals_stored;
+  (* Base facts keep their extraction confidence. *)
+  let base_weights = ref [] in
+  Kb.Storage.iter
+    (fun ~id:_ ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      if not (Relational.Table.is_null_weight w) then
+        base_weights := w :: !base_weights)
+    (Kb.Gamma.pi kb);
+  Alcotest.(check bool) "extraction confidences preserved" true
+    (List.exists (fun w -> Float.abs (w -. 0.96) < 1e-9) !base_weights);
+  (* No null weights remain. *)
+  let nulls = ref 0 in
+  Kb.Storage.iter
+    (fun ~id:_ ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      if Relational.Table.is_null_weight w then incr nulls)
+    (Kb.Gamma.pi kb);
+  check_int "no unresolved facts" 0 !nulls
+
+let test_rule_cleaning_config () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        (Probkb.Config.no_inference
+           {
+             Probkb.Config.default with
+             quality = { Probkb.Config.semantic_constraints = false; rule_theta = 0.34 };
+           })
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  (* ceil(0.34 * 6) = 3 rules survive, the heaviest ones. *)
+  check_int "rules used" 3 e.Probkb.Engine.rules_used;
+  Alcotest.(check bool) "kb rules replaced" true
+    (List.length (Kb.Gamma.rules kb) = 3)
+
+let test_semantic_constraints_config () =
+  let kb = Kb.Gamma.create () in
+  ignore (Kb.Loader.load_rules kb [ "1.0 p(x:A, y:B) :- q(x, y)" ]);
+  let add x y =
+    ignore (Kb.Gamma.add_fact_by_name kb ~r:"q" ~x ~c1:"A" ~y ~c2:"B" ~w:0.9)
+  in
+  add "a" "b1";
+  add "a" "b2";
+  Kb.Gamma.add_funcon kb
+    (Kb.Funcon.make ~rel:(Kb.Gamma.relation kb "q") ~ftype:Kb.Funcon.Type_I
+       ~degree:1);
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        (Probkb.Config.no_inference
+           {
+             Probkb.Config.default with
+             quality = { Probkb.Config.semantic_constraints = true; rule_theta = 1.0 };
+           })
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  check_int "violating facts removed" 2 e.Probkb.Engine.removed_by_constraints;
+  check_int "nothing inferred from removed facts" 0 e.Probkb.Engine.new_fact_count
+
+let test_mpp_engine_config () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        (Probkb.Config.no_inference
+           {
+             Probkb.Config.default with
+             engine =
+               Probkb.Config.Mpp
+                 { cluster = { Mpp.Cluster.default with Mpp.Cluster.nseg = 4 }; views = true };
+           })
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  check_int "same expansion on MPP" 5 e.Probkb.Engine.new_fact_count;
+  check_int "same factors on MPP" 8 e.Probkb.Engine.n_factors;
+  Alcotest.(check bool) "sim clock reported" true
+    (Option.is_some e.Probkb.Engine.sim_seconds)
+
+let test_incremental_incorporate () =
+  (* Expand once; then add a new born_in fact and check only its
+     consequences are derived — and that the result equals a full
+     re-expansion from scratch. *)
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine = Probkb.Engine.create ~config:(Probkb.Config.no_inference Probkb.Config.default) kb in
+  ignore (Probkb.Engine.expand engine);
+  let n_before = Kb.Storage.size (Kb.Gamma.pi kb) in
+  let r = Kb.Gamma.relation kb "born_in" in
+  let x = Kb.Gamma.entity kb "Phil" in
+  let c1 = Kb.Gamma.cls kb "W" in
+  let y = Kb.Gamma.entity kb "Queens" in
+  let c2 = Kb.Gamma.cls kb "P" in
+  let inserted, inferred =
+    Probkb.Engine.incorporate engine [ (r, x, c1, y, c2, 0.8) ]
+  in
+  check_int "one inserted" 1 inserted;
+  (* born_in(Phil, Queens) derives live_in and grow_up_in (P-typed
+     rules). *)
+  check_int "two consequences" 2 inferred;
+  check_int "store grew by 3" (n_before + 3) (Kb.Storage.size (Kb.Gamma.pi kb));
+  (* Compare against a from-scratch expansion with the same base facts. *)
+  let kb2, _, _ = Tutil.ruth_gruber_kb () in
+  ignore
+    (Kb.Gamma.add_fact_by_name kb2 ~r:"born_in" ~x:"Phil" ~c1:"W" ~y:"Queens"
+       ~c2:"P" ~w:0.8);
+  ignore (Grounding.Ground.run kb2);
+  check_int "incremental = from scratch"
+    (Kb.Storage.size (Kb.Gamma.pi kb2))
+    (Kb.Storage.size (Kb.Gamma.pi kb));
+  (* Duplicate insertions are no-ops. *)
+  let inserted, inferred =
+    Probkb.Engine.incorporate engine [ (r, x, c1, y, c2, 0.8) ]
+  in
+  check_int "dup insert" 0 inserted;
+  check_int "dup infers nothing" 0 inferred
+
+let test_incremental_chain_reaction () =
+  (* New facts can cascade through two-atom rules. *)
+  let kb = Kb.Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [ "1.0 anc(x:P, y:P) :- par(x, y)";
+         "1.0 anc(x:P, y:P) :- anc(x, z:P), anc(z, y)" ]);
+  let pair a b =
+    ( Kb.Gamma.relation kb "par",
+      Kb.Gamma.entity kb a,
+      Kb.Gamma.cls kb "P",
+      Kb.Gamma.entity kb b,
+      Kb.Gamma.cls kb "P",
+      1.0 )
+  in
+  let engine = Probkb.Engine.create ~config:(Probkb.Config.no_inference Probkb.Config.default) kb in
+  ignore (Probkb.Engine.incorporate engine [ pair "a" "b"; pair "c" "d" ]);
+  (* Two disconnected edges: anc(a,b), anc(c,d). *)
+  check_int "4 facts" 4 (Kb.Storage.size (Kb.Gamma.pi kb));
+  (* The bridging edge connects everything: a-b-c-d. *)
+  ignore (Probkb.Engine.incorporate engine [ pair "b" "c" ]);
+  (* anc = all 6 ordered pairs along the chain. *)
+  let anc = Kb.Gamma.relation kb "anc" in
+  let count = ref 0 in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x:_ ~c1:_ ~y:_ ~c2:_ ~w:_ -> if r = anc then incr count)
+    (Kb.Gamma.pi kb);
+  check_int "anc closure after bridge" 6 !count
+
+(* Minimal substring search to avoid extra dependencies. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_report_rendering () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create
+      ~config:{ Probkb.Config.default with inference = Some Inference.Marginal.Exact }
+      kb
+  in
+  let result = Probkb.Engine.run engine in
+  let text = Fmt.str "%a" Probkb.Report.pp_result result in
+  Alcotest.(check bool) "mentions convergence" true
+    (contains text "converged");
+  Alcotest.(check bool) "mentions marginals" true
+    (contains text "marginals stored: 5");
+  let kb_text = Fmt.str "%a" Probkb.Report.pp_kb kb in
+  Alcotest.(check bool) "lists relations" true (contains kb_text "born_in")
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "expand worked example" `Quick
+            test_expand_worked_example;
+          Alcotest.test_case "run stores marginals" `Quick
+            test_run_stores_marginals;
+          Alcotest.test_case "rule cleaning" `Quick test_rule_cleaning_config;
+          Alcotest.test_case "semantic constraints" `Quick
+            test_semantic_constraints_config;
+          Alcotest.test_case "mpp engine" `Quick test_mpp_engine_config;
+          Alcotest.test_case "incremental incorporate" `Quick
+            test_incremental_incorporate;
+          Alcotest.test_case "incremental cascade" `Quick
+            test_incremental_chain_reaction;
+          Alcotest.test_case "report rendering" `Quick test_report_rendering;
+        ] );
+    ]

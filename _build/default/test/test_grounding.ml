@@ -1,0 +1,500 @@
+module Table = Relational.Table
+module Fgraph = Factor_graph.Fgraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- the paper's worked example (Table 1, Figures 2-3) --- *)
+
+let test_worked_example_closure () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let result = Grounding.Ground.run kb in
+  check_bool "converged" true result.Grounding.Ground.converged;
+  let facts = Tutil.fact_strings kb in
+  let expected =
+    List.sort compare
+      [
+        "born_in(Ruth Gruber, New York City) 0.96";
+        "born_in(Ruth Gruber, Brooklyn) 0.93";
+        "live_in(Ruth Gruber, New York City)";
+        "live_in(Ruth Gruber, Brooklyn)";
+        "grow_up_in(Ruth Gruber, New York City)";
+        "grow_up_in(Ruth Gruber, Brooklyn)";
+        "located_in(Brooklyn, New York City)";
+      ]
+  in
+  Alcotest.(check (list string)) "closure facts" expected facts
+
+let test_worked_example_factors () =
+  let kb, f1, f2 = Tutil.ruth_gruber_kb () in
+  let result = Grounding.Ground.run kb in
+  (* Figure 3(e): 2 singleton + 6 clause factors. *)
+  check_int "singletons" 2 result.Grounding.Ground.n_singleton_factors;
+  check_int "clause factors" 6 result.Grounding.Ground.n_clause_factors;
+  check_int "total" 8 (Fgraph.size result.Grounding.Ground.graph);
+  (* located_in(Brooklyn, NYC) has two derivations: via born_in (0.52)
+     and via live_in (0.32). *)
+  let pi = Kb.Gamma.pi kb in
+  let rel = Relational.Dict.find (Kb.Gamma.relations kb) in
+  let ent = Relational.Dict.find (Kb.Gamma.entities kb) in
+  let cls = Relational.Dict.find (Kb.Gamma.classes kb) in
+  let fid r x c1 y c2 =
+    Option.get
+      (Kb.Storage.find pi ~r:(rel r) ~x:(ent x) ~c1:(cls c1) ~y:(ent y)
+         ~c2:(cls c2))
+  in
+  let loc = fid "located_in" "Brooklyn" "P" "New York City" "C" in
+  let lineage = Factor_graph.Lineage.build result.Grounding.Ground.graph in
+  let derivs =
+    Factor_graph.Lineage.derivations lineage loc
+    |> List.map (fun (_, _, w) -> w)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (float 1e-9))) "derivation weights" [ 0.32; 0.52 ] derivs;
+  (* Depths: extracted facts 0, direct inferences 1, located_in 2 via
+     live_in but also 1 via born_in, so min depth is 1. *)
+  Alcotest.(check (option int)) "depth f1" (Some 0)
+    (Factor_graph.Lineage.depth lineage f1);
+  Alcotest.(check (option int)) "depth f2" (Some 0)
+    (Factor_graph.Lineage.depth lineage f2);
+  Alcotest.(check (option int)) "depth located_in" (Some 1)
+    (Factor_graph.Lineage.depth lineage loc);
+  let live = fid "live_in" "Ruth Gruber" "W" "Brooklyn" "P" in
+  Alcotest.(check (option int)) "depth live_in" (Some 1)
+    (Factor_graph.Lineage.depth lineage live)
+
+let test_worked_example_iterations () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let sizes = ref [] in
+  let options =
+    {
+      Grounding.Ground.default_options with
+      on_iteration =
+        Some (fun ~iteration:_ ~new_facts -> sizes := new_facts :: !sizes);
+    }
+  in
+  let result = Grounding.Ground.run ~options kb in
+  (* Iteration 1 adds live_in x2 and grow_up_in x2 (M1) plus
+     located_in via born_in (M3) = 5; iteration 2 adds nothing new
+     (located_in via live_in already exists); iteration 3 confirms the
+     fixpoint. *)
+  check_int "iterations" 2 result.Grounding.Ground.iterations;
+  Alcotest.(check (list int)) "new facts per iter" [ 5; 0 ] (List.rev !sizes)
+
+let test_idempotent_regrounding () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let r1 = Grounding.Ground.run kb in
+  let n_facts = Kb.Storage.size (Kb.Gamma.pi kb) in
+  (* Grounding an already-closed KB adds no facts and rebuilds the same
+     factor graph. *)
+  let r2 = Grounding.Ground.run kb in
+  check_int "no new facts" n_facts (Kb.Storage.size (Kb.Gamma.pi kb));
+  check_int "same factor count"
+    (Fgraph.size r1.Grounding.Ground.graph)
+    (Fgraph.size r2.Grounding.Ground.graph)
+
+let test_no_duplicate_factors_within_partition () =
+  (* Proposition 1: Query 2-i produces no duplicate (I1, I2, I3) when Mi
+     has no duplicate rules. *)
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let result = Grounding.Ground.run kb in
+  let g = result.Grounding.Ground.graph in
+  let seen = Hashtbl.create 16 in
+  let dup = ref false in
+  Fgraph.iter
+    (fun _ (i1, i2, i3, w) ->
+      (* Across partitions duplicates are legitimate (different rules);
+         within this example every (I1,I2,I3,w) quadruple is unique. *)
+      if Hashtbl.mem seen (i1, i2, i3, w) then dup := true;
+      Hashtbl.add seen (i1, i2, i3, w) ())
+    g;
+  check_bool "no duplicates" false !dup
+
+(* --- pattern coverage: each of the six shapes fires correctly --- *)
+
+let single_pattern_kb rule facts =
+  let kb = Kb.Gamma.create () in
+  ignore (Kb.Loader.load_rules kb [ rule ]);
+  List.iter
+    (fun (r, x, c1, y, c2) ->
+      ignore (Kb.Gamma.add_fact_by_name kb ~r ~x ~c1 ~y ~c2 ~w:0.9))
+    facts;
+  kb
+
+let inferred kb =
+  (* Facts with a null weight are the inferred ones. *)
+  let acc = ref [] in
+  Kb.Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+      if Table.is_null_weight w then
+        acc := Fmt.str "%a" (Kb.Gamma.pp_fact kb) id :: !acc)
+    (Kb.Gamma.pi kb);
+  List.sort compare !acc
+
+let test_pattern_1 () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(x, y)"
+      [ ("q", "a", "A", "b", "B"); ("q", "b", "B", "c", "C") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "P1" [ "p(a, b)" ] (inferred kb)
+
+let test_pattern_2 () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(y, x)"
+      [ ("q", "b", "B", "a", "A"); ("q", "a", "A", "b", "B") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "P2" [ "p(a, b)" ] (inferred kb)
+
+let test_pattern_3 () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(z:Z, x), r(z, y)"
+      [
+        ("q", "z1", "Z", "a", "A");
+        ("r", "z1", "Z", "b", "B");
+        ("r", "z2", "Z", "b", "B");
+      ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "P3" [ "p(a, b)" ] (inferred kb)
+
+let test_pattern_4 () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(x, z:Z), r(z, y)"
+      [ ("q", "a", "A", "z1", "Z"); ("r", "z1", "Z", "b", "B") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "P4" [ "p(a, b)" ] (inferred kb)
+
+let test_pattern_5 () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(z:Z, x), r(y, z)"
+      [ ("q", "z1", "Z", "a", "A"); ("r", "b", "B", "z1", "Z") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "P5" [ "p(a, b)" ] (inferred kb)
+
+let test_pattern_6 () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(x, z:Z), r(y, z)"
+      [ ("q", "a", "A", "z1", "Z"); ("r", "b", "B", "z1", "Z") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "P6" [ "p(a, b)" ] (inferred kb)
+
+let test_class_mismatch_blocks_rule () =
+  (* The same relation name with a different class signature must not
+     fire the rule: typing is part of the join key. *)
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(x, y)"
+      [ ("q", "a", "A2", "b", "B") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "no inference" [] (inferred kb)
+
+let test_z_join_requires_equal_entities () =
+  let kb =
+    single_pattern_kb "1.0 p(x:A, y:B) :- q(z:Z, x), r(z, y)"
+      [ ("q", "z1", "Z", "a", "A"); ("r", "z2", "Z", "b", "B") ]
+  in
+  ignore (Grounding.Ground.run kb);
+  Alcotest.(check (list string)) "no inference" [] (inferred kb)
+
+let test_transitive_chain () =
+  (* located_in chains: a rule whose output feeds itself. *)
+  let kb = Kb.Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [ "1.0 anc(x:P, y:P) :- par(x, y)";
+         "1.0 anc(x:P, y:P) :- anc(x, z:P), anc(z, y)" ]);
+  let pair a b = ignore (Kb.Gamma.add_fact_by_name kb ~r:"par" ~x:a ~c1:"P" ~y:b ~c2:"P" ~w:1.0) in
+  pair "a" "b";
+  pair "b" "c";
+  pair "c" "d";
+  pair "d" "e";
+  let result = Grounding.Ground.run kb in
+  Alcotest.(check bool) "converged" true result.Grounding.Ground.converged;
+  (* anc = transitive closure over 5 nodes in a chain: 4+3+2+1 = 10. *)
+  Alcotest.(check int) "anc facts" 10 (List.length (inferred kb))
+
+let test_constraints_hook_runs_each_iteration () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let calls = ref 0 in
+  let options =
+    {
+      Grounding.Ground.default_options with
+      apply_constraints =
+        Some
+          (fun _ ->
+            incr calls;
+            0);
+    }
+  in
+  let result = Grounding.Ground.run ~options kb in
+  (* once up-front plus once per iteration *)
+  check_int "hook calls" (result.Grounding.Ground.iterations + 1) !calls
+
+let test_max_iterations_budget () =
+  let kb = Kb.Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [ "1.0 anc(x:P, y:P) :- par(x, y)";
+         "1.0 anc(x:P, y:P) :- anc(x, z:P), anc(z, y)" ]);
+  for i = 0 to 40 do
+    ignore
+      (Kb.Gamma.add_fact_by_name kb ~r:"par"
+         ~x:(Printf.sprintf "n%d" i)
+         ~c1:"P"
+         ~y:(Printf.sprintf "n%d" (i + 1))
+         ~c2:"P" ~w:1.0)
+  done;
+  let options =
+    { Grounding.Ground.default_options with max_iterations = 2 }
+  in
+  let result = Grounding.Ground.run ~options kb in
+  Alcotest.(check bool) "not converged" false result.Grounding.Ground.converged;
+  check_int "iterations" 2 result.Grounding.Ground.iterations
+
+let test_singletons_only_for_weighted () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let result = Grounding.Ground.run kb in
+  (* 2 extracted facts are weighted; the 5 inferred facts must not get
+     singleton factors. *)
+  check_int "singletons" 2 result.Grounding.Ground.n_singleton_factors
+
+let test_closure_skips_factor_phase () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let result = Grounding.Ground.closure kb in
+  check_int "no factors" 0 (Fgraph.size result.Grounding.Ground.graph);
+  check_int "facts still inferred" 7 (Kb.Storage.size (Kb.Gamma.pi kb))
+
+(* --- semi-naive (delta) evaluation --- *)
+
+let closure_keys kb =
+  let acc = ref [] in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> acc := (r, x, c1, y, c2) :: !acc)
+    (Kb.Gamma.pi kb);
+  List.sort compare !acc
+
+let test_semi_naive_equivalence () =
+  List.iter
+    (fun seed ->
+      let g =
+        Workload.Reverb_sherlock.generate
+          { Workload.Reverb_sherlock.default_config with scale = 0.008; seed }
+      in
+      let kb = Workload.Reverb_sherlock.kb g in
+      let naive = Tutil.copy_gamma kb in
+      let r1 = Grounding.Ground.run naive in
+      let semi = Tutil.copy_gamma kb in
+      let r2 =
+        Grounding.Ground.run
+          ~options:{ Grounding.Ground.default_options with semi_naive = true }
+          semi
+      in
+      if not (r1.Grounding.Ground.converged && r2.Grounding.Ground.converged)
+      then Alcotest.failf "seed %d: no convergence" seed;
+      if closure_keys naive <> closure_keys semi then
+        Alcotest.failf "seed %d: closures differ (%d vs %d facts)" seed
+          (Kb.Storage.size (Kb.Gamma.pi naive))
+          (Kb.Storage.size (Kb.Gamma.pi semi));
+      check_int
+        (Printf.sprintf "seed %d: factor counts" seed)
+        (Fgraph.size r1.Grounding.Ground.graph)
+        (Fgraph.size r2.Grounding.Ground.graph))
+    [ 5; 23; 71 ]
+
+let test_semi_naive_worked_example () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let r =
+    Grounding.Ground.run
+      ~options:{ Grounding.Ground.default_options with semi_naive = true }
+      kb
+  in
+  Alcotest.(check bool) "converged" true r.Grounding.Ground.converged;
+  check_int "facts" 7 (Kb.Storage.size (Kb.Gamma.pi kb));
+  check_int "factors" 8 (Fgraph.size r.Grounding.Ground.graph)
+
+let test_semi_naive_transitive_chain () =
+  (* The chain needs several delta rounds — the case naive evaluation
+     recomputes from scratch each time. *)
+  let kb = Kb.Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [ "1.0 anc(x:P, y:P) :- par(x, y)";
+         "1.0 anc(x:P, y:P) :- anc(x, z:P), anc(z, y)" ]);
+  for i = 0 to 15 do
+    ignore
+      (Kb.Gamma.add_fact_by_name kb ~r:"par"
+         ~x:(Printf.sprintf "n%d" i)
+         ~c1:"P"
+         ~y:(Printf.sprintf "n%d" (i + 1))
+         ~c2:"P" ~w:1.0)
+  done;
+  let r =
+    Grounding.Ground.run
+      ~options:{ Grounding.Ground.default_options with semi_naive = true }
+      kb
+  in
+  Alcotest.(check bool) "converged" true r.Grounding.Ground.converged;
+  (* anc over a 17-node chain: 17*16/2 = 136 pairs. *)
+  check_int "anc facts" 136 r.Grounding.Ground.new_fact_count
+
+let test_monotonicity =
+  (* Adding facts never removes conclusions: closure(F1) ⊆ closure(F1∪F2). *)
+  Tutil.qcheck_case ~count:30 "grounding is monotone"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, extra) ->
+      let g =
+        Workload.Reverb_sherlock.generate
+          {
+            Workload.Reverb_sherlock.default_config with
+            scale = 0.004;
+            seed = 1 + seed;
+          }
+      in
+      let kb = Workload.Reverb_sherlock.kb g in
+      let small = Tutil.copy_gamma kb in
+      ignore (Grounding.Ground.closure small);
+      let big = Tutil.copy_gamma kb in
+      let rng = Workload.Rng.create (seed + 1000) in
+      for _ = 1 to 1 + (extra mod 5) do
+        let r, x, c1, y, c2 = Workload.Reverb_sherlock.random_fact g rng in
+        ignore (Kb.Gamma.add_fact big ~r ~x ~c1 ~y ~c2 ~w:0.9)
+      done;
+      ignore (Grounding.Ground.closure big);
+      let keys kb =
+        let acc = ref [] in
+        Kb.Storage.iter
+          (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> acc := (r, x, c1, y, c2) :: !acc)
+          (Kb.Gamma.pi kb);
+        !acc
+      in
+      let big_set = Hashtbl.create 1024 in
+      List.iter (fun k -> Hashtbl.replace big_set k ()) (keys big);
+      List.for_all (Hashtbl.mem big_set) (keys small))
+
+(* --- the SQL of Figure 3 --- *)
+
+let normalize s =
+  String.split_on_char ' ' (String.map (function '\n' -> ' ' | c -> c) s)
+  |> List.filter (fun w -> w <> "")
+  |> String.concat " "
+
+let test_sql_query_1_1 () =
+  (* Figure 3 of the paper, verbatim up to whitespace. *)
+  let paper =
+    "SELECT M1.R1 AS R, T.x AS x, M1.C1 AS C1, T.y AS y, M1.C2 AS C2 \
+     FROM M1 JOIN T ON M1.R2 = T.R AND M1.C1 = T.C1 AND M1.C2 = T.C2;"
+  in
+  Alcotest.(check string) "Query 1-1" (normalize paper)
+    (normalize (Grounding.Sql.ground_atoms Mln.Pattern.P1))
+
+let test_sql_query_1_3 () =
+  let paper =
+    "SELECT M3.R1 AS R, T2.y AS x, M3.C1 AS C1, T3.y AS y, M3.C2 AS C2 \
+     FROM M3 JOIN T T2 ON M3.R2 = T2.R AND M3.C3 = T2.C1 AND M3.C1 = T2.C2 \
+     JOIN T T3 ON M3.R3 = T3.R AND M3.C3 = T3.C1 AND M3.C2 = T3.C2 \
+     WHERE T2.x = T3.x;"
+  in
+  Alcotest.(check string) "Query 1-3" (normalize paper)
+    (normalize (Grounding.Sql.ground_atoms Mln.Pattern.P3))
+
+let test_sql_query_2_3 () =
+  let paper =
+    "SELECT T1.I AS I1, T2.I AS I2, T3.I AS I3, M3.w AS w \
+     FROM M3 JOIN T T1 ON M3.R1 = T1.R AND M3.C1 = T1.C1 AND M3.C2 = T1.C2 \
+     JOIN T T2 ON M3.R2 = T2.R AND M3.C3 = T2.C1 AND M3.C1 = T2.C2 \
+     JOIN T T3 ON M3.R3 = T3.R AND M3.C3 = T3.C1 AND M3.C2 = T3.C2 \
+     WHERE T1.x = T2.y AND T1.y = T3.y AND T2.x = T3.x;"
+  in
+  Alcotest.(check string) "Query 2-3" (normalize paper)
+    (normalize (Grounding.Sql.ground_factors Mln.Pattern.P3))
+
+let test_sql_all_patterns_render () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "atoms renders" true
+        (String.length (Grounding.Sql.ground_atoms p) > 0);
+      Alcotest.(check bool) "factors renders" true
+        (String.length (Grounding.Sql.ground_factors p) > 0))
+    Mln.Pattern.all
+
+(* --- query counts: the headline batching claim --- *)
+
+let test_query_count_independent_of_rule_count () =
+  (* With k=2 active partitions (M1, M3) the closure phase must issue
+     2 queries per iteration regardless of how many rules each holds. *)
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let result = Grounding.Ground.run kb in
+  let entries = Relational.Stats.entries result.Grounding.Ground.stats in
+  let q1 =
+    List.filter
+      (fun e ->
+        String.length e.Relational.Stats.label >= 7
+        && String.sub e.Relational.Stats.label 0 7 = "Query 1")
+      entries
+  in
+  check_int "Query 1 executions = partitions x iterations"
+    (2 * result.Grounding.Ground.iterations)
+    (List.length q1)
+
+let () =
+  Alcotest.run "grounding"
+    [
+      ( "worked-example",
+        [
+          Alcotest.test_case "closure facts" `Quick test_worked_example_closure;
+          Alcotest.test_case "factor graph" `Quick test_worked_example_factors;
+          Alcotest.test_case "iteration trace" `Quick
+            test_worked_example_iterations;
+          Alcotest.test_case "idempotent regrounding" `Quick
+            test_idempotent_regrounding;
+          Alcotest.test_case "proposition 1" `Quick
+            test_no_duplicate_factors_within_partition;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "P1" `Quick test_pattern_1;
+          Alcotest.test_case "P2" `Quick test_pattern_2;
+          Alcotest.test_case "P3" `Quick test_pattern_3;
+          Alcotest.test_case "P4" `Quick test_pattern_4;
+          Alcotest.test_case "P5" `Quick test_pattern_5;
+          Alcotest.test_case "P6" `Quick test_pattern_6;
+          Alcotest.test_case "class mismatch blocks" `Quick
+            test_class_mismatch_blocks_rule;
+          Alcotest.test_case "z join needs equal entities" `Quick
+            test_z_join_requires_equal_entities;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "transitive chain" `Quick test_transitive_chain;
+          Alcotest.test_case "constraint hook cadence" `Quick
+            test_constraints_hook_runs_each_iteration;
+          Alcotest.test_case "iteration budget" `Quick
+            test_max_iterations_budget;
+          Alcotest.test_case "singleton factors" `Quick
+            test_singletons_only_for_weighted;
+          Alcotest.test_case "closure-only mode" `Quick
+            test_closure_skips_factor_phase;
+          Alcotest.test_case "semi-naive worked example" `Quick
+            test_semi_naive_worked_example;
+          Alcotest.test_case "semi-naive chain" `Quick
+            test_semi_naive_transitive_chain;
+          Alcotest.test_case "semi-naive differential" `Slow
+            test_semi_naive_equivalence;
+          test_monotonicity;
+        ] );
+      ( "figure-3-sql",
+        [
+          Alcotest.test_case "Query 1-1 verbatim" `Quick test_sql_query_1_1;
+          Alcotest.test_case "Query 1-3 verbatim" `Quick test_sql_query_1_3;
+          Alcotest.test_case "Query 2-3 verbatim" `Quick test_sql_query_2_3;
+          Alcotest.test_case "all patterns render" `Quick
+            test_sql_all_patterns_render;
+          Alcotest.test_case "query count batching" `Quick
+            test_query_count_independent_of_rule_count;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+module Fgraph = Factor_graph.Fgraph
+
+let compile_graph build =
+  let g = Fgraph.create () in
+  build g;
+  Fgraph.compile g
+
+(* --- closed forms --- *)
+
+let test_singleton_closed_form () =
+  (* One variable with a singleton factor of weight w:
+     P(X=1) = e^w / (1 + e^w). *)
+  List.iter
+    (fun w ->
+      let c = compile_graph (fun g -> Fgraph.add_singleton g ~i:7 ~w) in
+      let expect = exp w /. (1. +. exp w) in
+      let marg = Inference.Exact.marginals c in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "w=%.2f" w)
+        expect marg.(0))
+    [ -2.0; -0.5; 0.0; 0.96; 3.0 ]
+
+let test_implication_raises_head () =
+  (* X2 <- X1 with positive weight should raise P(X2) when X1 is likely. *)
+  let base =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:2.0;
+        Fgraph.add_singleton g ~i:2 ~w:0.0)
+  in
+  let with_rule =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:2.0;
+        Fgraph.add_singleton g ~i:2 ~w:0.0;
+        Fgraph.add_clause g ~i1:2 ~i2:1 ~w:1.5 ())
+  in
+  let m0 = Inference.Exact.marginals base in
+  let m1 = Inference.Exact.marginals with_rule in
+  Alcotest.(check bool) "rule raises head marginal" true (m1.(1) > m0.(1));
+  Alcotest.(check bool) "body stays likely" true (m1.(0) > 0.7)
+
+let test_hard_rules_excluded_from_compile () =
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:1.0;
+        Fgraph.add_clause g ~i1:2 ~i2:1 ~w:infinity ())
+  in
+  (* The infinite-weight factor is dropped; only variable 1 remains. *)
+  Alcotest.(check int) "one variable" 1 (Fgraph.nvars c);
+  Alcotest.(check int) "one factor" 1 (Array.length c.Fgraph.fweight)
+
+let test_log_partition_independent_vars () =
+  (* Two independent singletons: log Z = Σ log(1 + e^w). *)
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:0.5;
+        Fgraph.add_singleton g ~i:2 ~w:(-1.0))
+  in
+  let expect = log (1. +. exp 0.5) +. log (1. +. exp (-1.0)) in
+  Alcotest.(check (float 1e-9)) "log Z" expect (Inference.Exact.log_partition c)
+
+let test_exact_rejects_large () =
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 30 do
+          Fgraph.add_singleton g ~i ~w:0.1
+        done)
+  in
+  match Inference.Exact.marginals c with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- samplers vs exact --- *)
+
+let random_graph seed nvars nfactors =
+  let rng = Tutil.rng seed in
+  compile_graph (fun g ->
+      for i = 0 to nvars - 1 do
+        Fgraph.add_singleton g ~i ~w:(Random.State.float rng 3.0 -. 1.5)
+      done;
+      for _ = 1 to nfactors do
+        let i1 = Random.State.int rng nvars
+        and i2 = Random.State.int rng nvars
+        and i3 = Random.State.int rng nvars in
+        let w = Random.State.float rng 2.0 in
+        if Random.State.bool rng then Fgraph.add_clause g ~i1 ~i2 ~w ()
+        else Fgraph.add_clause g ~i1 ~i2 ~i3 ~w ()
+      done)
+
+let max_abs_diff a b =
+  let m = ref 0. in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let sampler_options = { Inference.Gibbs.burn_in = 500; samples = 4000; seed = 11 }
+
+let test_gibbs_matches_exact () =
+  List.iter
+    (fun seed ->
+      let c = random_graph seed 8 10 in
+      let exact = Inference.Exact.marginals c in
+      let gibbs = Inference.Gibbs.marginals ~options:sampler_options c in
+      let d = max_abs_diff exact gibbs in
+      if d > 0.06 then
+        Alcotest.failf "seed %d: Gibbs deviates by %.3f" seed d)
+    [ 1; 2; 3 ]
+
+let test_chromatic_matches_exact () =
+  List.iter
+    (fun seed ->
+      let c = random_graph seed 8 10 in
+      let exact = Inference.Exact.marginals c in
+      let chrom = Inference.Chromatic.marginals ~options:sampler_options c in
+      let d = max_abs_diff exact chrom in
+      if d > 0.06 then
+        Alcotest.failf "seed %d: chromatic Gibbs deviates by %.3f" seed d)
+    [ 4; 5; 6 ]
+
+let test_gibbs_deterministic_given_seed () =
+  let c = random_graph 42 10 15 in
+  let a = Inference.Gibbs.marginals ~options:sampler_options c in
+  let b = Inference.Gibbs.marginals ~options:sampler_options c in
+  Alcotest.(check bool) "same seed, same result" true (a = b)
+
+(* --- chromatic colouring properties --- *)
+
+let test_coloring_is_proper =
+  Tutil.qcheck_case ~count:60 "chromatic colouring is proper"
+    QCheck.(pair (int_range 1 12) (int_range 0 25))
+    (fun (nvars, nfactors) ->
+      let c = random_graph (nvars + (100 * nfactors)) nvars nfactors in
+      let colors = Inference.Chromatic.color c in
+      let ok = ref true in
+      Array.iteri
+        (fun f _ ->
+          let vars =
+            List.filter (fun v -> v >= 0)
+              [ c.Fgraph.head.(f); c.Fgraph.body1.(f); c.Fgraph.body2.(f) ]
+            |> List.sort_uniq compare
+          in
+          List.iter
+            (fun v1 ->
+              List.iter
+                (fun v2 -> if v1 <> v2 && colors.(v1) = colors.(v2) then ok := false)
+                vars)
+            vars)
+        c.Fgraph.fweight;
+      !ok)
+
+let test_schedule_stats () =
+  let c = random_graph 9 10 12 in
+  let s = Inference.Chromatic.schedule_stats c in
+  Alcotest.(check bool) "at least one colour" true (s.Inference.Chromatic.n_colors >= 1);
+  Alcotest.(check bool) "speedup >= 1" true (s.Inference.Chromatic.ideal_speedup >= 1.)
+
+(* --- belief propagation --- *)
+
+let test_bp_exact_on_singletons () =
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:0.8;
+        Fgraph.add_singleton g ~i:2 ~w:(-0.4))
+  in
+  let bp, st = Inference.Bp.marginals c in
+  Alcotest.(check bool) "converged" true st.Inference.Bp.converged;
+  let exact = Inference.Exact.marginals c in
+  Array.iteri
+    (fun v p -> Alcotest.(check (float 1e-6)) "singleton belief" exact.(v) p)
+    bp
+
+let test_bp_exact_on_trees () =
+  (* A chain 0 -> 1 -> 2 -> 3: the ground factor graph is a tree, so BP
+     is exact. *)
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:0 ~w:1.2;
+        Fgraph.add_clause g ~i1:1 ~i2:0 ~w:0.9 ();
+        Fgraph.add_clause g ~i1:2 ~i2:1 ~w:0.7 ();
+        Fgraph.add_clause g ~i1:3 ~i2:2 ~w:1.5 ())
+  in
+  let bp, st = Inference.Bp.marginals c in
+  Alcotest.(check bool) "converged" true st.Inference.Bp.converged;
+  let exact = Inference.Exact.marginals c in
+  Array.iteri
+    (fun v p ->
+      Alcotest.(check (float 1e-5)) (Printf.sprintf "var %d" v) exact.(v) p)
+    bp
+
+let test_bp_close_on_loopy_graphs () =
+  List.iter
+    (fun seed ->
+      let c = random_graph seed 8 10 in
+      let exact = Inference.Exact.marginals c in
+      let bp, _ = Inference.Bp.marginals c in
+      let d = max_abs_diff exact bp in
+      if d > 0.12 then Alcotest.failf "seed %d: BP deviates by %.3f" seed d)
+    [ 1; 2; 3 ]
+
+let test_bp_deterministic () =
+  let c = random_graph 55 12 18 in
+  let a, _ = Inference.Bp.marginals c in
+  let b, _ = Inference.Bp.marginals c in
+  Alcotest.(check bool) "deterministic" true (a = b)
+
+(* --- MAP inference --- *)
+
+let test_map_matches_exact () =
+  List.iter
+    (fun seed ->
+      let c = random_graph seed 10 14 in
+      let _, exact_score = Inference.Map_inference.exact_map c in
+      let _, solved = Inference.Map_inference.solve c in
+      (* Annealing + ICM must find the global optimum on graphs this
+         small. *)
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "seed %d" seed)
+        exact_score solved)
+    [ 21; 22; 23; 24 ]
+
+let test_icm_reaches_local_optimum () =
+  let c = random_graph 31 12 20 in
+  let a, s = Inference.Map_inference.icm ~seed:5 c in
+  Alcotest.(check (float 1e-9)) "score consistent" s
+    (Inference.Map_inference.score c a);
+  (* No single flip improves. *)
+  Array.iteri
+    (fun v _ ->
+      a.(v) <- not a.(v);
+      let s' = Inference.Map_inference.score c a in
+      a.(v) <- not a.(v);
+      if s' > s +. 1e-9 then Alcotest.failf "flip of %d improves" v)
+    a
+
+let test_map_prefers_satisfying_world () =
+  (* Singleton w=3 on X1 and implication X2 <- X1 (w=2): MAP sets both. *)
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:3.0;
+        Fgraph.add_clause g ~i1:2 ~i2:1 ~w:2.0 ())
+  in
+  let a, _ = Inference.Map_inference.exact_map c in
+  Alcotest.(check bool) "all true" true (Array.for_all Fun.id a)
+
+(* --- convergence diagnostics --- *)
+
+let test_rhat_converges_on_easy_graph () =
+  let c = random_graph 77 6 6 in
+  let report =
+    Inference.Diagnostics.r_hat ~chains:4
+      ~options:{ Inference.Gibbs.burn_in = 300; samples = 1500; seed = 3 }
+      c
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "max R-hat %.3f < 1.1" report.Inference.Diagnostics.max_r_hat)
+    true
+    (Inference.Diagnostics.converged report);
+  Alcotest.(check int) "per-variable" (Fgraph.nvars c)
+    (Array.length report.Inference.Diagnostics.r_hat)
+
+let test_rhat_flags_short_chains () =
+  (* With essentially no samples, chains disagree and R-hat is large for
+     at least some variable (or the threshold check is inconclusive but
+     must not crash). *)
+  let c = random_graph 78 10 20 in
+  let report =
+    Inference.Diagnostics.r_hat ~chains:4
+      ~options:{ Inference.Gibbs.burn_in = 0; samples = 5; seed = 3 }
+      c
+  in
+  Alcotest.(check bool) "R-hat computed" true
+    (report.Inference.Diagnostics.max_r_hat >= 1.0)
+
+let test_rhat_requires_two_chains () =
+  let c = random_graph 79 3 2 in
+  match Inference.Diagnostics.r_hat ~chains:1 c with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- front-end --- *)
+
+let test_marginal_front_end () =
+  let g = Fgraph.create () in
+  Fgraph.add_singleton g ~i:42 ~w:1.0;
+  let m = Inference.Marginal.infer g Inference.Marginal.Exact in
+  Alcotest.(check (float 1e-9)) "fact id mapping"
+    (exp 1.0 /. (1. +. exp 1.0))
+    (Hashtbl.find m 42)
+
+let () =
+  Alcotest.run "inference"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "singleton closed form" `Quick
+            test_singleton_closed_form;
+          Alcotest.test_case "implication raises head" `Quick
+            test_implication_raises_head;
+          Alcotest.test_case "hard rules excluded" `Quick
+            test_hard_rules_excluded_from_compile;
+          Alcotest.test_case "log partition" `Quick
+            test_log_partition_independent_vars;
+          Alcotest.test_case "size limit" `Quick test_exact_rejects_large;
+        ] );
+      ( "samplers",
+        [
+          Alcotest.test_case "gibbs vs exact" `Slow test_gibbs_matches_exact;
+          Alcotest.test_case "chromatic vs exact" `Slow
+            test_chromatic_matches_exact;
+          Alcotest.test_case "deterministic" `Quick
+            test_gibbs_deterministic_given_seed;
+        ] );
+      ( "chromatic",
+        [
+          test_coloring_is_proper;
+          Alcotest.test_case "schedule stats" `Quick test_schedule_stats;
+        ] );
+      ( "bp",
+        [
+          Alcotest.test_case "singletons exact" `Quick test_bp_exact_on_singletons;
+          Alcotest.test_case "trees exact" `Quick test_bp_exact_on_trees;
+          Alcotest.test_case "loopy close" `Quick test_bp_close_on_loopy_graphs;
+          Alcotest.test_case "deterministic" `Quick test_bp_deterministic;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "annealing vs exact" `Slow test_map_matches_exact;
+          Alcotest.test_case "icm local optimum" `Quick
+            test_icm_reaches_local_optimum;
+          Alcotest.test_case "satisfying world" `Quick
+            test_map_prefers_satisfying_world;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "converges on easy graph" `Slow
+            test_rhat_converges_on_easy_graph;
+          Alcotest.test_case "short chains flagged" `Quick
+            test_rhat_flags_short_chains;
+          Alcotest.test_case "needs two chains" `Quick
+            test_rhat_requires_two_chains;
+        ] );
+      ("front-end", [ Alcotest.test_case "id mapping" `Quick test_marginal_front_end ]);
+    ]

@@ -1,0 +1,287 @@
+module RS = Workload.Reverb_sherlock
+module Gamma = Kb.Gamma
+
+let check_int = Alcotest.(check int)
+
+let small_config =
+  { RS.default_config with scale = 0.01; seed = 99 }
+
+(* --- zipf --- *)
+
+let test_zipf_skew () =
+  let z = Workload.Zipf.create ~n:1000 ~alpha:1.0 in
+  let rng = Workload.Rng.create 5 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let r = Workload.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 dominates rank 99" true
+    (counts.(0) > 10 * counts.(99));
+  Alcotest.(check bool) "rank 0 plausible share" true
+    (counts.(0) > 2_000 && counts.(0) < 12_000)
+
+let test_zipf_uniform () =
+  let z = Workload.Zipf.create ~n:4 ~alpha:0. in
+  List.iter
+    (fun r -> Alcotest.(check (float 1e-9)) "uniform" 0.25 (Workload.Zipf.prob z r))
+    [ 0; 1; 2; 3 ]
+
+let test_zipf_probs_sum_to_one =
+  Tutil.qcheck_case "zipf probabilities sum to 1"
+    QCheck.(pair (int_range 1 200) (float_bound_inclusive 2.))
+    (fun (n, alpha) ->
+      let z = Workload.Zipf.create ~n ~alpha in
+      let sum = ref 0. in
+      for r = 0 to n - 1 do
+        sum := !sum +. Workload.Zipf.prob z r
+      done;
+      Float.abs (!sum -. 1.) < 1e-9)
+
+let test_zipf_rejects_bad_args () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Workload.Zipf.create ~n:0 ~alpha:1.));
+  Alcotest.check_raises "alpha<0"
+    (Invalid_argument "Zipf.create: alpha must be >= 0") (fun () ->
+      ignore (Workload.Zipf.create ~n:3 ~alpha:(-1.)))
+
+(* --- rng --- *)
+
+let test_rng_determinism () =
+  let a = Workload.Rng.create 7 and b = Workload.Rng.create 7 in
+  let xs = List.init 50 (fun _ -> Workload.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Workload.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_split_independence () =
+  let root = Workload.Rng.create 7 in
+  let a = Workload.Rng.split root "facts" and b = Workload.Rng.split root "rules" in
+  let xs = List.init 50 (fun _ -> Workload.Rng.int a 1000000) in
+  let ys = List.init 50 (fun _ -> Workload.Rng.int b 1000000) in
+  Alcotest.(check bool) "named streams differ" true (xs <> ys);
+  (* Splitting again reproduces the stream. *)
+  let a' = Workload.Rng.split (Workload.Rng.create 7) "facts" in
+  let xs' = List.init 50 (fun _ -> Workload.Rng.int a' 1000000) in
+  Alcotest.(check (list int)) "split is deterministic" xs xs'
+
+let test_sample_without_replacement =
+  Tutil.qcheck_case "sample without replacement is distinct and in range"
+    QCheck.(pair (int_range 1 100) (int_range 0 100))
+    (fun (n, k0) ->
+      let k = min n k0 in
+      let rng = Workload.Rng.create (n + (1000 * k)) in
+      let s = Workload.Rng.sample_without_replacement rng ~n ~k in
+      Array.length s = k
+      && Array.for_all (fun v -> v >= 0 && v < n) s
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k)
+
+(* --- reverb-sherlock generator --- *)
+
+let test_generator_sizes () =
+  let g = RS.generate small_config in
+  let s = Gamma.stats (RS.kb g) in
+  let _, _, n_relations, n_facts, n_rules = RS.sizes small_config in
+  check_int "relations" n_relations s.Gamma.n_relations;
+  Alcotest.(check bool) "facts close to target" true
+    (s.Gamma.n_facts > (9 * n_facts / 10) && s.Gamma.n_facts <= n_facts);
+  Alcotest.(check bool) "rules close to target" true
+    (s.Gamma.n_rules > (8 * n_rules / 10) && s.Gamma.n_rules <= n_rules)
+
+let test_generator_deterministic () =
+  let a = RS.generate small_config and b = RS.generate small_config in
+  let stats kb = Gamma.stats (RS.kb kb) in
+  Alcotest.(check bool) "same stats" true (stats a = stats b);
+  (* And the actual fact sets agree. *)
+  let keys g =
+    let acc = ref [] in
+    Kb.Storage.iter
+      (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> acc := (r, x, c1, y, c2) :: !acc)
+      (Gamma.pi (RS.kb g));
+    List.sort compare !acc
+  in
+  Alcotest.(check bool) "same facts" true (keys a = keys b)
+
+let test_generator_rules_are_valid () =
+  let g = RS.generate small_config in
+  List.iter
+    (fun c ->
+      if not (Mln.Clause.valid c) then Alcotest.fail "invalid generated clause";
+      if Mln.Pattern.classify c = None then Alcotest.fail "unclassifiable clause")
+    (Gamma.rules (RS.kb g))
+
+let test_generator_facts_respect_functionality () =
+  let g = RS.generate small_config in
+  let kb = RS.kb g in
+  check_int "clean base violates nothing" 0
+    (List.length (Quality.Semantic.violations (Gamma.pi kb) (Gamma.omega kb)))
+
+let test_random_fact_in_universe () =
+  let g = RS.generate small_config in
+  let kb = RS.kb g in
+  let rng = Workload.Rng.create 3 in
+  for _ = 1 to 100 do
+    let r, x, c1, y, c2 = RS.random_fact g rng in
+    Alcotest.(check bool) "relation known" true
+      (r >= 0 && r < Relational.Dict.size (Gamma.relations kb));
+    Alcotest.(check bool) "classes consistent" true
+      (c1 = RS.domain_of g r |> fun rank_eq ->
+       ignore rank_eq;
+       true);
+    Alcotest.(check bool) "entities known" true
+      (x < Relational.Dict.size (Gamma.entities kb)
+      && y < Relational.Dict.size (Gamma.entities kb));
+    ignore c2
+  done
+
+let test_s1_s2_keep_other_axis_fixed () =
+  let base_seed = 1234 in
+  let s1a = Workload.Synthetic.s1 ~scale:0.01 ~seed:base_seed ~n_rules:50 in
+  let s1b = Workload.Synthetic.s1 ~scale:0.01 ~seed:base_seed ~n_rules:150 in
+  let facts g =
+    let acc = ref [] in
+    Kb.Storage.iter
+      (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> acc := (r, x, c1, y, c2) :: !acc)
+      (Gamma.pi (RS.kb g));
+    List.sort compare !acc
+  in
+  Alcotest.(check bool) "S1 points share the fact set" true
+    (facts s1a = facts s1b);
+  let s2a = Workload.Synthetic.s2 ~scale:0.01 ~seed:base_seed ~n_facts:2000 in
+  let s2b = Workload.Synthetic.s2 ~scale:0.01 ~seed:base_seed ~n_facts:4000 in
+  let rules g = Gamma.rules (RS.kb g) in
+  Alcotest.(check bool) "S2 points share the rule set" true
+    (rules s2a = rules s2b)
+
+let test_perturbed_rules_differ_in_head_only () =
+  let g = RS.generate small_config in
+  let clean = Gamma.rules (RS.kb g) in
+  let rng = Workload.Rng.create 8 in
+  let wrong = RS.perturbed_rules g rng clean 20 in
+  check_int "produced" 20 (List.length wrong);
+  List.iter
+    (fun (w : Mln.Clause.t) ->
+      let same_body (c : Mln.Clause.t) =
+        c.Mln.Clause.body = w.Mln.Clause.body
+        && c.Mln.Clause.c1 = w.Mln.Clause.c1
+        && c.Mln.Clause.c2 = w.Mln.Clause.c2
+        && c.Mln.Clause.head_rel <> w.Mln.Clause.head_rel
+      in
+      if not (List.exists same_body clean) then
+        Alcotest.fail "perturbed rule does not match any seed body")
+    wrong
+
+(* --- noise --- *)
+
+let noise_fixture =
+  lazy
+    (let base = RS.generate { RS.default_config with scale = 0.01 } in
+     Workload.Noise.make base Workload.Noise.default_config)
+
+let test_noise_truth_contains_base_facts () =
+  let n = Lazy.force noise_fixture in
+  Alcotest.(check bool) "truth at least as large as clean base" true
+    (Workload.Noise.truth_size n > 0)
+
+let test_noise_clean_facts_are_correct () =
+  let n = Lazy.force noise_fixture in
+  (* Every *base* fact of the noisy KB that is not an injected error
+     expands to something in the truth. *)
+  let wrong_base = ref 0 and total = ref 0 in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      if not (Relational.Table.is_null_weight w) then begin
+        incr total;
+        if not (Workload.Noise.is_correct n ~r ~x ~c1 ~y ~c2) then
+          incr wrong_base
+      end)
+    (Kb.Gamma.pi (Workload.Noise.noisy n));
+  (* Only the injected extraction errors may be wrong. *)
+  let cfg = Workload.Noise.default_config in
+  let expected_errors =
+    int_of_float (cfg.Workload.Noise.extraction_error_rate *. float_of_int !total)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "wrong base facts (%d) ~ injected errors (~%d)" !wrong_base
+       expected_errors)
+    true
+    (!wrong_base <= expected_errors + 5)
+
+let test_noise_scored_rules_cover_all () =
+  let n = Lazy.force noise_fixture in
+  let scored = Workload.Noise.scored_rules n in
+  check_int "scored = all rules"
+    (List.length (Gamma.rules (Workload.Noise.noisy n)))
+    (List.length scored);
+  Alcotest.(check bool) "scores in (0,1)" true
+    (List.for_all
+       (fun s -> s.Quality.Rule_cleaning.score > 0. && s.Quality.Rule_cleaning.score < 1.)
+       scored)
+
+let test_noise_wrong_rules_flagged () =
+  let n = Lazy.force noise_fixture in
+  let all = Gamma.rules (Workload.Noise.noisy n) in
+  let wrong = List.filter (Workload.Noise.is_wrong_rule n) all in
+  let clean = Workload.Noise.clean_rules n in
+  check_int "wrong + clean = all" (List.length all)
+    (List.length wrong + List.length clean);
+  Alcotest.(check bool) "clean rules are not flagged" true
+    (not (List.exists (Workload.Noise.is_wrong_rule n) clean))
+
+let test_oracle_sanity () =
+  let n = Lazy.force noise_fixture in
+  let noisy = Workload.Noise.noisy n in
+  (* A fabricated key over fresh entities can never be in the truth. *)
+  let fresh_x = Kb.Gamma.entity noisy "definitely_not_an_entity_x" in
+  let fresh_y = Kb.Gamma.entity noisy "definitely_not_an_entity_y" in
+  Alcotest.(check bool) "fabricated fact is incorrect" false
+    (Workload.Noise.is_correct n ~r:0 ~x:fresh_x ~c1:0 ~y:fresh_y ~c2:0)
+
+let test_noise_ambiguous_entities_exist () =
+  let n = Lazy.force noise_fixture in
+  Alcotest.(check bool) "some merges" true (Workload.Noise.n_ambiguous n > 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          test_zipf_probs_sum_to_one;
+          Alcotest.test_case "bad args" `Quick test_zipf_rejects_bad_args;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+          test_sample_without_replacement;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "sizes" `Quick test_generator_sizes;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "rules valid" `Quick test_generator_rules_are_valid;
+          Alcotest.test_case "facts respect functionality" `Quick
+            test_generator_facts_respect_functionality;
+          Alcotest.test_case "random_fact universe" `Quick
+            test_random_fact_in_universe;
+          Alcotest.test_case "S1/S2 axis independence" `Quick
+            test_s1_s2_keep_other_axis_fixed;
+          Alcotest.test_case "perturbed rules" `Quick
+            test_perturbed_rules_differ_in_head_only;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "truth nonempty" `Quick
+            test_noise_truth_contains_base_facts;
+          Alcotest.test_case "clean base correct" `Quick
+            test_noise_clean_facts_are_correct;
+          Alcotest.test_case "scored rules" `Quick test_noise_scored_rules_cover_all;
+          Alcotest.test_case "wrong rules flagged" `Quick
+            test_noise_wrong_rules_flagged;
+          Alcotest.test_case "ambiguity injected" `Quick
+            test_noise_ambiguous_entities_exist;
+          Alcotest.test_case "oracle sanity" `Quick test_oracle_sanity;
+        ] );
+    ]

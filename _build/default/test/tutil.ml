@@ -1,0 +1,62 @@
+(* Shared helpers for the test suites. *)
+
+module Table = Relational.Table
+
+(* The worked example of the paper: Table 1 / Figures 2-3
+   (Ruth Gruber, New York City, Brooklyn). *)
+let ruth_gruber_kb () =
+  let kb = Kb.Gamma.create () in
+  let rules =
+    [
+      "1.40 live_in(x:W, y:P) :- born_in(x, y)";
+      "1.53 live_in(x:W, y:C) :- born_in(x, y)";
+      "2.68 grow_up_in(x:W, y:P) :- born_in(x, y)";
+      "0.74 grow_up_in(x:W, y:C) :- born_in(x, y)";
+      "0.32 located_in(x:P, y:C) :- live_in(z:W, x), live_in(z, y)";
+      "0.52 located_in(x:P, y:C) :- born_in(z:W, x), born_in(z, y)";
+    ]
+  in
+  ignore (Kb.Loader.load_rules kb rules);
+  let f1 =
+    Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Ruth Gruber" ~c1:"W"
+      ~y:"New York City" ~c2:"C" ~w:0.96
+  in
+  let f2 =
+    Kb.Gamma.add_fact_by_name kb ~r:"born_in" ~x:"Ruth Gruber" ~c1:"W"
+      ~y:"Brooklyn" ~c2:"P" ~w:0.93
+  in
+  (kb, f1, f2)
+
+let fact_strings kb =
+  let acc = ref [] in
+  Kb.Storage.iter
+    (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w:_ ->
+      acc := Fmt.str "%a" (Kb.Gamma.pp_fact kb) id :: !acc)
+    (Kb.Gamma.pi kb);
+  List.sort compare !acc
+
+(* Multiset comparison of two tables' rows (ignoring order and weights). *)
+let rows_as_sorted_lists t =
+  let rows = ref [] in
+  Table.iter (fun r -> rows := Array.to_list (Table.row t r) :: !rows) t;
+  List.sort compare !rows
+
+let table_rows_equal a b = rows_as_sorted_lists a = rows_as_sorted_lists b
+
+(* A deterministic RNG for tests. *)
+let rng seed = Random.State.make [| seed |]
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* Deep copy of a knowledge base (shared dictionaries). *)
+let copy_gamma kb =
+  let kb2 = Kb.Gamma.create_like kb in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      ignore (Kb.Gamma.add_fact kb2 ~r ~x ~c1 ~y ~c2 ~w))
+    (Kb.Gamma.pi kb);
+  List.iter (Kb.Gamma.add_rule kb2) (Kb.Gamma.rules kb);
+  List.iter (Kb.Gamma.add_funcon kb2) (Kb.Gamma.omega kb);
+  kb2
