@@ -1,0 +1,20 @@
+.PHONY: build test check bench clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The determinism gate: the whole suite must pass both with the pool
+# disabled (PROBKB_DOMAINS=1, no domains spawned) and with a 4-domain
+# pool, with the debug assertions (e.g. colouring verification) on.
+check: build
+	PROBKB_DOMAINS=1 PROBKB_DEBUG=1 dune runtest --force
+	PROBKB_DOMAINS=4 PROBKB_DEBUG=1 dune runtest --force
+
+bench:
+	dune exec bench/main.exe -- --quick -e parallel
+
+clean:
+	dune clean

@@ -387,3 +387,120 @@ let fig6c () =
       pf "  %12d %12.2f %12.2f %12.2f %10.1f %10.1f@." n_facts s1 s2 s3
         (s1 /. s2) (s1 /. s3))
     points
+
+(* ------------------------------------------------------------------ *)
+(* Domain sweep: real multicore speedup on the pool                    *)
+(* ------------------------------------------------------------------ *)
+
+let stage_names = [ "ground"; "gibbs"; "mpp" ]
+
+let parallel () =
+  section "Domain sweep — pool speedup (grounding / chromatic Gibbs / MPP)";
+  let scale = scale_or 0.05 in
+  let domains = if options.quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  note "ReVerb-Sherlock at scale %.3f; pool sizes %s; wall-clock per stage"
+    scale
+    (String.concat ", " (List.map string_of_int domains));
+  note "results are checked bit-identical across pool sizes";
+  let host_cores = Domain.recommended_domain_count () in
+  note
+    "host has %d core(s) available — speedup above that many domains is \
+     scheduling overhead"
+    host_cores;
+  let g =
+    Workload.Reverb_sherlock.generate
+      { Workload.Reverb_sherlock.default_config with scale }
+  in
+  let kb0 = Workload.Reverb_sherlock.kb g in
+  let times = Hashtbl.create 16 in
+  let ref_facts = ref None in
+  let ref_marginals = ref None in
+  let identical = ref true in
+  List.iter
+    (fun d ->
+      Pool.set_default_size d;
+      (* Stage 1: single-node grounding (Algorithm 1, inter- and
+         intra-query parallelism). *)
+      let kb = copy_kb kb0 in
+      let r, ground_s =
+        time (fun () ->
+            Grounding.Ground.run
+              ~options:
+                { Grounding.Ground.default_options with max_iterations = 4 }
+              kb)
+      in
+      let facts = Kb.Storage.size (Kb.Gamma.pi kb) in
+      (match !ref_facts with
+      | None -> ref_facts := Some facts
+      | Some f -> if f <> facts then identical := false);
+      (* Stage 2: chromatic Gibbs on the ground graph. *)
+      let c = Factor_graph.Fgraph.compile r.Grounding.Ground.graph in
+      let gopts = { Inference.Gibbs.burn_in = 20; samples = 80; seed = 42 } in
+      let marg, gibbs_s =
+        time (fun () -> Inference.Chromatic.marginals ~options:gopts c)
+      in
+      (match !ref_marginals with
+      | None -> ref_marginals := Some marg
+      | Some m -> if m <> marg then identical := false);
+      (* Stage 3: the MPP driver (per-segment joins + view builds on the
+         pool). *)
+      let kbm = copy_kb kb0 in
+      let _rm, mpp_s =
+        time (fun () ->
+            Grounding.Ground_mpp.run
+              ~options:
+                {
+                  Grounding.Ground_mpp.default_options with max_iterations = 4;
+                }
+              Mpp.Cluster.default kbm)
+      in
+      List.iter2
+        (fun stage s -> Hashtbl.replace times (stage, d) s)
+        stage_names
+        [ ground_s; gibbs_s; mpp_s ];
+      measured "domains=%d  ground %6.2fs | gibbs %6.2fs | mpp %6.2fs" d
+        ground_s gibbs_s mpp_s)
+    domains;
+  Pool.set_default_size (Pool.env_domains ());
+  let t stage d = Hashtbl.find times (stage, d) in
+  pf "  %8s %s@." "stage"
+    (String.concat ""
+       (List.map (fun d -> Printf.sprintf "%8s" (Printf.sprintf "%dd" d)) domains)
+    ^ Printf.sprintf "%10s" "speedup");
+  List.iter
+    (fun stage ->
+      let base = t stage (List.hd domains) in
+      let last = t stage (List.nth domains (List.length domains - 1)) in
+      pf "  %8s %s%10.2f@." stage
+        (String.concat ""
+           (List.map (fun d -> Printf.sprintf "%8.2f" (t stage d)) domains))
+        (base /. Float.max 1e-9 last))
+    stage_names;
+  measured "identical results across pool sizes: %b" !identical;
+  (* Machine-readable record for CI / plotting. *)
+  let oc = open_out "BENCH_parallel.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"domains\": [%s],\n"
+    (String.concat ", " (List.map string_of_int domains));
+  out "  \"scale\": %g,\n" scale;
+  out "  \"host_cores\": %d,\n" host_cores;
+  out "  \"identical_results\": %b,\n" !identical;
+  out "  \"stages\": {\n";
+  List.iteri
+    (fun i stage ->
+      let base = t stage (List.hd domains) in
+      out "    %S: {\n      \"seconds\": {%s},\n" stage
+        (String.concat ", "
+           (List.map (fun d -> Printf.sprintf "\"%d\": %.6f" d (t stage d)) domains));
+      out "      \"speedup\": {%s}\n    }%s\n"
+        (String.concat ", "
+           (List.map
+              (fun d ->
+                Printf.sprintf "\"%d\": %.3f" d
+                  (base /. Float.max 1e-9 (t stage d)))
+              domains))
+        (if i = List.length stage_names - 1 then "" else ","))
+    stage_names;
+  out "  }\n}\n";
+  close_out oc;
+  note "wrote BENCH_parallel.json"

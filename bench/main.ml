@@ -19,6 +19,7 @@ let all_experiments =
     ("fig6a", Exp_perf.fig6a);
     ("fig6b", Exp_perf.fig6b);
     ("fig6c", Exp_perf.fig6c);
+    ("parallel", Exp_perf.parallel);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);

@@ -17,3 +17,5 @@ let default =
   }
 
 let no_inference c = { c with inference = None }
+
+let domains = Pool.env_domains

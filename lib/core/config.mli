@@ -26,3 +26,8 @@ val default : t
 
 (** [no_inference c] disables the marginal-inference stage. *)
 val no_inference : t -> t
+
+(** [domains ()] is the size of the shared-memory execution pool, read
+    from the [PROBKB_DOMAINS] environment variable (default 1 — fully
+    sequential, no domains spawned).  See {!Pool}. *)
+val domains : unit -> int

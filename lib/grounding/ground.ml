@@ -81,20 +81,34 @@ let run ?(options = default_options) kb =
     let iteration = !iterations in
     let new_facts = ref 0 in
     (* Algorithm 1, lines 3-5: every Ti is computed against the same TΠ
-       snapshot; the results are merged only after all partitions ran. *)
+       snapshot; the results are merged only after all partitions ran.
+       The snapshot isolation is what makes the per-partition queries
+       (M1..M6) embarrassingly parallel — they only read TΠ and their own
+       rule partition — so they run concurrently on the domain pool, and
+       the merge below happens sequentially in pattern order. *)
+    let pats = Array.of_list patterns in
     let results =
-      List.map
-        (fun pat ->
-          let label = Printf.sprintf "Query 1-%d" (Pattern.index pat + 1) in
-          Stats.time stats ~label ~rows:Table.nrows (fun () ->
-              let t =
-                match (semi_naive, !delta) with
-                | true, Some d -> Queries.ground_atoms_delta prepared pat pi ~delta:d
-                | _ -> Queries.ground_atoms prepared pat pi
-              in
-              if options.distinct_before_merge then Ops.distinct t all_atom_cols
-              else t))
-        patterns
+      Pool.map_reduce (Pool.get_default ()) ~n:(Array.length pats)
+        ~map:(fun i ->
+          let pat = pats.(i) in
+          let t0 = Stats.now () in
+          let t =
+            match (semi_naive, !delta) with
+            | true, Some d -> Queries.ground_atoms_delta prepared pat pi ~delta:d
+            | _ -> Queries.ground_atoms prepared pat pi
+          in
+          let t =
+            if options.distinct_before_merge then Ops.distinct t all_atom_cols
+            else t
+          in
+          (pat, t, Stats.now () -. t0))
+        ~fold:(fun acc r -> r :: acc)
+        ~init:[]
+      |> List.rev
+      |> List.map (fun (pat, t, seconds) ->
+             let label = Printf.sprintf "Query 1-%d" (Pattern.index pat + 1) in
+             Stats.record stats ~label ~seconds ~rows_out:(Table.nrows t);
+             t)
     in
     let before_merge = Table.nrows (Storage.table pi) in
     List.iter

@@ -36,6 +36,7 @@ type result = {
   n_singleton_factors : int;
   n_clause_factors : int;
   sim_seconds : float;
+  measured_seconds : float;
   load_sim_seconds : float;
   motion_bytes : int;
   cost : Mpp.Cost.t;
@@ -225,6 +226,7 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
     n_singleton_factors = !n_singleton_factors;
     n_clause_factors = !n_clause_factors;
     sim_seconds = Mpp.Cost.elapsed cost;
+    measured_seconds = Mpp.Cost.measured_seconds cost;
     load_sim_seconds = !load_sim;
     motion_bytes = Mpp.Cost.motion_bytes cost;
     cost;

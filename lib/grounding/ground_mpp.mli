@@ -34,6 +34,9 @@ type result = {
   n_singleton_factors : int;
   n_clause_factors : int;
   sim_seconds : float;  (** simulated cluster time, including load *)
+  measured_seconds : float;
+      (** real wall-clock spent in the materially-executed operators
+          (per-segment joins, view builds) on the domain pool *)
   load_sim_seconds : float;
       (** one-time distribution work (view creation, MLN replication) —
           the paper's Table 3 Load column; subtract from [sim_seconds]

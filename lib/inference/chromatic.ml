@@ -31,24 +31,82 @@ let classes colors =
   Array.iteri (fun v k -> by_color.(k) <- v :: by_color.(k)) colors;
   Array.map (fun l -> Array.of_list (List.rev l)) by_color
 
-let marginals ?(options = Gibbs.default_options) c =
+let verify_coloring c colors =
+  let ok = ref true in
+  let check u v = if u >= 0 && v >= 0 && u <> v && colors.(u) = colors.(v) then ok := false in
+  Array.iteri
+    (fun f _ ->
+      let h = c.Fgraph.head.(f)
+      and b1 = c.Fgraph.body1.(f)
+      and b2 = c.Fgraph.body2.(f) in
+      check h b1;
+      check h b2;
+      check b1 b2)
+    c.Fgraph.fweight;
+  !ok
+
+let debug_checks =
+  lazy
+    (match Sys.getenv_opt "PROBKB_DEBUG" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+(* Fixed chunking of a colour class, independent of the pool size: the RNG
+   stream of a chunk is derived from (seed, sweep, global chunk id), so the
+   Markov chain — and hence the marginals — is bit-identical for any
+   PROBKB_DOMAINS. *)
+let chunk_size = 256
+
+let marginals ?(options = Gibbs.default_options) ?pool c =
   let n = Fgraph.nvars c in
-  let by_color = classes (color c) in
-  let rng = Random.State.make [| options.seed |] in
-  let assignment = Array.init n (fun _ -> Random.State.bool rng) in
-  let acc = Array.make n 0. in
-  let probs = Array.make n 0. in
-  let sweep estimate =
-    Array.iter
+  let colors = color c in
+  if Lazy.force debug_checks && not (verify_coloring c colors) then
+    invalid_arg "Chromatic.marginals: improper coloring";
+  let by_color = classes colors in
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  (* Chunks of each class, with schedule-order global ids. *)
+  let class_chunks =
+    Array.map
       (fun cls ->
-        (* One parallel step: conditionals of a colour class are mutually
-           independent, so compute them all before flipping any. *)
-        Array.iter (fun v -> probs.(v) <- Gibbs.conditional c assignment v) cls;
-        Array.iter
-          (fun v ->
-            assignment.(v) <- Random.State.float rng 1. < probs.(v);
-            if estimate then acc.(v) <- acc.(v) +. probs.(v))
-          cls)
+        let len = Array.length cls in
+        let nc = (len + chunk_size - 1) / chunk_size in
+        Array.init nc (fun j ->
+            (j * chunk_size, min len ((j + 1) * chunk_size))))
+      by_color
+  in
+  let chunk_id0 = Array.make (Array.length by_color) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun k chs ->
+      chunk_id0.(k) <- !total;
+      total := !total + Array.length chs)
+    class_chunks;
+  let init_rng = Random.State.make [| options.seed |] in
+  let assignment = Array.init n (fun _ -> Random.State.bool init_rng) in
+  let acc = Array.make n 0. in
+  let sweep_no = ref 0 in
+  let sweep estimate =
+    incr sweep_no;
+    let s = !sweep_no in
+    Array.iteri
+      (fun k cls ->
+        (* One parallel step: variables of a colour class share no factor,
+           so their conditionals are mutually independent — neither the
+           conditional of [v] nor its flip touches any state another chunk
+           of the same class reads.  Classes are separated by the
+           pool barrier. *)
+        let chs = class_chunks.(k) in
+        Pool.parallel_for pool ~n:(Array.length chs) (fun j ->
+            let lo, hi = chs.(j) in
+            let rng =
+              Random.State.make [| options.seed; s; chunk_id0.(k) + j |]
+            in
+            for i = lo to hi - 1 do
+              let v = cls.(i) in
+              let p = Gibbs.conditional c assignment v in
+              assignment.(v) <- Random.State.float rng 1. < p;
+              if estimate then acc.(v) <- acc.(v) +. p
+            done))
       by_color
   in
   for _ = 1 to options.burn_in do

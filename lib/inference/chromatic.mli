@@ -4,10 +4,14 @@
     algorithm behind the GraphLab engine the paper hands its factor graphs
     to — colours the Markov blanket graph and updates each colour class
     jointly: variables of one colour share no factor, so their conditionals
-    are mutually independent and may be sampled "in parallel".  On this
-    single-core reproduction the colour classes are swept sequentially, but
-    the schedule (and hence the Markov chain) is exactly the parallel one,
-    and {!stats} reports the idealized parallel span. *)
+    are mutually independent and are sampled in parallel — each colour
+    class is split into fixed-size chunks that the domain pool sweeps
+    concurrently, with a barrier between classes.  Every chunk draws from
+    its own RNG stream derived from [(seed, sweep, chunk id)] with a
+    chunking function that depends only on the class sizes, so the Markov
+    chain — and hence the marginals — is bit-identical for every
+    [PROBKB_DOMAINS] value.  {!stats} reports the idealized parallel
+    span. *)
 
 type stats = {
   n_colors : int;
@@ -23,10 +27,21 @@ type stats = {
     colour per dense variable. *)
 val color : Factor_graph.Fgraph.compiled -> int array
 
-(** [marginals ?options c] estimates marginals with the chromatic
-    schedule.  Options are shared with {!Gibbs.options}. *)
+(** [verify_coloring c colors] is [true] iff no factor of [c] mentions two
+    distinct variables of the same colour — i.e. the parallel schedule is
+    race-free.  {!marginals} asserts this when [PROBKB_DEBUG] is set; the
+    test suite calls it directly. *)
+val verify_coloring : Factor_graph.Fgraph.compiled -> int array -> bool
+
+(** [marginals ?options ?pool c] estimates marginals with the chromatic
+    schedule, sweeping each colour class across [pool] (default
+    {!Pool.get_default}).  Options are shared with {!Gibbs.options};
+    results do not depend on the pool size. *)
 val marginals :
-  ?options:Gibbs.options -> Factor_graph.Fgraph.compiled -> float array
+  ?options:Gibbs.options ->
+  ?pool:Pool.t ->
+  Factor_graph.Fgraph.compiled ->
+  float array
 
 (** [schedule_stats c] is the colouring statistics for reporting. *)
 val schedule_stats : Factor_graph.Fgraph.compiled -> stats

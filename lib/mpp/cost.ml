@@ -6,21 +6,29 @@ type op =
   | Gather of { table : string; rows : int; bytes : int }
   | Coordinator of { label : string; rows : int }
 
-type entry = { op : op; sim_seconds : float }
-type t = { mutable entries : entry list; mutable elapsed : float }
+type entry = { op : op; sim_seconds : float; measured_seconds : float }
 
-let create () = { entries = []; elapsed = 0. }
+type t = {
+  mutable entries : entry list;
+  mutable elapsed : float;
+  mutable measured : float;
+}
 
-let charge t op sim_seconds =
-  t.entries <- { op; sim_seconds } :: t.entries;
-  t.elapsed <- t.elapsed +. sim_seconds
+let create () = { entries = []; elapsed = 0.; measured = 0. }
+
+let charge ?(measured_seconds = 0.) t op sim_seconds =
+  t.entries <- { op; sim_seconds; measured_seconds } :: t.entries;
+  t.elapsed <- t.elapsed +. sim_seconds;
+  t.measured <- t.measured +. measured_seconds
 
 let elapsed t = t.elapsed
+let measured_seconds t = t.measured
 let entries t = List.rev t.entries
 
 let reset t =
   t.entries <- [];
-  t.elapsed <- 0.
+  t.elapsed <- 0.;
+  t.measured <- 0.
 
 let motion_bytes t =
   List.fold_left
@@ -55,5 +63,6 @@ let pp_plan ppf t =
     (fun e ->
       Format.fprintf ppf "%7.3fs  %a@," e.sim_seconds pp_op e.op)
     (entries t);
-  Format.fprintf ppf "total %7.3fs, %.1f MB shipped@]" t.elapsed
+  Format.fprintf ppf "total %7.3fs simulated (%.3fs measured), %.1f MB shipped@]"
+    t.elapsed t.measured
     (float_of_int (motion_bytes t) /. 1048576.)

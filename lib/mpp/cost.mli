@@ -12,16 +12,23 @@ type op =
   | Gather of { table : string; rows : int; bytes : int }
   | Coordinator of { label : string; rows : int }
 
-type entry = { op : op; sim_seconds : float }
+type entry = { op : op; sim_seconds : float; measured_seconds : float }
 type t
 
 val create : unit -> t
 
-(** [charge t op seconds] records an operation. *)
-val charge : t -> op -> float -> unit
+(** [charge ?measured_seconds t op seconds] records an operation: its
+    simulated cluster duration and, optionally, the wall-clock time the
+    operator actually took on the domain pool (default 0). *)
+val charge : ?measured_seconds:float -> t -> op -> float -> unit
 
 (** [elapsed t] is the total simulated time so far. *)
 val elapsed : t -> float
+
+(** [measured_seconds t] is the total measured wall-clock time recorded so
+    far — the real (pool-parallel) execution time, as opposed to the
+    simulated cluster clock of {!elapsed}. *)
+val measured_seconds : t -> float
 
 (** [entries t] is the trace, oldest first. *)
 val entries : t -> entry list

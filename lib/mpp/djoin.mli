@@ -11,7 +11,10 @@
       the full join key, or broadcasting the smaller input.
 
     All data movement is real; the simulated clock charges max-per-segment
-    CPU plus motion network time. *)
+    CPU plus motion network time.  The per-segment local joins execute
+    concurrently on the domain pool ([pool], default
+    {!Pool.get_default}); their measured wall-clock time is recorded on
+    the cost trace next to the simulated charge. *)
 
 (** [hash_join cluster cost ~name ~cols ~out ~oweight ?residual (b, bkey)
     (p, pkey)] is the distributed analogue of
@@ -19,6 +22,7 @@
     the executed plan when the distribution columns survive projection,
     [Unknown] otherwise. *)
 val hash_join :
+  ?pool:Pool.t ->
   Cluster.t ->
   Cost.t ->
   name:string ->

@@ -4,13 +4,12 @@ let distribution_keys =
 
 type t = { views : (int array * Dtable.t) list }
 
-let materialize cluster cost facts key =
-  let dt = Dtable.partition cluster facts (Dtable.Hash key) in
+let charge_view cluster cost facts ~measured_seconds dt =
   (* Building a view ships (nseg-1)/nseg of the table across the wire. *)
   let bytes =
     Dtable.byte_size dt * (cluster.Cluster.nseg - 1) / max 1 cluster.Cluster.nseg
   in
-  Cost.charge cost
+  Cost.charge ~measured_seconds cost
     (Cost.Redistribute
        {
          table = Relational.Table.name facts;
@@ -18,13 +17,30 @@ let materialize cluster cost facts key =
          bytes;
        })
     (cluster.Cluster.motion_latency_s
-    +. (float_of_int bytes /. cluster.Cluster.bandwidth_bytes_per_s));
-  (key, dt)
+    +. (float_of_int bytes /. cluster.Cluster.bandwidth_bytes_per_s))
 
-let create cluster cost facts =
-  { views = List.map (materialize cluster cost facts) distribution_keys }
+let create ?pool cluster cost facts =
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let keys = Array.of_list distribution_keys in
+  let t0 = Unix.gettimeofday () in
+  (* The four re-partitions only read [facts]; build them concurrently and
+     charge their (sequentially folded) motions afterwards. *)
+  let views =
+    Pool.map_reduce pool ~n:(Array.length keys)
+      ~map:(fun i ->
+        let key = keys.(i) in
+        (key, Dtable.partition cluster facts (Dtable.Hash key)))
+      ~fold:(fun acc v -> v :: acc)
+      ~init:[]
+    |> List.rev
+  in
+  let measured_seconds =
+    (Unix.gettimeofday () -. t0) /. float_of_int (max 1 (Array.length keys))
+  in
+  List.iter (fun (_, dt) -> charge_view cluster cost facts ~measured_seconds dt) views;
+  { views }
 
-let refresh _old cluster cost facts = create cluster cost facts
+let refresh ?pool _old cluster cost facts = create ?pool cluster cost facts
 
 let subset d key = Array.for_all (fun c -> Array.exists (( = ) c) key) d
 

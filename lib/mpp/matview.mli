@@ -16,13 +16,16 @@ type t
     ([I=0, R=1, x=2, C1=3, y=4, C2=5]). *)
 val distribution_keys : int array list
 
-(** [create cluster cost facts] materializes the four views, charging the
-    initial redistribution. *)
-val create : Cluster.t -> Cost.t -> Relational.Table.t -> t
+(** [create cluster cost facts] materializes the four views — concurrently
+    on [pool] (default {!Pool.get_default}) — charging the initial
+    redistribution (with the measured build time split evenly across the
+    four view charges). *)
+val create : ?pool:Pool.t -> Cluster.t -> Cost.t -> Relational.Table.t -> t
 
 (** [refresh v cluster cost facts] rebuilds the views after [TΠ] changed —
     the [redistribute(TΠ)] step of Algorithm 1, line 7. *)
-val refresh : t -> Cluster.t -> Cost.t -> Relational.Table.t -> t
+val refresh :
+  ?pool:Pool.t -> t -> Cluster.t -> Cost.t -> Relational.Table.t -> t
 
 (** [pick v key] is the best-aligned view for a join on [key] columns of
     [TΠ]: the view with the largest distribution key contained in [key].

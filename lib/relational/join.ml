@@ -25,27 +25,18 @@ let emit out oweight btbl ptbl result dedup_idx buf br pr =
     | None -> ()
   end
 
-let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual bidx
-    (ptbl, pkey) =
+(* Probe rows [lo, hi) of [ptbl] against the shared build index, emitting
+   into [result].  Each caller passes private [result]/[dedup_idx]; the
+   index and both input tables are only read, so concurrent probes over
+   disjoint ranges are race-free. *)
+let probe_range ~out ~oweight ~residual bidx (ptbl, pkey) result dedup_idx lo
+    hi =
   let btbl = Index.table bidx in
-  if Array.length (Index.key bidx) <> Array.length pkey then
-    invalid_arg "Join.hash_join: key arity mismatch";
-  let weighted = oweight <> No_weight in
-  let result = Table.create ~weighted ~name cols in
-  (* Inline DISTINCT: dedup on all integer output columns as rows are
-     emitted, so duplicate-heavy queries never materialize their raw
-     output. *)
-  let dedup_idx =
-    if dedup then
-      Some (Index.build result (Array.init (Array.length out) Fun.id))
-    else None
-  in
   let buf = Array.make (Array.length out) 0 in
   let kv = Array.make (Array.length pkey) 0 in
-  let nprobe = Table.nrows ptbl in
-  (match residual with
+  match residual with
   | None ->
-    for pr = 0 to nprobe - 1 do
+    for pr = lo to hi - 1 do
       for i = 0 to Array.length pkey - 1 do
         kv.(i) <- Table.get ptbl pr pkey.(i)
       done;
@@ -53,25 +44,107 @@ let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual bidx
           emit out oweight btbl ptbl result dedup_idx buf br pr)
     done
   | Some keep ->
-    for pr = 0 to nprobe - 1 do
+    for pr = lo to hi - 1 do
       for i = 0 to Array.length pkey - 1 do
         kv.(i) <- Table.get ptbl pr pkey.(i)
       done;
       Index.iter_matches bidx kv (fun br ->
           if keep br pr then emit out oweight btbl ptbl result dedup_idx buf br pr)
-    done);
-  result
+    done
 
-let hash_join ~name ~cols ~out ~oweight ?dedup ?residual (btbl, bkey)
+(* Below this many probe rows the per-chunk tables and the merge pass cost
+   more than they save. *)
+let parallel_probe_threshold = 2048
+
+let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual ?pool
+    bidx (ptbl, pkey) =
+  if Array.length (Index.key bidx) <> Array.length pkey then
+    invalid_arg "Join.hash_join: key arity mismatch";
+  let weighted = oweight <> No_weight in
+  (* Inline DISTINCT: dedup on all integer output columns as rows are
+     emitted, so duplicate-heavy queries never materialize their raw
+     output. *)
+  let fresh_result () =
+    let result = Table.create ~weighted ~name cols in
+    let dedup_idx =
+      if dedup then
+        Some (Index.build result (Array.init (Array.length out) Fun.id))
+      else None
+    in
+    (result, dedup_idx)
+  in
+  let nprobe = Table.nrows ptbl in
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let nworkers = Pool.size pool in
+  if nworkers <= 1 || nprobe < parallel_probe_threshold then begin
+    let result, dedup_idx = fresh_result () in
+    probe_range ~out ~oweight ~residual bidx (ptbl, pkey) result dedup_idx 0
+      nprobe;
+    result
+  end
+  else begin
+    (* Partition the probe side into one contiguous chunk per worker.
+       Concatenating the private chunk outputs in chunk order reproduces
+       the sequential probe order exactly, so the parallel join (including
+       its first-occurrence dedup) is bit-identical to the sequential
+       one. *)
+    let chunk = (nprobe + nworkers - 1) / nworkers in
+    let parts =
+      Pool.map_reduce pool ~n:nworkers
+        ~map:(fun i ->
+          let lo = i * chunk and hi = min nprobe ((i + 1) * chunk) in
+          let part, part_idx = fresh_result () in
+          if lo < hi then
+            probe_range ~out ~oweight ~residual bidx (ptbl, pkey) part
+              part_idx lo hi;
+          part)
+        ~fold:(fun acc part -> part :: acc)
+        ~init:[]
+      |> List.rev
+    in
+    if not dedup then begin
+      match parts with
+      | [] -> fst (fresh_result ())
+      | first :: rest ->
+        List.iter (fun part -> Table.append_all first part) rest;
+        first
+    end
+    else begin
+      (* Per-chunk dedup is only local; re-dedup while concatenating so
+         the global first occurrence (in sequential probe order) wins. *)
+      let result, dedup_idx = fresh_result () in
+      let idx = Option.get dedup_idx in
+      let all = Array.init (Array.length out) Fun.id in
+      List.iter
+        (fun part ->
+          for r = 0 to Table.nrows part - 1 do
+            if not (Index.mem_row idx part all r) then begin
+              Table.append_from result part r;
+              Index.add idx (Table.nrows result - 1)
+            end
+          done)
+        parts;
+      result
+    end
+  end
+
+let hash_join ~name ~cols ~out ~oweight ?dedup ?residual ?pool (btbl, bkey)
     (ptbl, pkey) =
   let bidx = Index.build btbl bkey in
-  hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual bidx (ptbl, pkey)
+  hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
+    (ptbl, pkey)
 
-let nested_loop ~name ~cols ~out ~oweight ?residual (btbl, bkey) (ptbl, pkey) =
+let nested_loop ~name ~cols ~out ~oweight ?(dedup = false) ?residual
+    (btbl, bkey) (ptbl, pkey) =
   if Array.length bkey <> Array.length pkey then
     invalid_arg "Join.nested_loop: key arity mismatch";
   let weighted = oweight <> No_weight in
   let result = Table.create ~weighted ~name cols in
+  let dedup_idx =
+    if dedup then
+      Some (Index.build result (Array.init (Array.length out) Fun.id))
+    else None
+  in
   let buf = Array.make (Array.length out) 0 in
   let keys_equal br pr =
     let rec eq i =
@@ -84,7 +157,7 @@ let nested_loop ~name ~cols ~out ~oweight ?residual (btbl, bkey) (ptbl, pkey) =
   for pr = 0 to Table.nrows ptbl - 1 do
     for br = 0 to Table.nrows btbl - 1 do
       if keys_equal br pr && keep br pr then
-        emit out oweight btbl ptbl result None buf br pr
+        emit out oweight btbl ptbl result dedup_idx buf br pr
     done
   done;
   result

@@ -35,6 +35,14 @@ type out_weight =
     first matching row wins — so duplicate-heavy queries never
     materialize their raw output.
 
+    When [pool] (default {!Pool.get_default}) has more than one domain and
+    the probe side is large enough, the probe rows are partitioned into
+    one contiguous chunk per worker; each worker probes the shared
+    read-only build index into a private table and the chunks are
+    concatenated (re-deduplicating when [dedup] is set) in worker order.
+    The output — row order, weights, dedup winners — is bit-identical to
+    the sequential join for every pool size.
+
     @raise Invalid_argument if the key arities differ. *)
 val hash_join :
   name:string ->
@@ -43,6 +51,7 @@ val hash_join :
   oweight:out_weight ->
   ?dedup:bool ->
   ?residual:(int -> int -> bool) ->
+  ?pool:Pool.t ->
   Table.t * int array ->
   Table.t * int array ->
   Table.t
@@ -58,17 +67,21 @@ val hash_join_pre :
   oweight:out_weight ->
   ?dedup:bool ->
   ?residual:(int -> int -> bool) ->
+  ?pool:Pool.t ->
   Index.t ->
   Table.t * int array ->
   Table.t
 
 (** [nested_loop ...] is a reference implementation of the same operator
-    with O(n·m) complexity.  It exists for differential testing only. *)
+    with O(n·m) complexity.  It exists for differential testing only; it
+    honours the same [dedup] inline-DISTINCT flag as {!hash_join} so plan
+    fallbacks cannot silently produce duplicate rows. *)
 val nested_loop :
   name:string ->
   cols:string array ->
   out:out_col array ->
   oweight:out_weight ->
+  ?dedup:bool ->
   ?residual:(int -> int -> bool) ->
   Table.t * int array ->
   Table.t * int array ->

@@ -1,13 +1,50 @@
-let distinct t key =
-  let out = Table.create ~weighted:(Table.weighted t) ~name:(Table.name t) (Table.cols t) in
-  let idx = Index.build out key in
-  for r = 0 to Table.nrows t - 1 do
+let distinct_range t key out idx lo hi =
+  for r = lo to hi - 1 do
     if not (Index.mem_row idx t key r) then begin
       Table.append_from out t r;
       Index.add idx (Table.nrows out - 1)
     end
-  done;
-  out
+  done
+
+let parallel_distinct_threshold = 4096
+
+let distinct ?pool t key =
+  let fresh () =
+    let out =
+      Table.create ~weighted:(Table.weighted t) ~name:(Table.name t)
+        (Table.cols t)
+    in
+    (out, Index.build out key)
+  in
+  let n = Table.nrows t in
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let nworkers = Pool.size pool in
+  if nworkers <= 1 || n < parallel_distinct_threshold then begin
+    let out, idx = fresh () in
+    distinct_range t key out idx 0 n;
+    out
+  end
+  else begin
+    (* Per-worker local dedup over contiguous row chunks, then a global
+       re-dedup while concatenating in chunk order: the first occurrence
+       in row order wins, exactly as in the sequential pass. *)
+    let chunk = (n + nworkers - 1) / nworkers in
+    let parts =
+      Pool.map_reduce pool ~n:nworkers
+        ~map:(fun i ->
+          let lo = i * chunk and hi = min n ((i + 1) * chunk) in
+          let part, pidx = fresh () in
+          if lo < hi then distinct_range t key part pidx lo hi;
+          part)
+        ~fold:(fun acc p -> p :: acc)
+        ~init:[]
+      |> List.rev
+    in
+    let out, idx = fresh () in
+    List.iter (fun part -> distinct_range part key out idx 0 (Table.nrows part))
+      parts;
+    out
+  end
 
 let group_count t key =
   let kcols = Array.map (fun c -> (Table.cols t).(c)) key in

@@ -108,7 +108,7 @@ let project_table tbl cols name =
     tbl;
   out
 
-let rec run ?stats p =
+let rec run ?stats ?pool p =
   (* Validate schemas eagerly so errors carry plan context. *)
   ignore (columns p);
   let timed label rows f =
@@ -119,14 +119,14 @@ let rec run ?stats p =
   match p with
   | Scan tbl -> tbl
   | Select (pred, child) ->
-    let input = run ?stats child in
+    let input = run ?stats ?pool child in
     timed "select" Table.nrows (fun () ->
         Table.filter input (compile_pred pred input))
   | Project (cols, child) ->
-    let input = run ?stats child in
+    let input = run ?stats ?pool child in
     timed "project" Table.nrows (fun () -> project_table input cols "project")
   | Equi_join { left; right; lkey; rkey } ->
-    let l = run ?stats left and r = run ?stats right in
+    let l = run ?stats ?pool left and r = run ?stats ?pool right in
     timed "hash_join" Table.nrows (fun () ->
         (* Build on the smaller materialized input. *)
         let build_left = Table.nrows l <= Table.nrows r in
@@ -144,13 +144,13 @@ let rec run ?stats p =
             (out_for r (if build_left then Join.Probe else Join.Build))
         in
         Join.hash_join ~name:"join" ~cols:(columns p) ~out
-          ~oweight:Join.No_weight (btbl, bkey) (ptbl, pkey))
+          ~oweight:Join.No_weight ?pool (btbl, bkey) (ptbl, pkey))
   | Distinct (key, child) ->
-    let input = run ?stats child in
+    let input = run ?stats ?pool child in
     let key = Option.value key ~default:(all_cols input) in
-    timed "distinct" Table.nrows (fun () -> Ops.distinct input key)
+    timed "distinct" Table.nrows (fun () -> Ops.distinct ?pool input key)
   | Order_by (key, child) ->
-    let input = run ?stats child in
+    let input = run ?stats ?pool child in
     timed "sort" Table.nrows (fun () -> Sort.sort input key)
 
 (* --- explain --- *)

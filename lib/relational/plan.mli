@@ -37,10 +37,12 @@ val columns : t -> string array
     caps at the input estimate. *)
 val estimate_rows : t -> int
 
-(** [run ?stats p] materializes the plan bottom-up.  Hash joins build on
-    the smaller (materialized) input; [Order_by] uses the sort operator;
-    when [stats] is given, each node's execution is recorded. *)
-val run : ?stats:Stats.t -> t -> Table.t
+(** [run ?stats ?pool p] materializes the plan bottom-up.  Hash joins
+    build on the smaller (materialized) input; [Order_by] uses the sort
+    operator; when [stats] is given, each node's execution is recorded.
+    Joins and distincts over large inputs execute on [pool] (default
+    {!Pool.get_default}) with sequential-identical output. *)
+val run : ?stats:Stats.t -> ?pool:Pool.t -> t -> Table.t
 
 (** [explain ppf p] prints the plan tree with schemas and row
     estimates. *)

@@ -146,6 +146,42 @@ let test_coloring_is_proper =
         c.Fgraph.fweight;
       !ok)
 
+let test_verify_coloring () =
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:1 ~w:0.5;
+        Fgraph.add_singleton g ~i:2 ~w:(-0.5);
+        Fgraph.add_clause g ~i1:2 ~i2:1 ~w:1.0 ())
+  in
+  let colors = Inference.Chromatic.color c in
+  Alcotest.(check bool) "greedy colouring verifies" true
+    (Inference.Chromatic.verify_coloring c colors);
+  Alcotest.(check bool) "all-zero colouring rejected" false
+    (Inference.Chromatic.verify_coloring c (Array.make (Fgraph.nvars c) 0))
+
+let test_chromatic_pool_deterministic () =
+  (* A colour class bigger than the 256-slot RNG chunk, so a pool of 4
+     really splits it — marginals must still be bit-identical to pool 1. *)
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 1999 do
+          Fgraph.add_singleton g ~i ~w:((float_of_int i /. 1000.) -. 1.)
+        done;
+        for i = 0 to 99 do
+          Fgraph.add_clause g ~i1:(2 * i) ~i2:((2 * i) + 1) ~w:0.8 ()
+        done)
+  in
+  let opts = { Inference.Gibbs.burn_in = 10; samples = 30; seed = 11 } in
+  let p1 = Pool.create 1 and p4 = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p1;
+      Pool.shutdown p4)
+    (fun () ->
+      let a = Inference.Chromatic.marginals ~options:opts ~pool:p1 c in
+      let b = Inference.Chromatic.marginals ~options:opts ~pool:p4 c in
+      Alcotest.(check bool) "marginals bit-identical across pools" true (a = b))
+
 let test_schedule_stats () =
   let c = random_graph 9 10 12 in
   let s = Inference.Chromatic.schedule_stats c in
@@ -311,6 +347,9 @@ let () =
       ( "chromatic",
         [
           test_coloring_is_proper;
+          Alcotest.test_case "verify coloring" `Quick test_verify_coloring;
+          Alcotest.test_case "pool deterministic" `Quick
+            test_chromatic_pool_deterministic;
           Alcotest.test_case "schedule stats" `Quick test_schedule_stats;
         ] );
       ( "bp",

@@ -1,0 +1,115 @@
+(* Unit tests for the domain pool (lib/core/pool.ml). *)
+
+let with_pool n f =
+  let p = Pool.create n in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_empty_range () =
+  with_pool 4 (fun p ->
+      let hits = Atomic.make 0 in
+      Pool.parallel_for p ~n:0 (fun _ -> Atomic.incr hits);
+      Alcotest.(check int) "no iterations for n=0" 0 (Atomic.get hits);
+      let r =
+        Pool.map_reduce p ~n:0
+          ~map:(fun _ -> failwith "must not run")
+          ~fold:(fun _ _ -> failwith "must not run")
+          ~init:"init"
+      in
+      Alcotest.(check string) "map_reduce n=0 is init" "init" r)
+
+let test_fewer_items_than_workers () =
+  (* n < nworkers: every index still runs exactly once. *)
+  with_pool 8 (fun p ->
+      let seen = Array.make 3 0 in
+      Pool.parallel_for p ~n:3 (fun i -> seen.(i) <- seen.(i) + 1);
+      Alcotest.(check (array int)) "each index once" [| 1; 1; 1 |] seen)
+
+let test_parallel_for_covers_range () =
+  with_pool 4 (fun p ->
+      let n = 10_000 in
+      let seen = Array.make n 0 in
+      (* Distinct slots: disjoint writes, no synchronization needed. *)
+      Pool.parallel_for p ~n (fun i -> seen.(i) <- seen.(i) + 1);
+      Alcotest.(check bool) "every index exactly once" true
+        (Array.for_all (( = ) 1) seen))
+
+let test_map_reduce_fold_order () =
+  (* The fold must consume chunk results in index order regardless of
+     completion order — that is what makes parallel results deterministic. *)
+  with_pool 4 (fun p ->
+      let r =
+        Pool.map_reduce p ~n:64
+          ~map:(fun i -> i)
+          ~fold:(fun acc i -> i :: acc)
+          ~init:[]
+      in
+      Alcotest.(check (list int)) "index order" (List.init 64 (fun i -> 63 - i)) r)
+
+exception Boom
+
+let test_exception_propagates () =
+  with_pool 4 (fun p ->
+      let raised =
+        try
+          Pool.map_reduce p ~n:100
+            ~map:(fun i -> if i = 57 then raise Boom else i)
+            ~fold:( + ) ~init:0
+          |> ignore;
+          false
+        with Boom -> true
+      in
+      Alcotest.(check bool) "worker exception reaches caller" true raised;
+      (* The pool must still be usable after an exception. *)
+      let s = Pool.map_reduce p ~n:10 ~map:Fun.id ~fold:( + ) ~init:0 in
+      Alcotest.(check int) "pool survives" 45 s)
+
+let test_size_one_runs_inline () =
+  with_pool 1 (fun p ->
+      let self = Domain.self () in
+      let others = ref 0 in
+      Pool.parallel_for p ~n:100 (fun _ ->
+          if Domain.self () <> self then incr others);
+      Alcotest.(check int) "size-1 pool spawns no domains" 0 !others;
+      let s = Pool.map_reduce p ~n:100 ~map:Fun.id ~fold:( + ) ~init:0 in
+      Alcotest.(check int) "sequential result" 4950 s)
+
+let test_nested_submission_no_deadlock () =
+  (* A task running on the pool may itself call into the pool (grounding
+     queries do: pattern-level map_reduce wrapping join-level
+     parallel_for).  The inner call must fall back to inline execution
+     instead of deadlocking. *)
+  with_pool 4 (fun p ->
+      let r =
+        Pool.map_reduce p ~n:8
+          ~map:(fun i ->
+            let acc = Atomic.make 0 in
+            Pool.parallel_for p ~n:10 (fun j -> ignore (Atomic.fetch_and_add acc j));
+            (i * 100) + Atomic.get acc)
+          ~fold:( + ) ~init:0
+      in
+      (* Σ_{i<8} (100 i + 45) = 100·28 + 8·45 *)
+      Alcotest.(check int) "nested pools complete" ((100 * 28) + (8 * 45)) r)
+
+let test_env_domains_default () =
+  (* The test harness runs with PROBKB_DOMAINS unset or a small integer;
+     either way env_domains is a sane pool size. *)
+  let d = Pool.env_domains () in
+  Alcotest.(check bool) "1 <= env_domains <= 1024" true (d >= 1 && d <= 1024)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty range" `Quick test_empty_range;
+          Alcotest.test_case "n < nworkers" `Quick test_fewer_items_than_workers;
+          Alcotest.test_case "covers range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "fold order" `Quick test_map_reduce_fold_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "size 1 inline" `Quick test_size_one_runs_inline;
+          Alcotest.test_case "nested submission" `Quick
+            test_nested_submission_no_deadlock;
+          Alcotest.test_case "env default" `Quick test_env_domains_default;
+        ] );
+    ]

@@ -454,6 +454,84 @@ let test_join_dedup_qcheck =
       Tutil.rows_as_sorted_lists ded
       = List.sort_uniq compare (Tutil.rows_as_sorted_lists raw))
 
+(* --- parallel partitioned probe --- *)
+
+(* Bit-exact comparison: same rows in the same order with the same
+   weights — stronger than [Tutil.table_rows_equal]. *)
+let tables_identical a b =
+  Table.nrows a = Table.nrows b
+  && Table.width a = Table.width b
+  && Table.weighted a = Table.weighted b
+  &&
+  let ok = ref true in
+  for r = 0 to Table.nrows a - 1 do
+    if not (Table.equal_rows a r b r) then ok := false;
+    if Table.weighted a && compare (Table.weight a r) (Table.weight b r) <> 0
+    then ok := false
+  done;
+  !ok
+
+let test_parallel_join_deterministic () =
+  (* Above the parallel threshold (2048 probe rows), a pool of 4 must
+     produce the byte-identical table a pool of 1 does — with and without
+     inline dedup, with and without weights. *)
+  let st = Tutil.rng 23 in
+  let a = random_table st "a" 500 40 in
+  let b = random_table st "b" 6000 40 in
+  let p1 = Pool.create 1 and p4 = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p1;
+      Pool.shutdown p4)
+    (fun () ->
+      List.iter
+        (fun dedup ->
+          List.iter
+            (fun oweight ->
+              let run pool =
+                Join.hash_join ~name:"j" ~cols:[| "k"; "va"; "vb" |]
+                  ~out:join_out ~oweight ~dedup ~pool (a, [| 0 |]) (b, [| 0 |])
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "dedup=%b identical" dedup)
+                true
+                (tables_identical (run p1) (run p4)))
+            [ Join.No_weight; Join.Weight_of Join.Build ])
+        [ false; true ])
+
+let test_parallel_distinct_deterministic () =
+  let st = Tutil.rng 29 in
+  let t = Table.create ~name:"t" [| "k"; "v" |] in
+  for _ = 1 to 10_000 do
+    Table.append t [| Random.State.int st 50; Random.State.int st 20 |]
+  done;
+  let p1 = Pool.create 1 and p4 = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p1;
+      Pool.shutdown p4)
+    (fun () ->
+      Alcotest.(check bool)
+        "distinct identical" true
+        (tables_identical
+           (Ops.distinct ~pool:p1 t [| 0; 1 |])
+           (Ops.distinct ~pool:p4 t [| 0; 1 |])))
+
+let test_nested_loop_dedup () =
+  let a = Table.create ~name:"a" [| "k"; "v" |] in
+  let b = Table.create ~name:"b" [| "k"; "v" |] in
+  Table.append a [| 1; 7 |];
+  Table.append a [| 1; 7 |];
+  Table.append b [| 1; 9 |];
+  Table.append b [| 1; 9 |];
+  let run dedup =
+    Join.nested_loop ~name:"j" ~cols:[| "k" |]
+      ~out:[| Join.Col (Join.Build, 0) |]
+      ~oweight:Join.No_weight ~dedup (a, [| 0 |]) (b, [| 0 |])
+  in
+  check_int "without dedup: 4 rows" 4 (Table.nrows (run false));
+  check_int "with dedup: 1 row" 1 (Table.nrows (run true))
+
 (* --- table I/O --- *)
 
 let test_table_io_roundtrip () =
@@ -690,6 +768,11 @@ let () =
           Alcotest.test_case "const output" `Quick test_join_const_output;
           Alcotest.test_case "multi-column key" `Quick test_join_multi_column_key;
           Alcotest.test_case "anti semi join" `Quick test_semi_join_absent;
+          Alcotest.test_case "parallel join deterministic" `Quick
+            test_parallel_join_deterministic;
+          Alcotest.test_case "parallel distinct deterministic" `Quick
+            test_parallel_distinct_deterministic;
+          Alcotest.test_case "nested loop dedup" `Quick test_nested_loop_dedup;
         ] );
       ( "sort",
         [
