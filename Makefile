@@ -9,9 +9,17 @@ test:
 # The determinism gate: the whole suite must pass both with the pool
 # disabled (PROBKB_DOMAINS=1, no domains spawned) and with a 4-domain
 # pool, with the debug assertions (e.g. colouring verification) on.
+# Then the observability smoke: `--explain --metrics json` must put
+# exactly one well-formed JSON document on stdout (chatter is stderr).
 check: build
 	PROBKB_DOMAINS=1 PROBKB_DEBUG=1 dune runtest --force
 	PROBKB_DOMAINS=4 PROBKB_DEBUG=1 dune runtest --force
+	rm -rf _smoke && mkdir -p _smoke
+	dune exec bin/probkb_cli.exe -- generate --scale 0.01 --out _smoke
+	dune exec bin/probkb_cli.exe -- expand --facts _smoke/facts.tsv \
+	  --rules _smoke/rules.mln --explain --metrics json \
+	  | python3 -m json.tool > /dev/null
+	rm -rf _smoke
 
 bench:
 	dune exec bench/main.exe -- --quick -e parallel

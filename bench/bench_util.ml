@@ -31,6 +31,35 @@ let copy_kb ?rules kb =
 
 let minutes s = s /. 60.
 
+(* --- run metadata for BENCH_*.json artifacts --- *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then None else Some line
+  with _ -> None
+
+(* Bump when the shape of a BENCH_*.json file changes. *)
+let bench_schema_version = 2
+
+(* [meta_json ~engine] identifies the run: schema version, engine variant,
+   pool size, host parallelism, and the git revision (null outside a
+   checkout). *)
+let meta_json ~engine =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int bench_schema_version);
+      ("engine", Obs.Json.String engine);
+      ("probkb_domains", Obs.Json.Int (Pool.env_domains ()));
+      ("host_cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+      ( "git_rev",
+        match git_rev () with
+        | Some r -> Obs.Json.String r
+        | None -> Obs.Json.Null );
+    ]
+
 (* Modeled DBMS time: measured in-process seconds plus the per-statement
    overhead derived from the paper's own Table 3 (see
    Relational.Dbms_model). *)

@@ -477,30 +477,74 @@ let parallel () =
         (base /. Float.max 1e-9 last))
     stage_names;
   measured "identical results across pool sizes: %b" !identical;
+  (* One extra instrumented run (telemetry enabled) for the per-stage
+     breakdown in the artifact.  Stages are wrapped in their own spans so
+     the single-node and MPP closures don't collide on the shared root
+     span name. *)
+  let obs = Obs.create ~config:Obs.Config.enabled () in
+  Obs.with_ambient obs (fun () ->
+      let kb = copy_kb kb0 in
+      let r =
+        Obs.with_span obs "ground" ~cat:"bench" (fun () ->
+            Grounding.Ground.run
+              ~options:
+                {
+                  Grounding.Ground.default_options with
+                  max_iterations = 4;
+                  obs;
+                }
+              kb)
+      in
+      let c = Factor_graph.Fgraph.compile r.Grounding.Ground.graph in
+      let gopts = { Inference.Gibbs.burn_in = 20; samples = 80; seed = 42 } in
+      Obs.with_span obs "gibbs" ~cat:"bench" (fun () ->
+          ignore (Inference.Chromatic.marginals ~options:gopts ~obs c));
+      let kbm = copy_kb kb0 in
+      Obs.with_span obs "mpp" ~cat:"bench" (fun () ->
+          ignore
+            (Grounding.Ground_mpp.run
+               ~options:
+                 {
+                   Grounding.Ground_mpp.default_options with
+                   max_iterations = 4;
+                   obs;
+                 }
+               Mpp.Cluster.default kbm)));
+  let summary = Obs.Summary.of_trace obs in
   (* Machine-readable record for CI / plotting. *)
+  let stage_json stage =
+    let base = t stage (List.hd domains) in
+    ( stage,
+      Obs.Json.Obj
+        [
+          ( "seconds",
+            Obs.Json.Obj
+              (List.map
+                 (fun d -> (string_of_int d, Obs.Json.Float (t stage d)))
+                 domains) );
+          ( "speedup",
+            Obs.Json.Obj
+              (List.map
+                 (fun d ->
+                   ( string_of_int d,
+                     Obs.Json.Float (base /. Float.max 1e-9 (t stage d)) ))
+                 domains) );
+        ] )
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("meta", meta_json ~engine:"single_node+mpp");
+        ("domains", Obs.Json.List (List.map (fun d -> Obs.Json.Int d) domains));
+        ("scale", Obs.Json.Float scale);
+        ("host_cores", Obs.Json.Int host_cores);
+        ("identical_results", Obs.Json.Bool !identical);
+        ("stages", Obs.Json.Obj (List.map stage_json stage_names));
+        ("obs", Obs.Summary.to_json summary);
+      ]
+  in
   let oc = open_out "BENCH_parallel.json" in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"domains\": [%s],\n"
-    (String.concat ", " (List.map string_of_int domains));
-  out "  \"scale\": %g,\n" scale;
-  out "  \"host_cores\": %d,\n" host_cores;
-  out "  \"identical_results\": %b,\n" !identical;
-  out "  \"stages\": {\n";
-  List.iteri
-    (fun i stage ->
-      let base = t stage (List.hd domains) in
-      out "    %S: {\n      \"seconds\": {%s},\n" stage
-        (String.concat ", "
-           (List.map (fun d -> Printf.sprintf "\"%d\": %.6f" d (t stage d)) domains));
-      out "      \"speedup\": {%s}\n    }%s\n"
-        (String.concat ", "
-           (List.map
-              (fun d ->
-                Printf.sprintf "\"%d\": %.3f" d
-                  (base /. Float.max 1e-9 (t stage d)))
-              domains))
-        (if i = List.length stage_names - 1 then "" else ","))
-    stage_names;
-  out "  }\n}\n";
+  output_string oc (Obs.Json.to_pretty_string json);
+  output_char oc '\n';
   close_out oc;
   note "wrote BENCH_parallel.json"

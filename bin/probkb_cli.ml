@@ -16,6 +16,8 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+(* Progress chatter goes to stderr so [--metrics json] leaves stdout as a
+   single machine-readable document. *)
 let load_kb facts rules constraints =
   let kb = Kb.Gamma.create () in
   let n_facts = Kb.Loader.load_facts_file kb facts in
@@ -25,7 +27,7 @@ let load_kb facts rules constraints =
     | Some path -> Kb.Loader.load_constraints_file kb path
     | None -> 0
   in
-  Format.printf "loaded %d facts, %d rules, %d constraints@." n_facts n_rules
+  Format.eprintf "loaded %d facts, %d rules, %d constraints@." n_facts n_rules
     n_cons;
   kb
 
@@ -72,16 +74,94 @@ let iterations_arg =
     value & opt int 15
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Grounding iteration budget.")
 
-let config ~sc ~theta ~mpp ~iterations ~inference =
-  {
-    Probkb.Config.engine =
+let config ?(obs = Probkb.Obs.Config.default) ~sc ~theta ~mpp ~iterations
+    ~inference () =
+  Probkb.Config.make
+    ~engine:
       (if mpp then
          Probkb.Config.Mpp { cluster = Mpp.Cluster.default; views = true }
-       else Probkb.Config.Single_node);
-    quality = { Probkb.Config.semantic_constraints = sc; rule_theta = theta };
-    max_iterations = iterations;
-    inference;
-  }
+       else Probkb.Config.Single_node)
+    ~semantic_constraints:sc ~rule_theta:theta ~max_iterations:iterations
+    ~inference ~obs ()
+
+(* --- observability arguments (expand / infer) --- *)
+
+type metrics = Mjson | Mtext
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the pipeline trace in Chrome trace_event format (open in \
+           chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", Mjson); ("text", Mtext) ])) None
+    & info [ "metrics" ] ~docv:"json|text"
+        ~doc:
+          "Print stage metrics (span tree, counters, timers, gauges). With \
+           $(b,json), stdout carries a single JSON document.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "After expansion, run each grounding query (Query 1-i) as a \
+           logical plan and print EXPLAIN ANALYZE output: estimated vs. \
+           observed cardinalities per operator.")
+
+let obs_config ~trace ~metrics =
+  if trace <> None || metrics <> None then Probkb.Obs.Config.enabled
+  else Probkb.Obs.Config.default
+
+let write_trace engine = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Probkb.Obs.write_chrome_trace (Probkb.Engine.trace engine) oc;
+    close_out oc;
+    Format.eprintf "trace written to %s@." path
+
+(* EXPLAIN ANALYZE of the active grounding queries over the (expanded)
+   fact table. *)
+let explain_plans kb =
+  let prepared = Grounding.Queries.prepare (Kb.Gamma.partitions kb) in
+  let pi = Kb.Gamma.pi kb in
+  List.filter_map
+    (fun pat ->
+      if Mln.Partition.count (Grounding.Queries.partitions prepared) pat = 0
+      then None
+      else
+        let plan = Grounding.Queries.atoms_plan prepared pat pi in
+        let _, analysis = Relational.Plan.analyze plan in
+        Some (pat, analysis))
+    Mln.Pattern.all
+
+let print_explain plans =
+  List.iter
+    (fun (pat, a) ->
+      Format.printf "--- EXPLAIN ANALYZE Query 1-%d (%s) ---@.%a@."
+        (Mln.Pattern.index pat + 1)
+        (Mln.Pattern.to_string pat)
+        Relational.Plan.pp_analysis a)
+    plans
+
+let explain_json plans =
+  Obs.Json.List
+    (List.map
+       (fun (pat, a) ->
+         Obs.Json.Obj
+           [
+             ("pattern", Obs.Json.String (Mln.Pattern.to_string pat));
+             ("query", Obs.Json.Int (Mln.Pattern.index pat + 1));
+             ("plan", Relational.Plan.analysis_to_json a);
+           ])
+       plans)
 
 (* --- generate --- *)
 
@@ -135,11 +215,11 @@ let generate_cmd =
 let lint_report kb =
   let issues = Quality.Lint.check ~kb (Kb.Gamma.rules kb) in
   if issues <> [] then begin
-    Format.printf "rule lint: %d issues@." (List.length issues);
+    Format.eprintf "rule lint: %d issues@." (List.length issues);
     List.iteri
       (fun i issue ->
         if i < 8 then
-          Format.printf "  %s@."
+          Format.eprintf "  %s@."
             (Quality.Lint.describe
                ~rel_name:(Relational.Dict.name (Kb.Gamma.relations kb))
                ~cls_name:(Relational.Dict.name (Kb.Gamma.classes kb))
@@ -147,23 +227,42 @@ let lint_report kb =
       issues
   end
 
-let expand facts rules constraints sc theta mpp iterations out verbose =
+let expand facts rules constraints sc theta mpp iterations out trace metrics
+    explain verbose =
   setup_logs verbose;
   let kb = load_kb facts rules constraints in
   lint_report kb;
   let engine =
     Probkb.Engine.create
-      ~config:(config ~sc ~theta ~mpp ~iterations ~inference:None)
+      ~config:
+        (config ~obs:(obs_config ~trace ~metrics) ~sc ~theta ~mpp ~iterations
+           ~inference:None ())
       kb
   in
   let e = Probkb.Engine.expand engine in
-  Format.printf "%a@." Probkb.Report.pp_expansion e;
+  let plans = if explain then explain_plans kb else [] in
+  (match metrics with
+  | Some Mjson ->
+    let doc =
+      Obs.Json.Obj
+        (("expansion", Probkb.Report.expansion_to_json e)
+        :: (if explain then [ ("explain", explain_json plans) ] else []))
+    in
+    print_endline (Obs.Json.to_string doc)
+  | Some Mtext ->
+    Format.printf "%a@." Probkb.Report.pp_expansion e;
+    if explain then print_explain plans;
+    Format.printf "%a@." Probkb.Report.pp_summary e.Probkb.Engine.obs
+  | None ->
+    Format.printf "%a@." Probkb.Report.pp_expansion e;
+    if explain then print_explain plans);
+  write_trace engine trace;
   (match out with
   | Some path ->
     let oc = open_out path in
     Kb.Loader.save_facts kb oc;
     close_out oc;
-    Format.printf "expanded facts written to %s@." path
+    Format.eprintf "expanded facts written to %s@." path
   | None -> ());
   0
 
@@ -178,27 +277,36 @@ let expand_cmd =
     (Cmd.info "expand" ~doc:"Run knowledge expansion over a KB.")
     Term.(
       const expand $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
-      $ theta_arg $ mpp_arg $ iterations_arg $ out_arg $ verbose_arg)
+      $ theta_arg $ mpp_arg $ iterations_arg $ out_arg $ trace_arg
+      $ metrics_arg $ explain_arg $ verbose_arg)
 
 (* --- infer --- *)
 
-let infer facts rules constraints sc theta iterations top samples =
+let infer facts rules constraints sc theta iterations top samples trace
+    metrics =
   let kb = load_kb facts rules constraints in
   let inference =
     Some
-      (Inference.Marginal.Gibbs
+      (Inference.Marginal.Chromatic
          { Inference.Gibbs.default_options with samples })
   in
   let engine =
     Probkb.Engine.create
-      ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference)
+      ~config:
+        (config ~obs:(obs_config ~trace ~metrics) ~sc ~theta ~mpp:false
+           ~iterations ~inference ())
       kb
   in
   let e = Probkb.Engine.expand engine in
   let marginals = Probkb.Engine.infer engine e in
-  ignore (Probkb.Engine.store_marginals engine marginals);
-  Format.printf "expansion: %d new facts; showing the top %d by probability@."
-    e.Probkb.Engine.new_fact_count top;
+  let marginals_stored = Probkb.Engine.store_marginals engine marginals in
+  let result =
+    {
+      Probkb.Engine.expansion = e;
+      marginals_stored;
+      obs = Probkb.Engine.summary engine;
+    }
+  in
   let inferred = ref [] in
   Kb.Storage.iter
     (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w:_ ->
@@ -206,10 +314,42 @@ let infer facts rules constraints sc theta iterations top samples =
       | Some p -> inferred := (p, id) :: !inferred
       | None -> ())
     (Kb.Gamma.pi kb);
-  List.sort (fun (a, _) (b, _) -> compare b a) !inferred
-  |> List.filteri (fun i _ -> i < top)
-  |> List.iter (fun (p, id) ->
-         Format.printf "  %.3f  %a@." p (Kb.Gamma.pp_fact kb) id);
+  let top_facts =
+    List.sort (fun (a, _) (b, _) -> compare b a) !inferred
+    |> List.filteri (fun i _ -> i < top)
+  in
+  (match metrics with
+  | Some Mjson ->
+    let doc =
+      Obs.Json.Obj
+        [
+          ("result", Probkb.Report.result_to_json result);
+          ( "top",
+            Obs.Json.List
+              (List.map
+                 (fun (p, id) ->
+                   Obs.Json.Obj
+                     [
+                       ("p", Obs.Json.Float p);
+                       ( "fact",
+                         Obs.Json.String
+                           (Format.asprintf "%a" (Kb.Gamma.pp_fact kb) id) );
+                     ])
+                 top_facts) );
+        ]
+    in
+    print_endline (Obs.Json.to_string doc)
+  | (Some Mtext | None) as m ->
+    Format.printf
+      "expansion: %d new facts; showing the top %d by probability@."
+      e.Probkb.Engine.new_fact_count top;
+    List.iter
+      (fun (p, id) ->
+        Format.printf "  %.3f  %a@." p (Kb.Gamma.pp_fact kb) id)
+      top_facts;
+    if m = Some Mtext then
+      Format.printf "%a@." Probkb.Report.pp_summary result.Probkb.Engine.obs);
+  write_trace engine trace;
   0
 
 let infer_cmd =
@@ -227,7 +367,7 @@ let infer_cmd =
     (Cmd.info "infer" ~doc:"Expand a KB and compute marginal probabilities.")
     Term.(
       const infer $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
-      $ theta_arg $ iterations_arg $ top $ samples)
+      $ theta_arg $ iterations_arg $ top $ samples $ trace_arg $ metrics_arg)
 
 (* --- stats --- *)
 
@@ -271,7 +411,8 @@ let analyze facts rules constraints iterations =
   let kb = load_kb facts rules constraints in
   let engine =
     Probkb.Engine.create
-      ~config:(config ~sc:false ~theta:1.0 ~mpp:false ~iterations ~inference:None)
+      ~config:
+        (config ~sc:false ~theta:1.0 ~mpp:false ~iterations ~inference:None ())
       kb
   in
   let e = Probkb.Engine.expand engine in
@@ -349,8 +490,7 @@ let demo () =
        ~y:"Brooklyn" ~c2:"Place" ~w:0.93);
   let engine =
     Probkb.Engine.create
-      ~config:
-        { Probkb.Config.default with inference = Some Inference.Marginal.Exact }
+      ~config:(Probkb.Config.make ~inference:(Some Inference.Marginal.Exact) ())
       kb
   in
   ignore (Probkb.Engine.run engine);

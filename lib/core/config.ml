@@ -6,16 +6,27 @@ type t = {
   quality : quality;
   max_iterations : int;
   inference : Inference.Marginal.method_ option;
+  obs : Obs.Config.t;
 }
 
-let default =
+let make ?(engine = Single_node) ?(semantic_constraints = false)
+    ?(rule_theta = 1.0) ?(max_iterations = 15)
+    ?(inference =
+      Some (Inference.Marginal.Gibbs Inference.Gibbs.default_options))
+    ?(obs = Obs.Config.default) () =
   {
-    engine = Single_node;
-    quality = { semantic_constraints = false; rule_theta = 1.0 };
-    max_iterations = 15;
-    inference = Some (Inference.Marginal.Gibbs Inference.Gibbs.default_options);
+    engine;
+    quality = { semantic_constraints; rule_theta };
+    max_iterations;
+    inference;
+    obs;
   }
 
+let default = make ()
 let no_inference c = { c with inference = None }
-
+let with_engine engine c = { c with engine }
+let with_quality quality c = { c with quality }
+let with_max_iterations max_iterations c = { c with max_iterations }
+let with_inference inference c = { c with inference }
+let with_obs obs c = { c with obs }
 let domains = Pool.env_domains

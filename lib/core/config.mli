@@ -1,4 +1,18 @@
-(** Engine configuration for the ProbKB pipeline. *)
+(** Engine configuration for the ProbKB pipeline.
+
+    Build configurations with {!make} and derive variants with the
+    [with_*] updaters:
+
+    {[
+      let config =
+        Config.make ~semantic_constraints:true ~max_iterations:10 ()
+        |> Config.with_obs Obs.Config.enabled
+    ]}
+
+    The record remains public for pattern matching, but constructing it
+    literally is deprecated in favour of [make] — new fields (like [obs])
+    get defaults there, so call sites don't break when the configuration
+    grows. *)
 
 (** Where grounding executes. *)
 type engine =
@@ -19,13 +33,35 @@ type t = {
   max_iterations : int;
   inference : Inference.Marginal.method_ option;
       (** marginal inference to run after grounding; [None] skips it *)
+  obs : Obs.Config.t;
+      (** observability: when enabled, the engine's trace context records
+          span trees, counters and operator metrics across every stage *)
 }
 
-(** Single node, no quality control, 15 iterations, Gibbs inference. *)
+(** [make ()] is the default configuration: single node, no quality
+    control, 15 iterations, Gibbs inference, observability off.  Each
+    labelled argument overrides one knob. *)
+val make :
+  ?engine:engine ->
+  ?semantic_constraints:bool ->
+  ?rule_theta:float ->
+  ?max_iterations:int ->
+  ?inference:Inference.Marginal.method_ option ->
+  ?obs:Obs.Config.t ->
+  unit ->
+  t
+
+(** [make ()]. *)
 val default : t
 
 (** [no_inference c] disables the marginal-inference stage. *)
 val no_inference : t -> t
+
+val with_engine : engine -> t -> t
+val with_quality : quality -> t -> t
+val with_max_iterations : int -> t -> t
+val with_inference : Inference.Marginal.method_ option -> t -> t
+val with_obs : Obs.Config.t -> t -> t
 
 (** [domains ()] is the size of the shared-memory execution pool, read
     from the [PROBKB_DOMAINS] environment variable (default 1 — fully

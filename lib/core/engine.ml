@@ -2,11 +2,14 @@ module Gamma = Kb.Gamma
 module Storage = Kb.Storage
 module Table = Relational.Table
 
-type t = { kb : Gamma.t; config : Config.t }
+type t = { kb : Gamma.t; config : Config.t; trace : Obs.t }
 
-let create ?(config = Config.default) kb = { kb; config }
+let create ?(config = Config.default) kb =
+  { kb; config; trace = Obs.create ~config:config.Config.obs () }
+
 let kb t = t.kb
 let config t = t.config
+let trace t = t.trace
 
 type expansion = {
   graph : Factor_graph.Fgraph.t;
@@ -18,6 +21,7 @@ type expansion = {
   rules_used : int;
   wall_seconds : float;
   sim_seconds : float option;
+  obs : Obs.Summary.t;
 }
 
 let clean_rules t =
@@ -38,7 +42,12 @@ let constraint_hook t =
   else None
 
 let expand t =
-  let rules_used = clean_rules t in
+  Obs.with_ambient t.trace @@ fun () ->
+  Obs.with_span t.trace "expand" ~cat:"engine" @@ fun () ->
+  let rules_used =
+    Obs.with_span t.trace "rule cleaning" ~cat:"engine" (fun () ->
+        clean_rules t)
+  in
   let hook = constraint_hook t in
   let t0 = Relational.Stats.now () in
   match t.config.Config.engine with
@@ -50,6 +59,7 @@ let expand t =
             Grounding.Ground.default_options with
             max_iterations = t.config.Config.max_iterations;
             apply_constraints = hook;
+            obs = t.trace;
           }
         t.kb
     in
@@ -63,6 +73,7 @@ let expand t =
       rules_used;
       wall_seconds = Relational.Stats.now () -. t0;
       sim_seconds = None;
+      obs = Obs.Summary.empty;
     }
   | Config.Mpp { cluster; views } ->
     let r =
@@ -72,8 +83,11 @@ let expand t =
             Grounding.Ground_mpp.default_options with
             max_iterations = t.config.Config.max_iterations;
             apply_constraints = hook;
+            obs = t.trace;
           }
-        ~mode:(if views then Grounding.Ground_mpp.Views else Grounding.Ground_mpp.No_views)
+        ~mode:
+          (if views then Grounding.Ground_mpp.Views
+           else Grounding.Ground_mpp.No_views)
         cluster t.kb
     in
     {
@@ -86,14 +100,23 @@ let expand t =
       rules_used;
       wall_seconds = Relational.Stats.now () -. t0;
       sim_seconds = Some r.Grounding.Ground_mpp.sim_seconds;
+      obs = Obs.Summary.empty;
     }
+
+let expand t =
+  let e = expand t in
+  { e with obs = Obs.Summary.of_trace t.trace }
 
 let infer t e =
   match t.config.Config.inference with
   | None -> Hashtbl.create 0
-  | Some m -> Inference.Marginal.infer e.graph m
+  | Some m ->
+    Obs.with_ambient t.trace @@ fun () ->
+    Obs.with_span t.trace "infer" ~cat:"engine" @@ fun () ->
+    Inference.Marginal.infer ~obs:t.trace e.graph m
 
 let store_marginals t marginals =
+  Obs.with_span t.trace "store_marginals" ~cat:"engine" @@ fun () ->
   let pi = Gamma.pi t.kb in
   let tbl = Storage.table pi in
   let updated = ref 0 in
@@ -105,15 +128,22 @@ let store_marginals t marginals =
         incr updated
       | Some _ | None -> ())
     marginals;
+  Obs.add t.trace "engine.marginals_stored" !updated;
   !updated
 
-type result = { expansion : expansion; marginals_stored : int }
+type result = {
+  expansion : expansion;
+  marginals_stored : int;
+  obs : Obs.Summary.t;
+}
+
+let summary t = Obs.Summary.of_trace t.trace
 
 let run t =
   let expansion = expand t in
   let marginals = infer t expansion in
   let marginals_stored = store_marginals t marginals in
-  { expansion; marginals_stored }
+  { expansion; marginals_stored; obs = summary t }
 
 let incorporate t facts =
   let pi = Gamma.pi t.kb in
@@ -138,6 +168,7 @@ let incorporate t facts =
             Grounding.Ground.default_options with
             max_iterations = t.config.Config.max_iterations;
             initial_delta = Some delta;
+            obs = t.trace;
           }
         t.kb
     in

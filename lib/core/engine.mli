@@ -1,21 +1,32 @@
 (** The ProbKB engine — the pipeline of Figure 1.
 
-    [expand] performs knowledge expansion: rule cleaning, then batch
-    grounding (with semantic constraints applied each iteration when
-    enabled), producing the inferred facts in place and the ground factor
-    graph [TΦ].  [run] additionally performs marginal inference over the
-    factor graph and writes each inferred fact's probability back into the
-    knowledge base, "thereby avoiding query-time computation" (paper,
-    Section 2.2). *)
+    The pipeline is exposed as explicit, composable stages sharing one
+    trace context: {!expand} (rule cleaning + batch grounding + quality
+    control), {!infer} (marginal inference over the ground factor graph),
+    and {!store_marginals} (write each inferred fact's probability back
+    into the knowledge base, "thereby avoiding query-time computation" —
+    paper, Section 2.2).  {!run} is their composition.
+
+    Every stage records into the engine's {!trace} (a no-op unless
+    [config.obs] enables it); {!expansion} and {!result} carry the
+    aggregated {!Obs.Summary.t} snapshot taken when the stage finished. *)
 
 type t
 
 (** [create ?config kb] wraps a knowledge base.  The KB is mutated by
-    expansion (inferred facts are added to [TΠ]). *)
+    expansion (inferred facts are added to [TΠ]).  The engine owns a
+    trace context created from [config.obs]. *)
 val create : ?config:Config.t -> Kb.Gamma.t -> t
 
 val kb : t -> Kb.Gamma.t
 val config : t -> Config.t
+
+(** [trace t] is the engine's trace context — pass it to ad-hoc
+    instrumentation, or export it with {!Obs.write_chrome_trace}. *)
+val trace : t -> Obs.t
+
+(** [summary t] aggregates everything recorded into the trace so far. *)
+val summary : t -> Obs.Summary.t
 
 type expansion = {
   graph : Factor_graph.Fgraph.t;
@@ -27,6 +38,7 @@ type expansion = {
   rules_used : int;  (** after rule cleaning *)
   wall_seconds : float;
   sim_seconds : float option;  (** simulated cluster time (MPP engines) *)
+  obs : Obs.Summary.t;  (** trace snapshot at the end of the stage *)
 }
 
 (** [expand t] grounds the knowledge base (Algorithm 1 + quality
@@ -46,6 +58,7 @@ val store_marginals : t -> (int, float) Hashtbl.t -> int
 type result = {
   expansion : expansion;
   marginals_stored : int;
+  obs : Obs.Summary.t;  (** trace snapshot over the whole pipeline *)
 }
 
 (** [run t] is [expand] + [infer] + [store_marginals]. *)

@@ -20,3 +20,4 @@
 module Config = Config
 module Engine = Engine
 module Report = Report
+module Obs = Obs

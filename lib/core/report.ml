@@ -1,3 +1,5 @@
+module Json = Obs.Json
+
 let pp_expansion ppf (e : Engine.expansion) =
   Format.fprintf ppf
     "@[<v>expansion: %d iterations%s, %d rules applied@,\
@@ -12,9 +14,34 @@ let pp_expansion ppf (e : Engine.expansion) =
     | Some s -> Printf.sprintf ", %.2fs simulated cluster" s
     | None -> "")
 
+let expansion_to_json (e : Engine.expansion) =
+  Json.Obj
+    [
+      ("iterations", Json.Int e.Engine.iterations);
+      ("converged", Json.Bool e.Engine.converged);
+      ("new_fact_count", Json.Int e.Engine.new_fact_count);
+      ("removed_by_constraints", Json.Int e.Engine.removed_by_constraints);
+      ("n_factors", Json.Int e.Engine.n_factors);
+      ("rules_used", Json.Int e.Engine.rules_used);
+      ("wall_seconds", Json.Float e.Engine.wall_seconds);
+      ( "sim_seconds",
+        match e.Engine.sim_seconds with
+        | Some s -> Json.Float s
+        | None -> Json.Null );
+      ("obs", Obs.Summary.to_json e.Engine.obs);
+    ]
+
 let pp_result ppf (r : Engine.result) =
   Format.fprintf ppf "@[<v>%a@,marginals stored: %d@]" pp_expansion
     r.Engine.expansion r.Engine.marginals_stored
+
+let result_to_json (r : Engine.result) =
+  Json.Obj
+    [
+      ("expansion", expansion_to_json r.Engine.expansion);
+      ("marginals_stored", Json.Int r.Engine.marginals_stored);
+      ("obs", Obs.Summary.to_json r.Engine.obs);
+    ]
 
 let pp_kb ppf kb =
   Format.fprintf ppf "@[<v>%a@," Kb.Gamma.pp_stats (Kb.Gamma.stats kb);
@@ -30,3 +57,32 @@ let pp_kb ppf kb =
   if List.length rels > 10 then
     Format.fprintf ppf "  ... (%d more relations)@," (List.length rels - 10);
   Format.fprintf ppf "@]"
+
+let kb_to_json kb =
+  let s = Kb.Gamma.stats kb in
+  let q = Kb.Query.prepare (Kb.Gamma.pi kb) in
+  let rels = Kb.Query.relations q in
+  Json.Obj
+    [
+      ("n_entities", Json.Int s.Kb.Gamma.n_entities);
+      ("n_classes", Json.Int s.Kb.Gamma.n_classes);
+      ("n_relations", Json.Int s.Kb.Gamma.n_relations);
+      ("n_rules", Json.Int s.Kb.Gamma.n_rules);
+      ("n_facts", Json.Int s.Kb.Gamma.n_facts);
+      ("n_constraints", Json.Int s.Kb.Gamma.n_constraints);
+      ( "relations",
+        Json.List
+          (List.map
+             (fun (r, n) ->
+               Json.Obj
+                 [
+                   ( "name",
+                     Json.String
+                       (Relational.Dict.name (Kb.Gamma.relations kb) r) );
+                   ("facts", Json.Int n);
+                 ])
+             rels) );
+    ]
+
+let pp_summary = Obs.Summary.pp
+let summary_to_json = Obs.Summary.to_json

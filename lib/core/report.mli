@@ -1,13 +1,29 @@
-(** Human-readable reports for pipeline results. *)
+(** Reports for pipeline results: each result type has a [pp_*] printer
+    for humans and a [*_to_json] encoder for machines, so the CLI and the
+    benchmarks render the same data without private formatting code. *)
+
+module Json = Obs.Json
 
 (** [pp_expansion ppf e] prints a one-paragraph expansion summary
     (iterations, new facts, constraint removals, factor counts, wall and
     simulated time). *)
 val pp_expansion : Format.formatter -> Engine.expansion -> unit
 
+val expansion_to_json : Engine.expansion -> Json.t
+
 (** [pp_result ppf r] is {!pp_expansion} plus the inference stage. *)
 val pp_result : Format.formatter -> Engine.result -> unit
+
+val result_to_json : Engine.result -> Json.t
 
 (** [pp_kb ppf kb] prints the Table 2-style statistics block followed by
     the per-relation fact counts (largest first, capped at 10). *)
 val pp_kb : Format.formatter -> Kb.Gamma.t -> unit
+
+(** [kb_to_json kb] is the full statistics block (all relations). *)
+val kb_to_json : Kb.Gamma.t -> Json.t
+
+(** Trace summaries, re-exported for symmetry. *)
+val pp_summary : Format.formatter -> Obs.Summary.t -> unit
+
+val summary_to_json : Obs.Summary.t -> Json.t

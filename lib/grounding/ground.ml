@@ -17,6 +17,7 @@ type options = {
   semi_naive : bool;
   initial_delta : Table.t option;
   on_iteration : (iteration:int -> new_facts:int -> unit) option;
+  obs : Obs.t;
 }
 
 let default_options =
@@ -28,6 +29,7 @@ let default_options =
     semi_naive = false;
     initial_delta = None;
     on_iteration = None;
+    obs = Obs.null;
   }
 
 type result = {
@@ -49,7 +51,11 @@ let active_patterns prepared =
     (fun pat -> Mln.Partition.count (Queries.partitions prepared) pat > 0)
     Pattern.all
 
+let pattern_name pat = Printf.sprintf "M%d" (Pattern.index pat + 1)
+
 let run ?(options = default_options) kb =
+  let obs = options.obs in
+  Obs.with_ambient obs @@ fun () ->
   let pi = Kb.Gamma.pi kb in
   let prepared = Queries.prepare (Kb.Gamma.partitions kb) in
   let patterns = active_patterns prepared in
@@ -60,13 +66,19 @@ let run ?(options = default_options) kb =
   let facts_per_iteration = ref [] in
   let iterations = ref 0 in
   let converged = ref false in
+  let constrain pi =
+    match options.apply_constraints with
+    | Some f ->
+      let n = Obs.timed obs "ground.constraints_seconds" (fun () -> f pi) in
+      Obs.add obs "ground.constraint_removed" n;
+      removed := !removed + n
+    | None -> ()
+  in
   (* Constraints are applied once before inference starts (the paper's
      Section 6.1.1 protocol) and then after every iteration (Algorithm 1,
      line 6): an entity that already violates Ω must not seed the very
      first round of joins. *)
-  (match options.apply_constraints with
-  | Some f -> removed := !removed + f pi
-  | None -> ());
+  constrain pi;
   (* Semi-naive evaluation joins only against the previous iteration's
      delta; it is sound only when facts are never deleted mid-run, so a
      constraint hook forces naive evaluation. *)
@@ -76,82 +88,113 @@ let run ?(options = default_options) kb =
   in
   let delta = ref options.initial_delta in
   (* Closure phase: Algorithm 1, lines 2-7. *)
-  while (not !converged) && !iterations < options.max_iterations do
-    incr iterations;
-    let iteration = !iterations in
-    let new_facts = ref 0 in
-    (* Algorithm 1, lines 3-5: every Ti is computed against the same TΠ
-       snapshot; the results are merged only after all partitions ran.
-       The snapshot isolation is what makes the per-partition queries
-       (M1..M6) embarrassingly parallel — they only read TΠ and their own
-       rule partition — so they run concurrently on the domain pool, and
-       the merge below happens sequentially in pattern order. *)
-    let pats = Array.of_list patterns in
-    let results =
-      Pool.map_reduce (Pool.get_default ()) ~n:(Array.length pats)
-        ~map:(fun i ->
-          let pat = pats.(i) in
-          let t0 = Stats.now () in
-          let t =
-            match (semi_naive, !delta) with
-            | true, Some d -> Queries.ground_atoms_delta prepared pat pi ~delta:d
-            | _ -> Queries.ground_atoms prepared pat pi
-          in
-          let t =
-            if options.distinct_before_merge then Ops.distinct t all_atom_cols
-            else t
-          in
-          (pat, t, Stats.now () -. t0))
-        ~fold:(fun acc r -> r :: acc)
-        ~init:[]
-      |> List.rev
-      |> List.map (fun (pat, t, seconds) ->
-             let label = Printf.sprintf "Query 1-%d" (Pattern.index pat + 1) in
-             Stats.record stats ~label ~seconds ~rows_out:(Table.nrows t);
-             t)
-    in
-    let before_merge = Table.nrows (Storage.table pi) in
-    List.iter
-      (fun atoms -> new_facts := !new_facts + Storage.merge_new pi atoms)
-      results;
-    if semi_naive then begin
-      let facts = Storage.table pi in
-      delta :=
-        Some
-          (Table.sub facts
-             (Array.init
-                (Table.nrows facts - before_merge)
-                (fun i -> before_merge + i)))
-    end;
-    (match options.apply_constraints with
-    | Some f -> removed := !removed + f pi
-    | None -> ());
-    total_new := !total_new + !new_facts;
-    Log.debug (fun m ->
-        m "iteration %d: +%d facts (T_Pi now %d)" iteration !new_facts
-          (Storage.size pi));
-    facts_per_iteration := Storage.size pi :: !facts_per_iteration;
-    (match options.on_iteration with
-    | Some f -> f ~iteration ~new_facts:!new_facts
-    | None -> ());
-    if !new_facts = 0 then converged := true
-  done;
+  Obs.with_span obs "closure" ~cat:"grounding" (fun () ->
+      while (not !converged) && !iterations < options.max_iterations do
+        incr iterations;
+        let iteration = !iterations in
+        Obs.with_span obs
+          (Printf.sprintf "iteration %d" iteration)
+          ~cat:"grounding"
+          (fun () ->
+            let new_facts = ref 0 in
+            (* Algorithm 1, lines 3-5: every Ti is computed against the same
+               TΠ snapshot; the results are merged only after all partitions
+               ran.  The snapshot isolation is what makes the per-partition
+               queries (M1..M6) embarrassingly parallel — they only read TΠ
+               and their own rule partition — so they run concurrently on
+               the domain pool, and the merge below happens sequentially in
+               pattern order. *)
+            let pats = Array.of_list patterns in
+            let results =
+              Pool.map_reduce (Pool.get_default ()) ~n:(Array.length pats)
+                ~map:(fun i ->
+                  let pat = pats.(i) in
+                  let sp = Obs.begin_span ~cat:"grounding" obs (pattern_name pat) in
+                  let t0 = Stats.now () in
+                  let raw =
+                    match (semi_naive, !delta) with
+                    | true, Some d ->
+                      Queries.ground_atoms_delta prepared pat pi ~delta:d
+                    | _ -> Queries.ground_atoms prepared pat pi
+                  in
+                  let t =
+                    if options.distinct_before_merge then
+                      Ops.distinct raw all_atom_cols
+                    else raw
+                  in
+                  Obs.end_span obs sp
+                    ~attrs:
+                      [
+                        ("rows_raw", Obs.I (Table.nrows raw));
+                        ("rows_out", Obs.I (Table.nrows t));
+                        ("dedup", Obs.I (Table.nrows raw - Table.nrows t));
+                      ];
+                  (pat, t, Stats.now () -. t0))
+                ~fold:(fun acc r -> r :: acc)
+                ~init:[]
+              |> List.rev
+              |> List.map (fun (pat, t, seconds) ->
+                     let label =
+                       Printf.sprintf "Query 1-%d" (Pattern.index pat + 1)
+                     in
+                     Stats.record stats ~label ~seconds
+                       ~rows_out:(Table.nrows t);
+                     (pat, t))
+            in
+            let before_merge = Table.nrows (Storage.table pi) in
+            (* Merging a pattern's results into TΠ is part of that
+               pattern's work, so it lands in the same M-span path (the
+               summary aggregates the query and merge instances). *)
+            List.iter
+              (fun (pat, atoms) ->
+                Obs.with_span obs (pattern_name pat) ~cat:"grounding"
+                  (fun () ->
+                    Obs.timed obs "ground.merge_seconds" (fun () ->
+                        new_facts := !new_facts + Storage.merge_new pi atoms)))
+              results;
+            if semi_naive then begin
+              let facts = Storage.table pi in
+              delta :=
+                Some
+                  (Table.sub facts
+                     (Array.init
+                        (Table.nrows facts - before_merge)
+                        (fun i -> before_merge + i)))
+            end;
+            constrain pi;
+            total_new := !total_new + !new_facts;
+            Obs.add obs "ground.new_facts" !new_facts;
+            Obs.incr obs "ground.iterations";
+            Log.debug (fun m ->
+                m "iteration %d: +%d facts (T_Pi now %d)" iteration !new_facts
+                  (Storage.size pi));
+            facts_per_iteration := Storage.size pi :: !facts_per_iteration;
+            (match options.on_iteration with
+            | Some f -> f ~iteration ~new_facts:!new_facts
+            | None -> ());
+            if !new_facts = 0 then converged := true)
+      done);
   (* Factor phase: Algorithm 1, lines 8-10. *)
   let n_clause_factors = ref 0 in
   let n_singleton_factors = ref 0 in
   if options.build_factors then begin
-    List.iter
-      (fun pat ->
-        let label = Printf.sprintf "Query 2-%d" (Pattern.index pat + 1) in
-        let produced =
-          Stats.time stats ~label ~rows:Fun.id (fun () ->
-              Queries.ground_factors prepared pat pi graph)
-        in
-        n_clause_factors := !n_clause_factors + produced)
-      patterns;
-    n_singleton_factors :=
-      Stats.time stats ~label:"singletons" ~rows:Fun.id (fun () ->
-          Queries.singleton_factors pi graph);
+    Obs.with_span obs "factors" ~cat:"grounding" (fun () ->
+        List.iter
+          (fun pat ->
+            let label = Printf.sprintf "Query 2-%d" (Pattern.index pat + 1) in
+            let produced =
+              Obs.with_span obs (pattern_name pat) ~cat:"grounding" (fun () ->
+                  Stats.time stats ~label ~rows:Fun.id (fun () ->
+                      Queries.ground_factors prepared pat pi graph))
+            in
+            n_clause_factors := !n_clause_factors + produced)
+          patterns;
+        n_singleton_factors :=
+          Obs.with_span obs "singletons" ~cat:"grounding" (fun () ->
+              Stats.time stats ~label:"singletons" ~rows:Fun.id (fun () ->
+                  Queries.singleton_factors pi graph)));
+    Obs.add obs "ground.clause_factors" !n_clause_factors;
+    Obs.add obs "ground.singleton_factors" !n_singleton_factors;
     Log.debug (fun m ->
         m "factors: %d clause + %d singleton" !n_clause_factors
           !n_singleton_factors)

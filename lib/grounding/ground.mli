@@ -30,6 +30,12 @@ type options = {
           extractions arrive, only their consequences are derived *)
   on_iteration : (iteration:int -> new_facts:int -> unit) option;
       (** progress callback *)
+  obs : Obs.t;
+      (** trace context (default {!Obs.null}).  When enabled, the run
+          emits a [closure > iteration i > M1..M6/merge] span tree, a
+          [factors] span tree, and [ground.*] counters; the context is
+          also installed as the ambient trace so the relational operators
+          underneath record their own metrics. *)
 }
 
 val default_options : options

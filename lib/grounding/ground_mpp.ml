@@ -18,6 +18,7 @@ type options = {
   build_factors : bool;
   on_iteration :
     (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
+  obs : Obs.t;
 }
 
 let default_options =
@@ -26,6 +27,7 @@ let default_options =
     apply_constraints = None;
     build_factors = true;
     on_iteration = None;
+    obs = Obs.null;
   }
 
 type result = {
@@ -63,6 +65,8 @@ let active_patterns parts =
   List.filter (fun pat -> Mln.Partition.count parts pat > 0) Pattern.all
 
 let run ?(options = default_options) ?(mode = Views) cluster kb =
+  let obs = options.obs in
+  Obs.with_ambient obs @@ fun () ->
   let pi = Kb.Gamma.pi kb in
   let parts = Kb.Gamma.partitions kb in
   let patterns = active_patterns parts in
@@ -120,7 +124,10 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
     | Views ->
       charge_delta (List.length Mpp.Matview.distribution_keys);
       let silent = Mpp.Cost.create () in
-      `Views (Mpp.Matview.create cluster silent facts)
+      `Views
+        (Obs.with_span obs "matview build" ~cat:"mpp"
+           ~attrs:[ ("rows", Obs.I (Table.nrows facts)) ]
+           (fun () -> Mpp.Matview.create cluster silent facts))
     | No_views ->
       charge_delta 1;
       `Pn (Mpp.Dtable.partition cluster facts (Mpp.Dtable.Hash [| 0 |]))
@@ -171,52 +178,93 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
   (match options.apply_constraints with
   | Some f -> ignore (f pi)
   | None -> ());
-  while (not !converged) && !iterations < options.max_iterations do
-    incr iterations;
-    (* redistribute(TΠ): refresh the views / re-load the pn table. *)
-    let distributed = distribute_facts () in
-    let results =
-      List.map
-        (fun pat ->
-          let dt = run_pattern distributed pat ~factors:false in
-          let gathered = Mpp.Dtable.gather dt in
-          let distinct = Ops.distinct gathered [| 0; 1; 2; 3; 4 |] in
-          distributed_step cluster cost "distinct+merge" (Table.nrows gathered)
-            (Table.row_bytes gathered);
-          distinct)
-        patterns
-    in
-    let new_facts = ref 0 in
-    List.iter (fun atoms -> new_facts := !new_facts + Storage.merge_new pi atoms) results;
-    (match options.apply_constraints with
-    | Some f -> ignore (f pi)
-    | None -> ());
-    total_new := !total_new + !new_facts;
-    Log.debug (fun m ->
-        m "iteration %d: +%d facts, sim %.3fs" !iterations !new_facts
-          (Mpp.Cost.elapsed cost));
-    (match options.on_iteration with
-    | Some f ->
-      f ~iteration:!iterations ~new_facts:!new_facts
-        ~sim_elapsed:(Mpp.Cost.elapsed cost)
-    | None -> ());
-    if !new_facts = 0 then converged := true
-  done;
+  Obs.with_span obs "closure" ~cat:"mpp" (fun () ->
+      while (not !converged) && !iterations < options.max_iterations do
+        incr iterations;
+        Obs.with_span obs
+          (Printf.sprintf "iteration %d" !iterations)
+          ~cat:"mpp"
+          (fun () ->
+            (* redistribute(TΠ): refresh the views / re-load the pn table. *)
+            let distributed =
+              Obs.with_span obs "distribute" ~cat:"mpp" (fun () ->
+                  distribute_facts ())
+            in
+            let results =
+              List.map
+                (fun pat ->
+                  Obs.with_span obs
+                    (Printf.sprintf "M%d" (Pattern.index pat + 1))
+                    ~cat:"mpp"
+                    (fun () ->
+                      let dt = run_pattern distributed pat ~factors:false in
+                      let gathered = Mpp.Dtable.gather dt in
+                      let distinct =
+                        Ops.distinct gathered [| 0; 1; 2; 3; 4 |]
+                      in
+                      distributed_step cluster cost "distinct+merge"
+                        (Table.nrows gathered)
+                        (Table.row_bytes gathered);
+                      distinct))
+                patterns
+            in
+            let new_facts = ref 0 in
+            List.iter
+              (fun atoms ->
+                new_facts := !new_facts + Storage.merge_new pi atoms)
+              results;
+            (match options.apply_constraints with
+            | Some f -> ignore (f pi)
+            | None -> ());
+            total_new := !total_new + !new_facts;
+            Obs.add obs "mpp.new_facts" !new_facts;
+            Log.debug (fun m ->
+                m "iteration %d: +%d facts, sim %.3fs" !iterations !new_facts
+                  (Mpp.Cost.elapsed cost));
+            (match options.on_iteration with
+            | Some f ->
+              f ~iteration:!iterations ~new_facts:!new_facts
+                ~sim_elapsed:(Mpp.Cost.elapsed cost)
+            | None -> ());
+            if !new_facts = 0 then converged := true)
+      done);
   let n_clause_factors = ref 0 in
   let n_singleton_factors = ref 0 in
-  if options.build_factors then begin
-    let distributed = distribute_facts () in
+  if options.build_factors then
+    Obs.with_span obs "factors" ~cat:"mpp" (fun () ->
+        let distributed = distribute_facts () in
+        List.iter
+          (fun pat ->
+            Obs.with_span obs
+              (Printf.sprintf "M%d" (Pattern.index pat + 1))
+              ~cat:"mpp"
+              (fun () ->
+                let dt = run_pattern distributed pat ~factors:true in
+                let rows = Mpp.Dtable.gather dt in
+                distributed_step cluster cost "resolve heads"
+                  (Table.nrows rows) (Table.row_bytes rows);
+                n_clause_factors :=
+                  !n_clause_factors + Queries.resolve_heads rows pi graph))
+          patterns;
+        n_singleton_factors := Queries.singleton_factors pi graph;
+        distributed_step cluster cost "singletons" !n_singleton_factors 32);
+  (* Motion and per-segment statistics, derived from the cost trace. *)
+  if Obs.enabled obs then begin
+    Obs.add obs "mpp.motion_bytes" (Mpp.Cost.motion_bytes cost);
+    Obs.add_time obs "mpp.sim_seconds" (Mpp.Cost.elapsed cost);
     List.iter
-      (fun pat ->
-        let dt = run_pattern distributed pat ~factors:true in
-        let rows = Mpp.Dtable.gather dt in
-        distributed_step cluster cost "resolve heads" (Table.nrows rows)
-          (Table.row_bytes rows);
-        n_clause_factors :=
-          !n_clause_factors + Queries.resolve_heads rows pi graph)
-      patterns;
-    n_singleton_factors := Queries.singleton_factors pi graph;
-    distributed_step cluster cost "singletons" !n_singleton_factors 32
+      (fun (e : Mpp.Cost.entry) ->
+        match e.op with
+        | Mpp.Cost.Redistribute _ | Mpp.Cost.Broadcast _ | Mpp.Cost.Gather _ ->
+          Obs.incr obs "mpp.motions"
+        | Mpp.Cost.Hash_join { rows_out; max_seg_rows; _ } ->
+          Obs.add_time obs "mpp.join_busy_seconds" e.sim_seconds;
+          let nseg = cluster.Mpp.Cluster.nseg in
+          if rows_out > 0 && nseg > 1 then
+            Obs.gauge_max obs "mpp.seg_skew"
+              (float_of_int (max_seg_rows * nseg) /. float_of_int rows_out)
+        | Mpp.Cost.Seq_scan _ | Mpp.Cost.Coordinator _ -> ())
+      (Mpp.Cost.entries cost)
   end;
   {
     graph;

@@ -22,6 +22,12 @@ type options = {
   on_iteration :
     (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
       (** progress callback with the cumulative simulated clock *)
+  obs : Obs.t;
+      (** trace context (default {!Obs.null}).  When enabled, the run
+          emits [closure > iteration i > distribute/M1..M6] and
+          [factors] span trees plus [mpp.*] counters (motions, motion
+          bytes, per-segment join busy time and skew) derived from the
+          cost trace. *)
 }
 
 val default_options : options

@@ -184,6 +184,44 @@ let factors_out (s : Shape.t) =
       Join.Col (Join.Probe, 0);
     |]
 
+(* Logical-plan mirror of Query 1-i, for EXPLAIN: the same joins and
+   projections the physical path executes, expressed as a
+   [Relational.Plan.t] so the planner's cardinality estimates can be
+   printed (and compared) against observed row counts.  The physical path
+   folds the final dedup into the join; the plan makes it an explicit
+   [Distinct] node. *)
+module Plan = Relational.Plan
+
+let atoms_plan p pat pi =
+  let t = Storage.table pi in
+  let m_tbl = Mln.Partition.table p.parts pat in
+  match shape_of pat with
+  | One_atom s ->
+    (* Mi has 4 columns, so TΠ columns sit at offset 4 in the join. *)
+    let join =
+      Plan.Equi_join
+        { left = Plan.Scan m_tbl; right = Plan.Scan t;
+          lkey = s.m_key; rkey = s.t_key }
+    in
+    Plan.Distinct
+      (None, Plan.Project ([| 0; 4 + s.x_src; 2; 4 + s.y_src; 3 |], join))
+  | Two_atom s ->
+    (* Mi has 6 columns; J keeps (R1, R3, C1, C2, C3, z, x, I2). *)
+    let j =
+      Plan.Distinct
+        ( None,
+          Plan.Project
+            ( [| 0; 2; 3; 4; 5; 6 + s.z_src; 6 + s.x_src; 6 |],
+              Plan.Equi_join
+                { left = Plan.Scan m_tbl; right = Plan.Scan t;
+                  lkey = s.m_key1; rkey = s.t_key1 } ) )
+    in
+    let join2 =
+      Plan.Equi_join
+        { left = j; right = Plan.Scan t; lkey = s.j_key2; rkey = s.t_key2 }
+    in
+    Plan.Distinct (None, Plan.Project ([| 0; 6; 2; 8 + s.y_src; 3 |], join2))
+
 (* Step 1 of two-atom patterns: J = Mi ⋈ (q side) — [q_tbl] is normally
    TΠ, or the delta facts under semi-naive evaluation. *)
 let step1 midx pat (s : Shape.t) q_tbl =

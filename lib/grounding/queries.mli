@@ -65,6 +65,13 @@ val prepare : Mln.Partition.t -> prepared
 (** [partitions p] is the underlying partition set. *)
 val partitions : prepared -> Mln.Partition.t
 
+(** [atoms_plan p pat pi] is Query 1-i expressed as a logical plan over
+    the *current* [Mi] and [TΠ] tables — the same joins and projections
+    the physical path runs, with the join-folded dedup made an explicit
+    [Distinct].  Feed it to [Relational.Plan.explain] (estimates only) or
+    [Plan.analyze] (estimates vs. observed rows) for EXPLAIN output. *)
+val atoms_plan : prepared -> Mln.Pattern.t -> Kb.Storage.t -> Relational.Plan.t
+
 (** [ground_atoms p pat pi] is Query 1-i: the head atoms derivable by the
     rules of partition [pat] from the current facts.  The result has
     columns [R, x, C1, y, C2] and may contain duplicates (the caller

@@ -57,8 +57,9 @@ let debug_checks =
    PROBKB_DOMAINS. *)
 let chunk_size = 256
 
-let marginals ?(options = Gibbs.default_options) ?pool c =
+let marginals ?(options = Gibbs.default_options) ?(obs = Obs.null) ?pool c =
   let n = Fgraph.nvars c in
+  let t_start = if Obs.enabled obs then Unix.gettimeofday () else 0. in
   let colors = color c in
   if Lazy.force debug_checks && not (verify_coloring c colors) then
     invalid_arg "Chromatic.marginals: improper coloring";
@@ -88,33 +89,52 @@ let marginals ?(options = Gibbs.default_options) ?pool c =
   let sweep estimate =
     incr sweep_no;
     let s = !sweep_no in
-    Array.iteri
-      (fun k cls ->
-        (* One parallel step: variables of a colour class share no factor,
-           so their conditionals are mutually independent — neither the
-           conditional of [v] nor its flip touches any state another chunk
-           of the same class reads.  Classes are separated by the
-           pool barrier. *)
-        let chs = class_chunks.(k) in
-        Pool.parallel_for pool ~n:(Array.length chs) (fun j ->
-            let lo, hi = chs.(j) in
-            let rng =
-              Random.State.make [| options.seed; s; chunk_id0.(k) + j |]
-            in
-            for i = lo to hi - 1 do
-              let v = cls.(i) in
-              let p = Gibbs.conditional c assignment v in
-              assignment.(v) <- Random.State.float rng 1. < p;
-              if estimate then acc.(v) <- acc.(v) +. p
-            done))
-      by_color
+    (* Spans share the name "sweep"/"class k" on purpose: the summary
+       aggregates by path, so the tree stays bounded by the colour count
+       while still timing every class of every sweep. *)
+    Obs.with_span obs "sweep" ~cat:"inference" (fun () ->
+        Array.iteri
+          (fun k cls ->
+            (* One parallel step: variables of a colour class share no
+               factor, so their conditionals are mutually independent —
+               neither the conditional of [v] nor its flip touches any
+               state another chunk of the same class reads.  Classes are
+               separated by the pool barrier. *)
+            Obs.with_span obs
+              (Printf.sprintf "class %d" k)
+              ~cat:"inference"
+              (fun () ->
+                let chs = class_chunks.(k) in
+                Pool.parallel_for pool ~n:(Array.length chs) (fun j ->
+                    let lo, hi = chs.(j) in
+                    let rng =
+                      Random.State.make [| options.seed; s; chunk_id0.(k) + j |]
+                    in
+                    for i = lo to hi - 1 do
+                      let v = cls.(i) in
+                      let p = Gibbs.conditional c assignment v in
+                      assignment.(v) <- Random.State.float rng 1. < p;
+                      if estimate then acc.(v) <- acc.(v) +. p
+                    done)))
+          by_color)
   in
-  for _ = 1 to options.burn_in do
-    sweep false
-  done;
-  for _ = 1 to options.samples do
-    sweep true
-  done;
+  Obs.with_span obs "burn_in" ~cat:"inference" (fun () ->
+      for _ = 1 to options.burn_in do
+        sweep false
+      done);
+  Obs.with_span obs "sampling" ~cat:"inference" (fun () ->
+      for _ = 1 to options.samples do
+        sweep true
+      done);
+  if Obs.enabled obs then begin
+    let elapsed = Unix.gettimeofday () -. t_start in
+    Obs.add obs "gibbs.sweeps" !sweep_no;
+    Obs.add obs "gibbs.variables" n;
+    Obs.gauge obs "gibbs.colors" (float_of_int (Array.length by_color));
+    if elapsed > 0. then
+      Obs.gauge obs "gibbs.samples_per_sec"
+        (float_of_int (!sweep_no * n) /. elapsed)
+  end;
   Array.map (fun a -> a /. float_of_int (max 1 options.samples)) acc
 
 let schedule_stats c =

@@ -33,12 +33,16 @@ val color : Factor_graph.Fgraph.compiled -> int array
     test suite calls it directly. *)
 val verify_coloring : Factor_graph.Fgraph.compiled -> int array -> bool
 
-(** [marginals ?options ?pool c] estimates marginals with the chromatic
-    schedule, sweeping each colour class across [pool] (default
+(** [marginals ?options ?obs ?pool c] estimates marginals with the
+    chromatic schedule, sweeping each colour class across [pool] (default
     {!Pool.get_default}).  Options are shared with {!Gibbs.options};
-    results do not depend on the pool size. *)
+    results do not depend on the pool size.  When [obs] (default
+    {!Obs.null}) is enabled, sweeps emit an aggregated
+    [burn_in/sampling > sweep > class k] span tree plus [gibbs.*]
+    counters and a samples-per-second gauge. *)
 val marginals :
   ?options:Gibbs.options ->
+  ?obs:Obs.t ->
   ?pool:Pool.t ->
   Factor_graph.Fgraph.compiled ->
   float array

@@ -6,15 +6,15 @@ type method_ =
   | Chromatic of Gibbs.options
   | Bp of Bp.options
 
-let infer_compiled c = function
+let infer_compiled ?(obs = Obs.null) c = function
   | Exact -> Exact.marginals c
   | Gibbs options -> Gibbs.marginals ~options c
-  | Chromatic options -> Chromatic.marginals ~options c
+  | Chromatic options -> Chromatic.marginals ~options ~obs c
   | Bp options -> fst (Bp.marginals ~options c)
 
-let infer g m =
+let infer ?obs g m =
   let c = Fgraph.compile g in
-  let marg = infer_compiled c m in
+  let marg = infer_compiled ?obs c m in
   let out = Hashtbl.create (Array.length marg) in
   Array.iteri (fun v p -> Hashtbl.replace out c.Fgraph.var_ids.(v) p) marg;
   out

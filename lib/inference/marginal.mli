@@ -11,11 +11,13 @@ type method_ =
   | Chromatic of Gibbs.options  (** the GraphLab-style parallel schedule *)
   | Bp of Bp.options  (** loopy belief propagation (sum-product) *)
 
-(** [infer g method_] compiles [g] and returns fact identifier →
-    P(fact = true). *)
-val infer : Factor_graph.Fgraph.t -> method_ -> (int, float) Hashtbl.t
+(** [infer ?obs g method_] compiles [g] and returns fact identifier →
+    P(fact = true).  [obs] (default {!Obs.null}) is threaded to samplers
+    that record telemetry (currently {!Chromatic}). *)
+val infer :
+  ?obs:Obs.t -> Factor_graph.Fgraph.t -> method_ -> (int, float) Hashtbl.t
 
-(** [infer_compiled c method_] runs on an already compiled graph and
+(** [infer_compiled ?obs c method_] runs on an already compiled graph and
     returns marginals per dense variable. *)
 val infer_compiled :
-  Factor_graph.Fgraph.compiled -> method_ -> float array
+  ?obs:Obs.t -> Factor_graph.Fgraph.compiled -> method_ -> float array

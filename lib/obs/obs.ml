@@ -1,0 +1,561 @@
+module Json = Json
+
+let now = Unix.gettimeofday
+
+module Config = struct
+  type t = { enabled : bool }
+
+  let disabled = { enabled = false }
+  let enabled = { enabled = true }
+  let default = disabled
+  let make ?(enabled = false) () = { enabled }
+end
+
+type value = I of int | F of float | S of string
+
+let json_of_value = function
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | S s -> Json.String s
+
+type span = {
+  id : int;
+  parent : int; (* -1 = root *)
+  name : string;
+  cat : string;
+  dom : int;
+  t0 : float;
+  mutable t1 : float;
+  mutable attrs : (string * value) list;
+  seq : int; (* per-domain recording order *)
+}
+
+type buffer = {
+  dom_id : int;
+  mutable closed : span list; (* newest first *)
+  mutable stack : span list; (* open spans on this domain *)
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, float ref) Hashtbl.t;
+  gauges : (string, (int * float) ref) Hashtbl.t; (* write seq, value *)
+  mutable seq : int;
+}
+
+type registry = { reg_mutex : Mutex.t; mutable all : buffer list }
+
+type t = {
+  enabled : bool;
+  t_start : float;
+  next_id : int Atomic.t;
+  gauge_seq : int Atomic.t;
+  (* Parent for spans opened on a domain with an empty local stack: worker
+     domains inherit the creator domain's innermost open span, so work
+     fanned out through the pool nests under the span that submitted it.
+     Pool submissions are synchronous barriers, so this value is stable
+     for the whole parallel region. *)
+  ambient_parent : int Atomic.t;
+  creator_dom : int;
+  registry : registry;
+  key : buffer Domain.DLS.key;
+}
+
+type trace = t
+
+let fresh_buffer dom_id =
+  {
+    dom_id;
+    closed = [];
+    stack = [];
+    counters = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    seq = 0;
+  }
+
+let make_trace enabled =
+  let registry = { reg_mutex = Mutex.create (); all = [] } in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b = fresh_buffer (Domain.self () :> int) in
+        Mutex.lock registry.reg_mutex;
+        registry.all <- b :: registry.all;
+        Mutex.unlock registry.reg_mutex;
+        b)
+  in
+  {
+    enabled;
+    t_start = now ();
+    next_id = Atomic.make 1;
+    gauge_seq = Atomic.make 0;
+    ambient_parent = Atomic.make (-1);
+    creator_dom = (Domain.self () :> int);
+    registry;
+    key;
+  }
+
+let create ?(config = Config.default) () = make_trace config.Config.enabled
+let null = make_trace false
+let enabled t = t.enabled
+
+(* --- ambient context -------------------------------------------------
+
+   Deep operators (hash joins, distincts) sit far below any API that
+   could reasonably thread a trace argument; they read the process-wide
+   ambient trace instead.  The engine installs its trace for the duration
+   of a pipeline stage.  The ambient trace is only ever set from the
+   domain that owns the enclosing stage, before any parallel region
+   starts, so a plain atomic is enough. *)
+
+let ambient_trace = Atomic.make null
+let ambient () = Atomic.get ambient_trace
+let set_ambient t = Atomic.set ambient_trace t
+
+let with_ambient t f =
+  let saved = Atomic.get ambient_trace in
+  Atomic.set ambient_trace t;
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_trace saved) f
+
+(* --- spans --- *)
+
+type sp = No_span | Sp of span
+
+let begin_span ?(cat = "") t name =
+  if not t.enabled then No_span
+  else begin
+    let b = Domain.DLS.get t.key in
+    let parent =
+      match b.stack with
+      | s :: _ -> s.id
+      | [] -> Atomic.get t.ambient_parent
+    in
+    let s =
+      {
+        id = Atomic.fetch_and_add t.next_id 1;
+        parent;
+        name;
+        cat;
+        dom = b.dom_id;
+        t0 = now ();
+        t1 = Float.nan;
+        attrs = [];
+        seq = b.seq;
+      }
+    in
+    b.seq <- b.seq + 1;
+    b.stack <- s :: b.stack;
+    if b.dom_id = t.creator_dom then Atomic.set t.ambient_parent s.id;
+    Sp s
+  end
+
+let set_attr sp name v =
+  match sp with
+  | No_span -> ()
+  | Sp s -> s.attrs <- (name, v) :: List.remove_assoc name s.attrs
+
+let end_span ?(attrs = []) t sp =
+  match sp with
+  | No_span -> ()
+  | Sp s ->
+    let b = Domain.DLS.get t.key in
+    s.t1 <- Float.max s.t0 (now ());
+    s.attrs <- List.rev attrs @ s.attrs;
+    (* Pop the local stack down to (and including) [s]; spans must be
+       ended on the domain that began them, innermost first. *)
+    let rec pop = function
+      | top :: rest when top.id = s.id -> rest
+      | _ :: rest -> pop rest
+      | [] -> []
+    in
+    b.stack <- pop b.stack;
+    b.closed <- s :: b.closed;
+    if b.dom_id = t.creator_dom then Atomic.set t.ambient_parent s.parent
+
+let with_span ?cat ?(attrs = []) t name f =
+  if not t.enabled then f ()
+  else begin
+    let sp = begin_span ?cat t name in
+    match f () with
+    | result ->
+      end_span ~attrs t sp;
+      result
+    | exception e ->
+      end_span ~attrs:(("error", S (Printexc.to_string e)) :: attrs) t sp;
+      raise e
+  end
+
+(* --- counters / timers / gauges --- *)
+
+let add t name n =
+  if t.enabled && n <> 0 then begin
+    let b = Domain.DLS.get t.key in
+    match Hashtbl.find_opt b.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace b.counters name (ref n)
+  end
+
+let incr t name = add t name 1
+
+let add_time t name s =
+  if t.enabled && s <> 0. then begin
+    let b = Domain.DLS.get t.key in
+    match Hashtbl.find_opt b.timers name with
+    | Some r -> r := !r +. s
+    | None -> Hashtbl.replace b.timers name (ref s)
+  end
+
+let gauge t name v =
+  if t.enabled then begin
+    let b = Domain.DLS.get t.key in
+    let seq = Atomic.fetch_and_add t.gauge_seq 1 in
+    match Hashtbl.find_opt b.gauges name with
+    | Some r -> r := (seq, v)
+    | None -> Hashtbl.replace b.gauges name (ref (seq, v))
+  end
+
+let gauge_max t name v =
+  if t.enabled then begin
+    let b = Domain.DLS.get t.key in
+    match Hashtbl.find_opt b.gauges name with
+    | Some r ->
+      let seq, prev = !r in
+      if v > prev then r := (seq, v)
+    | None ->
+      Hashtbl.replace b.gauges name
+        (ref (Atomic.fetch_and_add t.gauge_seq 1, v))
+  end
+
+let timed t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> add_time t name (now () -. t0)) f
+  end
+
+(* --- merging -------------------------------------------------------- *)
+
+let buffers t =
+  Mutex.lock t.registry.reg_mutex;
+  let all = t.registry.all in
+  Mutex.unlock t.registry.reg_mutex;
+  all
+
+(* Closed spans from every domain, oldest first, with a deterministic
+   tie-break (domain id, per-domain sequence). *)
+let all_spans t =
+  let spans =
+    List.concat_map (fun b -> b.closed) (buffers t) |> Array.of_list
+  in
+  Array.sort
+    (fun a b ->
+      match Float.compare a.t0 b.t0 with
+      | 0 -> compare (a.dom, a.seq) (b.dom, b.seq)
+      | c -> c)
+    spans;
+  spans
+
+(* "iteration 10" must sort after "iteration 2": compare mixed strings by
+   alternating text and numeric runs. *)
+let natural_compare a b =
+  let len_a = String.length a and len_b = String.length b in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec go i j =
+    if i >= len_a && j >= len_b then 0
+    else if i >= len_a then -1
+    else if j >= len_b then 1
+    else if is_digit a.[i] && is_digit b.[j] then begin
+      let rec num s k len = if k < len && is_digit s.[k] then num s (k + 1) len else k in
+      let i' = num a i len_a and j' = num b j len_b in
+      let na = int_of_string (String.sub a i (i' - i))
+      and nb = int_of_string (String.sub b j (j' - j)) in
+      match compare na nb with 0 -> go i' j' | c -> c
+    end
+    else
+      match Char.compare a.[i] b.[j] with 0 -> go (i + 1) (j + 1) | c -> c
+  in
+  go 0 0
+
+module Summary = struct
+  type node = {
+    name : string;
+    count : int;
+    seconds : float;
+    children : node list;
+  }
+
+  type t = {
+    total_seconds : float;
+    spans : node list;
+    counters : (string * int) list;
+    timers : (string * float) list;
+    gauges : (string * float) list;
+  }
+
+  let empty =
+    { total_seconds = 0.; spans = []; counters = []; timers = []; gauges = [] }
+
+  (* Aggregation node under construction. *)
+  type agg = {
+    mutable a_count : int;
+    mutable a_seconds : float;
+    a_children : (string, agg) Hashtbl.t;
+  }
+
+  let fresh_agg () =
+    { a_count = 0; a_seconds = 0.; a_children = Hashtbl.create 4 }
+
+  let rec finalize name agg =
+    let children =
+      Hashtbl.fold (fun n a acc -> finalize n a :: acc) agg.a_children []
+      |> List.sort (fun a b -> natural_compare a.name b.name)
+    in
+    { name; count = agg.a_count; seconds = agg.a_seconds; children }
+
+  let of_trace trace =
+    if not (enabled trace) then empty
+    else begin
+      let spans = all_spans trace in
+      let by_id = Hashtbl.create (Array.length spans) in
+      Array.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
+      (* Path of a span: names from the root down.  A parent that was
+         never closed (or predates the snapshot) roots the chain. *)
+      let rec path s =
+        match Hashtbl.find_opt by_id s.parent with
+        | Some p -> s.name :: path p
+        | None -> [ s.name ]
+      in
+      let root = fresh_agg () in
+      Array.iter
+        (fun s ->
+          let rev_path = List.rev (path s) in
+          let node =
+            List.fold_left
+              (fun agg name ->
+                match Hashtbl.find_opt agg.a_children name with
+                | Some child -> child
+                | None ->
+                  let child = fresh_agg () in
+                  Hashtbl.replace agg.a_children name child;
+                  child)
+              root rev_path
+          in
+          node.a_count <- node.a_count + 1;
+          node.a_seconds <- node.a_seconds +. (s.t1 -. s.t0))
+        spans;
+      let tree = finalize "" root in
+      let sorted_list of_tbl =
+        List.concat_map
+          (fun b -> of_tbl b)
+          (buffers trace)
+      in
+      let counters =
+        let merged = Hashtbl.create 16 in
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace merged k
+              (v + Option.value ~default:0 (Hashtbl.find_opt merged k)))
+          (sorted_list (fun b ->
+               Hashtbl.fold (fun k r acc -> (k, !r) :: acc) b.counters []));
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let timers =
+        let merged = Hashtbl.create 16 in
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace merged k
+              (v +. Option.value ~default:0. (Hashtbl.find_opt merged k)))
+          (sorted_list (fun b ->
+               Hashtbl.fold (fun k r acc -> (k, !r) :: acc) b.timers []));
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let gauges =
+        let merged = Hashtbl.create 8 in
+        List.iter
+          (fun (k, (seq, v)) ->
+            match Hashtbl.find_opt merged k with
+            | Some (seq', _) when seq' > seq -> ()
+            | _ -> Hashtbl.replace merged k (seq, v))
+          (sorted_list (fun b ->
+               Hashtbl.fold (fun k r acc -> (k, !r) :: acc) b.gauges []));
+        Hashtbl.fold (fun k (_, v) acc -> (k, v) :: acc) merged []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let total_seconds =
+        List.fold_left (fun acc n -> acc +. n.seconds) 0. tree.children
+      in
+      { total_seconds; spans = tree.children; counters; timers; gauges }
+    end
+
+  (* --- JSON ---------------------------------------------------------- *)
+
+  let rec node_to_json n =
+    Json.Obj
+      ([
+         ("name", Json.String n.name);
+         ("count", Json.Int n.count);
+         ("seconds", Json.Float n.seconds);
+       ]
+      @
+      if n.children = [] then []
+      else [ ("children", Json.List (List.map node_to_json n.children)) ])
+
+  let to_json t =
+    Json.Obj
+      [
+        ("total_seconds", Json.Float t.total_seconds);
+        ("spans", Json.List (List.map node_to_json t.spans));
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters) );
+        ( "timers",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.timers) );
+        ( "gauges",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.gauges) );
+      ]
+
+  let decode_error what = failwith ("Obs.Summary.of_json: malformed " ^ what)
+
+  let get what decode j =
+    match decode j with Some v -> v | None -> decode_error what
+
+  let rec node_of_json j =
+    let name =
+      get "span name"
+        (fun j -> Option.bind (Json.member "name" j) Json.to_string_value)
+        j
+    in
+    let count =
+      get "span count" (fun j -> Option.bind (Json.member "count" j) Json.to_int) j
+    in
+    let seconds =
+      get "span seconds"
+        (fun j -> Option.bind (Json.member "seconds" j) Json.to_float)
+        j
+    in
+    let children =
+      match Json.member "children" j with
+      | None -> []
+      | Some (Json.List l) -> List.map node_of_json l
+      | Some _ -> decode_error "span children"
+    in
+    { name; count; seconds; children }
+
+  let assoc_of_json what decode j =
+    match j with
+    | Some (Json.Obj fields) ->
+      List.map (fun (k, v) -> (k, get what decode v)) fields
+    | None -> []
+    | Some _ -> decode_error what
+
+  let of_json j =
+    let total_seconds =
+      get "total_seconds"
+        (fun j -> Option.bind (Json.member "total_seconds" j) Json.to_float)
+        j
+    in
+    let spans =
+      match Json.member "spans" j with
+      | Some (Json.List l) -> List.map node_of_json l
+      | None -> []
+      | Some _ -> decode_error "spans"
+    in
+    {
+      total_seconds;
+      spans;
+      counters = assoc_of_json "counters" Json.to_int (Json.member "counters" j);
+      timers = assoc_of_json "timers" Json.to_float (Json.member "timers" j);
+      gauges = assoc_of_json "gauges" Json.to_float (Json.member "gauges" j);
+    }
+
+  let of_json_string s = of_json (Json.of_string s)
+
+  (* --- lookup -------------------------------------------------------- *)
+
+  let find t path =
+    let rec go nodes = function
+      | [] -> None
+      | [ name ] -> List.find_opt (fun n -> n.name = name) nodes
+      | name :: rest ->
+        Option.bind
+          (List.find_opt (fun n -> n.name = name) nodes)
+          (fun n -> go n.children rest)
+    in
+    go t.spans path
+
+  let counter t name =
+    Option.value ~default:0 (List.assoc_opt name t.counters)
+
+  (* --- rendering ----------------------------------------------------- *)
+
+  let rec pp_node ppf ~depth n =
+    Format.fprintf ppf "%s%-*s %5dx %9.3fs@,"
+      (String.make (2 * depth) ' ')
+      (max 1 (34 - (2 * depth)))
+      n.name n.count n.seconds;
+    List.iter (pp_node ppf ~depth:(depth + 1)) n.children
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    if t.spans = [] then Format.fprintf ppf "(no spans recorded)@,"
+    else begin
+      Format.fprintf ppf "span tree (%.3fs total):@," t.total_seconds;
+      List.iter (pp_node ppf ~depth:1) t.spans
+    end;
+    if t.counters <> [] then begin
+      Format.fprintf ppf "counters:@,";
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "  %-34s %12d@," k v)
+        t.counters
+    end;
+    if t.timers <> [] then begin
+      Format.fprintf ppf "timers:@,";
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "  %-34s %11.3fs@," k v)
+        t.timers
+    end;
+    if t.gauges <> [] then begin
+      Format.fprintf ppf "gauges:@,";
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "  %-34s %12.3f@," k v)
+        t.gauges
+    end;
+    Format.fprintf ppf "@]"
+end
+
+(* --- Chrome trace_event export -------------------------------------- *)
+
+let chrome_trace_json t =
+  let spans = all_spans t in
+  let events =
+    Array.to_list spans
+    |> List.map (fun s ->
+           let us x = Float.round (x *. 1e6) in
+           Json.Obj
+             ([
+                ("name", Json.String s.name);
+                ( "cat",
+                  Json.String (if s.cat = "" then "probkb" else s.cat) );
+                ("ph", Json.String "X");
+                ("ts", Json.Float (us (s.t0 -. t.t_start)));
+                ("dur", Json.Float (us (s.t1 -. s.t0)));
+                ("pid", Json.Int 1);
+                ("tid", Json.Int s.dom);
+              ]
+             @
+             if s.attrs = [] then []
+             else
+               [
+                 ( "args",
+                   Json.Obj
+                     (List.rev_map
+                        (fun (k, v) -> (k, json_of_value v))
+                        s.attrs) );
+               ]))
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome_trace t oc =
+  output_string oc (Json.to_pretty_string (chrome_trace_json t))

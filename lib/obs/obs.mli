@@ -1,0 +1,172 @@
+(** Pipeline observability: structured tracing, counters, and metrics.
+
+    A trace context ({!t}) collects monotonic-clock spans (with parent
+    nesting), named counters, float timers, and gauges.  Recording is
+    race-free under the domain pool: every domain writes to its own
+    buffer (domain-local storage), and the buffers are merged only when a
+    summary or a trace file is produced.  A disabled context (the
+    default, {!null}) reduces every instrumentation point to a single
+    branch, so the instrumented engine stays within noise of the
+    uninstrumented one.
+
+    Spans fanned out through [Pool] nest under the span that submitted
+    them: a worker domain whose local span stack is empty parents new
+    spans on the creator domain's innermost open span.  Because pool
+    submissions are synchronous barriers, the resulting merged tree is
+    the same for any pool size.
+
+    Exports: {!Summary} (aggregated tree + counters, with JSON in both
+    directions), and {!write_chrome_trace} (Chrome [trace_event] format,
+    loadable in [chrome://tracing] / Perfetto). *)
+
+(** Minimal JSON values, printer and parser (no external dependency). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Malformed of string
+
+  val to_string : t -> string
+  val to_pretty_string : t -> string
+  val pp : Format.formatter -> t -> unit
+
+  (** @raise Malformed on invalid input. *)
+  val of_string : string -> t
+
+  val of_string_opt : string -> t option
+  val member : string -> t -> t option
+  val to_int : t -> int option
+  val to_float : t -> float option
+  val to_string_value : t -> string option
+  val to_list : t -> t list option
+end
+
+module Config : sig
+  type t = { enabled : bool }
+
+  val default : t
+  (** disabled *)
+
+  val disabled : t
+  val enabled : t
+  val make : ?enabled:bool -> unit -> t
+end
+
+(** Attribute values attached to spans. *)
+type value = I of int | F of float | S of string
+
+type t
+(** A trace context. *)
+
+type trace = t
+
+val create : ?config:Config.t -> unit -> t
+
+val null : t
+(** the shared disabled context; recording into it is free *)
+
+val enabled : t -> bool
+
+(** {2 Ambient context}
+
+    Operators too deep to thread a trace argument through (hash joins,
+    distinct) read the process-wide ambient trace.  [null] unless a
+    pipeline stage installed its trace. *)
+
+val ambient : unit -> t
+val set_ambient : t -> unit
+val with_ambient : t -> (unit -> 'a) -> 'a
+
+(** {2 Spans} *)
+
+type sp
+(** An open span handle (a no-op token when the trace is disabled). *)
+
+val begin_span : ?cat:string -> t -> string -> sp
+val set_attr : sp -> string -> value -> unit
+val end_span : ?attrs:(string * value) list -> t -> sp -> unit
+
+(** [with_span t name f] wraps [f] in a span; the span is closed (with an
+    ["error"] attribute) even if [f] raises.  Begin/end pairs must run on
+    the same domain, innermost first — [with_span] guarantees both. *)
+val with_span :
+  ?cat:string ->
+  ?attrs:(string * value) list ->
+  t ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** {2 Counters, timers, gauges} *)
+
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+val add_time : t -> string -> float -> unit
+
+(** [gauge t name v] sets a last-write-wins gauge. *)
+val gauge : t -> string -> float -> unit
+
+(** [gauge_max t name v] keeps the maximum over all writes. *)
+val gauge_max : t -> string -> float -> unit
+
+(** [timed t name f] accumulates [f]'s duration into timer [name]. *)
+val timed : t -> string -> (unit -> 'a) -> 'a
+
+(** [natural_compare a b] orders mixed text/number strings so that
+    ["iteration 10"] sorts after ["iteration 2"]. *)
+val natural_compare : string -> string -> int
+
+(** {2 Aggregated summaries} *)
+
+module Summary : sig
+  (** One aggregation node: all spans sharing a root-to-here name path,
+      children sorted by {!natural_compare}. *)
+  type node = {
+    name : string;
+    count : int;
+    seconds : float;
+    children : node list;
+  }
+
+  type t = {
+    total_seconds : float;  (** sum over root spans *)
+    spans : node list;
+    counters : (string * int) list;  (** sorted by name *)
+    timers : (string * float) list;
+    gauges : (string * float) list;
+  }
+
+  val empty : t
+
+  (** [of_trace trace] merges the per-domain buffers (closed spans only)
+      into a deterministic aggregated tree.  Call it between parallel
+      regions, not during one. *)
+  val of_trace : trace -> t
+
+  val to_json : t -> Json.t
+
+  (** @raise Failure on JSON that does not encode a summary. *)
+  val of_json : Json.t -> t
+
+  (** @raise Json.Malformed / Failure on malformed input. *)
+  val of_json_string : string -> t
+
+  (** [find t path] walks the span tree by name. *)
+  val find : t -> string list -> node option
+
+  (** [counter t name] is the counter's merged total (0 when absent). *)
+  val counter : t -> string -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {2 Chrome trace_event export} *)
+
+val write_chrome_trace : t -> out_channel -> unit
+val chrome_trace_json : t -> Json.t

@@ -86,8 +86,20 @@ let violations pi omega =
   @ violations_of_type pi omega Funcon.Type_II
 
 let apply_collect ?(ban = true) pi omega =
+  let obs = Obs.ambient () in
+  let t0 = if Obs.enabled obs then Unix.gettimeofday () else 0. in
+  let record vs deleted =
+    if Obs.enabled obs then begin
+      Obs.add obs "quality.violations" (List.length vs);
+      Obs.add obs "quality.deleted" deleted;
+      Obs.add_time obs "quality.seconds" (Unix.gettimeofday () -. t0)
+    end
+  in
   let vs = violations pi omega in
-  if vs = [] then ([], 0)
+  if vs = [] then begin
+    record [] 0;
+    ([], 0)
+  end
   else begin
     (* Delete every fact whose constrained position holds a violating
        (entity, class) pair. *)
@@ -106,6 +118,7 @@ let apply_collect ?(ban = true) pi omega =
           Hashtbl.mem bad_subject (Table.get t row 2, Table.get t row 3)
           || Hashtbl.mem bad_object (Table.get t row 4, Table.get t row 5))
     in
+    record vs deleted;
     (vs, deleted)
   end
 

@@ -45,6 +45,11 @@ val count_matches : t -> int array -> int
 (** [size idx] is the number of indexed rows. *)
 val size : t -> int
 
+(** [chain_stats idx] is [(collisions, max_chain)]: how many indexed rows
+    share a bucket with an earlier row, and the longest bucket chain.
+    O(buckets + rows) — meant for telemetry, not hot paths. *)
+val chain_stats : t -> int * int
+
 (** [hash_key kv] is the hash used internally for a key tuple; exposed so
     the MPP layer hash-distributes rows consistently with join probes. *)
 val hash_key : int array -> int

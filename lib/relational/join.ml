@@ -56,8 +56,8 @@ let probe_range ~out ~oweight ~residual bidx (ptbl, pkey) result dedup_idx lo
    more than they save. *)
 let parallel_probe_threshold = 2048
 
-let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual ?pool
-    bidx (ptbl, pkey) =
+let hash_join_pre_raw ~name ~cols ~out ~oweight ?(dedup = false) ?residual
+    ?pool bidx (ptbl, pkey) =
   if Array.length (Index.key bidx) <> Array.length pkey then
     invalid_arg "Join.hash_join: key arity mismatch";
   let weighted = oweight <> No_weight in
@@ -102,6 +102,17 @@ let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual ?pool
         ~init:[]
       |> List.rev
     in
+    (* Partition skew: ratio of the heaviest chunk's output to the mean —
+       1.0 means the probe work split evenly across the pool. *)
+    (let obs = Obs.ambient () in
+     if Obs.enabled obs then begin
+       let rows = List.map Table.nrows parts in
+       let total = List.fold_left ( + ) 0 rows in
+       let mean = float_of_int total /. float_of_int (max 1 nworkers) in
+       if mean > 0. then
+         Obs.gauge_max obs "join.partition_skew"
+           (float_of_int (List.fold_left max 0 rows) /. mean)
+     end);
     if not dedup then begin
       match parts with
       | [] -> fst (fresh_result ())
@@ -128,9 +139,39 @@ let hash_join_pre ~name ~cols ~out ~oweight ?(dedup = false) ?residual ?pool
     end
   end
 
+(* Telemetry wrapper: when the ambient trace is enabled, record rows
+   in/out, probe time, and hash-chain statistics of the build index; when
+   disabled this is one branch over the raw join. *)
+let hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
+    (ptbl, pkey) =
+  let obs = Obs.ambient () in
+  if not (Obs.enabled obs) then
+    hash_join_pre_raw ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
+      (ptbl, pkey)
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let result =
+      hash_join_pre_raw ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
+        (ptbl, pkey)
+    in
+    Obs.incr obs "join.joins";
+    Obs.add obs "join.build_rows" (Index.size bidx);
+    Obs.add obs "join.probe_rows" (Table.nrows ptbl);
+    Obs.add obs "join.rows_out" (Table.nrows result);
+    Obs.add_time obs "join.probe_seconds" (Unix.gettimeofday () -. t0);
+    let collisions, max_chain = Index.chain_stats bidx in
+    Obs.add obs "join.hash_collisions" collisions;
+    Obs.gauge_max obs "join.max_hash_chain" (float_of_int max_chain);
+    result
+  end
+
 let hash_join ~name ~cols ~out ~oweight ?dedup ?residual ?pool (btbl, bkey)
     (ptbl, pkey) =
+  let obs = Obs.ambient () in
+  let t0 = if Obs.enabled obs then Unix.gettimeofday () else 0. in
   let bidx = Index.build btbl bkey in
+  if Obs.enabled obs then
+    Obs.add_time obs "join.build_seconds" (Unix.gettimeofday () -. t0);
   hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
     (ptbl, pkey)
 

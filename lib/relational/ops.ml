@@ -8,7 +8,7 @@ let distinct_range t key out idx lo hi =
 
 let parallel_distinct_threshold = 4096
 
-let distinct ?pool t key =
+let distinct_raw ?pool t key =
   let fresh () =
     let out =
       Table.create ~weighted:(Table.weighted t) ~name:(Table.name t)
@@ -43,6 +43,19 @@ let distinct ?pool t key =
     let out, idx = fresh () in
     List.iter (fun part -> distinct_range part key out idx 0 (Table.nrows part))
       parts;
+    out
+  end
+
+let distinct ?pool t key =
+  let obs = Obs.ambient () in
+  if not (Obs.enabled obs) then distinct_raw ?pool t key
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let out = distinct_raw ?pool t key in
+    Obs.add obs "distinct.rows_in" (Table.nrows t);
+    Obs.add obs "distinct.rows_out" (Table.nrows out);
+    Obs.add obs "distinct.duplicates" (Table.nrows t - Table.nrows out);
+    Obs.add_time obs "distinct.seconds" (Unix.gettimeofday () -. t0);
     out
   end
 

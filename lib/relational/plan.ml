@@ -108,6 +108,23 @@ let project_table tbl cols name =
     tbl;
   out
 
+(* The physical equi-join shared by [run] and [analyze]: build on the
+   smaller materialized input, emit l's columns then r's regardless of
+   which side physically builds. *)
+let exec_join ?pool p l r lkey rkey =
+  let build_left = Table.nrows l <= Table.nrows r in
+  let btbl, bkey, ptbl, pkey =
+    if build_left then (l, lkey, r, rkey) else (r, rkey, l, lkey)
+  in
+  let out_for tbl side = Array.map (fun c -> Join.Col (side, c)) (all_cols tbl) in
+  let out =
+    Array.append
+      (out_for l (if build_left then Join.Build else Join.Probe))
+      (out_for r (if build_left then Join.Probe else Join.Build))
+  in
+  Join.hash_join ~name:"join" ~cols:(columns p) ~out ~oweight:Join.No_weight
+    ?pool (btbl, bkey) (ptbl, pkey)
+
 let rec run ?stats ?pool p =
   (* Validate schemas eagerly so errors carry plan context. *)
   ignore (columns p);
@@ -127,24 +144,7 @@ let rec run ?stats ?pool p =
     timed "project" Table.nrows (fun () -> project_table input cols "project")
   | Equi_join { left; right; lkey; rkey } ->
     let l = run ?stats ?pool left and r = run ?stats ?pool right in
-    timed "hash_join" Table.nrows (fun () ->
-        (* Build on the smaller materialized input. *)
-        let build_left = Table.nrows l <= Table.nrows r in
-        let btbl, bkey, ptbl, pkey =
-          if build_left then (l, lkey, r, rkey) else (r, rkey, l, lkey)
-        in
-        (* Output order is l's columns then r's, regardless of which side
-           physically builds. *)
-        let out_for tbl side =
-          Array.map (fun c -> Join.Col (side, c)) (all_cols tbl)
-        in
-        let out =
-          Array.append
-            (out_for l (if build_left then Join.Build else Join.Probe))
-            (out_for r (if build_left then Join.Probe else Join.Build))
-        in
-        Join.hash_join ~name:"join" ~cols:(columns p) ~out
-          ~oweight:Join.No_weight ?pool (btbl, bkey) (ptbl, pkey))
+    timed "hash_join" Table.nrows (fun () -> exec_join ?pool p l r lkey rkey)
   | Distinct (key, child) ->
     let input = run ?stats ?pool child in
     let key = Option.value key ~default:(all_cols input) in
@@ -191,3 +191,94 @@ let explain ppf p =
   Format.fprintf ppf "@[<v>";
   explain_node ppf ~indent:0 p;
   Format.fprintf ppf "@]"
+
+(* --- explain analyze --- *)
+
+type analysis = {
+  op : string;
+  schema : string array;
+  est_rows : int;
+  rows : int;
+  seconds : float;
+  children : analysis list;
+}
+
+let node_label = function
+  | Scan tbl -> Printf.sprintf "Seq Scan on %s" (Table.name tbl)
+  | Select (_, _) -> "Filter"
+  | Project (cols, _) ->
+    Printf.sprintf "Project [%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int cols)))
+  | Equi_join { lkey; rkey; _ } ->
+    Printf.sprintf "Hash Join on %s = %s"
+      (String.concat "," (Array.to_list (Array.map string_of_int lkey)))
+      (String.concat "," (Array.to_list (Array.map string_of_int rkey)))
+  | Distinct (_, _) -> "Distinct"
+  | Order_by (key, _) ->
+    Printf.sprintf "Sort by [%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int key)))
+
+let rec analyze ?pool p =
+  ignore (columns p);
+  let t0 = Stats.now () in
+  let table, children =
+    match p with
+    | Scan tbl -> (tbl, [])
+    | Select (pred, child) ->
+      let input, a = analyze ?pool child in
+      (Table.filter input (compile_pred pred input), [ a ])
+    | Project (cols, child) ->
+      let input, a = analyze ?pool child in
+      (project_table input cols "project", [ a ])
+    | Equi_join { left; right; lkey; rkey } ->
+      let l, al = analyze ?pool left in
+      let r, ar = analyze ?pool right in
+      (exec_join ?pool p l r lkey rkey, [ al; ar ])
+    | Distinct (key, child) ->
+      let input, a = analyze ?pool child in
+      let key = Option.value key ~default:(all_cols input) in
+      (Ops.distinct ?pool input key, [ a ])
+    | Order_by (key, child) ->
+      let input, a = analyze ?pool child in
+      (Sort.sort input key, [ a ])
+  in
+  ( table,
+    {
+      op = node_label p;
+      schema = columns p;
+      est_rows = estimate_rows p;
+      rows = Table.nrows table;
+      seconds = Stats.now () -. t0;
+      children;
+    } )
+
+let rec pp_analysis_node ppf ~indent a =
+  let pad = String.make indent ' ' in
+  Format.fprintf ppf "%s%s  (est=%d rows=%d time=%.3fms)@," pad a.op a.est_rows
+    a.rows (a.seconds *. 1e3);
+  Format.fprintf ppf "%s  -> [%s]@," pad
+    (String.concat ", " (Array.to_list a.schema));
+  List.iter (pp_analysis_node ppf ~indent:(indent + 2)) a.children
+
+let pp_analysis ppf a =
+  Format.fprintf ppf "@[<v>";
+  pp_analysis_node ppf ~indent:0 a;
+  Format.fprintf ppf "@]"
+
+let rec analysis_to_json a =
+  Obs.Json.Obj
+    [
+      ("op", Obs.Json.String a.op);
+      ( "schema",
+        Obs.Json.List
+          (Array.to_list (Array.map (fun c -> Obs.Json.String c) a.schema)) );
+      ("est_rows", Obs.Json.Int a.est_rows);
+      ("rows", Obs.Json.Int a.rows);
+      ("seconds", Obs.Json.Float a.seconds);
+      ("children", Obs.Json.List (List.map analysis_to_json a.children));
+    ]
+
+let explain_analyze ?pool ppf p =
+  let table, a = analyze ?pool p in
+  pp_analysis ppf a;
+  table

@@ -47,3 +47,32 @@ val run : ?stats:Stats.t -> ?pool:Pool.t -> t -> Table.t
 (** [explain ppf p] prints the plan tree with schemas and row
     estimates. *)
 val explain : Format.formatter -> t -> unit
+
+(** One plan node's EXPLAIN ANALYZE record: the estimated cardinality
+    side by side with what execution actually produced.  [seconds] is
+    inclusive of children (wall time to materialize this node). *)
+type analysis = {
+  op : string;
+  schema : string array;
+  est_rows : int;
+  rows : int;
+  seconds : float;
+  children : analysis list;
+}
+
+(** [analyze ?pool p] executes the plan like {!run} while recording, per
+    node, observed output cardinality and inclusive wall time alongside
+    the optimizer estimate. *)
+val analyze : ?pool:Pool.t -> t -> Table.t * analysis
+
+(** [pp_analysis ppf a] prints the analyzed tree, one node per line as
+    [op  (est=… rows=… time=…ms)]. *)
+val pp_analysis : Format.formatter -> analysis -> unit
+
+(** [analysis_to_json a] is the analyzed tree as JSON (for [--metrics
+    json] and bench artifacts). *)
+val analysis_to_json : analysis -> Obs.Json.t
+
+(** [explain_analyze ?pool ppf p] runs {!analyze}, prints the tree, and
+    returns the result table. *)
+val explain_analyze : ?pool:Pool.t -> Format.formatter -> t -> Table.t

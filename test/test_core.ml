@@ -4,7 +4,7 @@ let check_int = Alcotest.(check int)
 
 let test_expand_worked_example () =
   let kb, _, _ = Tutil.ruth_gruber_kb () in
-  let engine = Probkb.Engine.create ~config:(Probkb.Config.no_inference Probkb.Config.default) kb in
+  let engine = Probkb.Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb in
   let e = Probkb.Engine.expand engine in
   Alcotest.(check bool) "converged" true e.Probkb.Engine.converged;
   check_int "new facts" 5 e.Probkb.Engine.new_fact_count;
@@ -15,7 +15,7 @@ let test_run_stores_marginals () =
   let kb, _, _ = Tutil.ruth_gruber_kb () in
   let engine =
     Probkb.Engine.create
-      ~config:{ Probkb.Config.default with inference = Some Inference.Marginal.Exact }
+      ~config:(Probkb.Config.make ~inference:(Some Inference.Marginal.Exact) ())
       kb
   in
   let result = Probkb.Engine.run engine in
@@ -42,12 +42,7 @@ let test_rule_cleaning_config () =
   let kb, _, _ = Tutil.ruth_gruber_kb () in
   let engine =
     Probkb.Engine.create
-      ~config:
-        (Probkb.Config.no_inference
-           {
-             Probkb.Config.default with
-             quality = { Probkb.Config.semantic_constraints = false; rule_theta = 0.34 };
-           })
+      ~config:(Probkb.Config.make ~inference:None ~rule_theta:0.34 ())
       kb
   in
   let e = Probkb.Engine.expand engine in
@@ -69,12 +64,7 @@ let test_semantic_constraints_config () =
        ~degree:1);
   let engine =
     Probkb.Engine.create
-      ~config:
-        (Probkb.Config.no_inference
-           {
-             Probkb.Config.default with
-             quality = { Probkb.Config.semantic_constraints = true; rule_theta = 1.0 };
-           })
+      ~config:(Probkb.Config.make ~inference:None ~semantic_constraints:true ())
       kb
   in
   let e = Probkb.Engine.expand engine in
@@ -86,13 +76,14 @@ let test_mpp_engine_config () =
   let engine =
     Probkb.Engine.create
       ~config:
-        (Probkb.Config.no_inference
-           {
-             Probkb.Config.default with
-             engine =
-               Probkb.Config.Mpp
-                 { cluster = { Mpp.Cluster.default with Mpp.Cluster.nseg = 4 }; views = true };
-           })
+        (Probkb.Config.make ~inference:None
+           ~engine:
+             (Probkb.Config.Mpp
+                {
+                  cluster = { Mpp.Cluster.default with Mpp.Cluster.nseg = 4 };
+                  views = true;
+                })
+           ())
       kb
   in
   let e = Probkb.Engine.expand engine in
@@ -106,7 +97,7 @@ let test_incremental_incorporate () =
      consequences are derived — and that the result equals a full
      re-expansion from scratch. *)
   let kb, _, _ = Tutil.ruth_gruber_kb () in
-  let engine = Probkb.Engine.create ~config:(Probkb.Config.no_inference Probkb.Config.default) kb in
+  let engine = Probkb.Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb in
   ignore (Probkb.Engine.expand engine);
   let n_before = Kb.Storage.size (Kb.Gamma.pi kb) in
   let r = Kb.Gamma.relation kb "born_in" in
@@ -153,7 +144,7 @@ let test_incremental_chain_reaction () =
       Kb.Gamma.cls kb "P",
       1.0 )
   in
-  let engine = Probkb.Engine.create ~config:(Probkb.Config.no_inference Probkb.Config.default) kb in
+  let engine = Probkb.Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb in
   ignore (Probkb.Engine.incorporate engine [ pair "a" "b"; pair "c" "d" ]);
   (* Two disconnected edges: anc(a,b), anc(c,d). *)
   check_int "4 facts" 4 (Kb.Storage.size (Kb.Gamma.pi kb));
@@ -177,7 +168,7 @@ let test_report_rendering () =
   let kb, _, _ = Tutil.ruth_gruber_kb () in
   let engine =
     Probkb.Engine.create
-      ~config:{ Probkb.Config.default with inference = Some Inference.Marginal.Exact }
+      ~config:(Probkb.Config.make ~inference:(Some Inference.Marginal.Exact) ())
       kb
   in
   let result = Probkb.Engine.run engine in

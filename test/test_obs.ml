@@ -1,0 +1,156 @@
+(* The observability subsystem: deterministic span trees across pool
+   sizes, counter totals on the worked example, EXPLAIN instrumentation,
+   and JSON round-trips of summaries. *)
+
+module Obs = Probkb.Obs
+module Summary = Obs.Summary
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Span-tree shape with timings erased. *)
+type shape = Node of string * int * shape list
+
+let rec shape (n : Summary.node) =
+  Node (n.Summary.name, n.Summary.count, List.map shape n.Summary.children)
+
+let expand_with_obs () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let config =
+    Probkb.Config.make ~inference:None ~obs:Obs.Config.enabled ()
+  in
+  let engine = Probkb.Engine.create ~config kb in
+  let e = Probkb.Engine.expand engine in
+  (kb, e)
+
+let with_pool_size d f =
+  Pool.set_default_size d;
+  Fun.protect ~finally:(fun () -> Pool.set_default_size (Pool.env_domains ())) f
+
+let test_span_tree_deterministic () =
+  let shapes_at d =
+    with_pool_size d (fun () ->
+        let _, e = expand_with_obs () in
+        List.map shape e.Probkb.Engine.obs.Summary.spans)
+  in
+  let s1 = shapes_at 1 and s4 = shapes_at 4 in
+  check_bool "same span tree for pool sizes 1 and 4" true (s1 = s4);
+  (* The expand stage nests the closure, its iterations and the M-pattern
+     queries. *)
+  let _, e = expand_with_obs () in
+  let s = e.Probkb.Engine.obs in
+  check_bool "expand > closure > iteration 1 > M1 present" true
+    (Option.is_some (Summary.find s [ "expand"; "closure"; "iteration 1"; "M1" ]));
+  check_bool "factor span present" true
+    (Option.is_some (Summary.find s [ "expand"; "factors" ]))
+
+let test_counters_worked_example () =
+  let _, e = expand_with_obs () in
+  let s = e.Probkb.Engine.obs in
+  (* The worked example derives exactly 5 new facts (Figure 2). *)
+  check_int "ground.new_facts" 5 (Summary.counter s "ground.new_facts");
+  check_int "iterations counted" e.Probkb.Engine.iterations
+    (Summary.counter s "ground.iterations");
+  check_int "factors counted" e.Probkb.Engine.n_factors
+    (Summary.counter s "ground.clause_factors"
+    + Summary.counter s "ground.singleton_factors");
+  (* Operator counters obey their own bookkeeping identity. *)
+  check_int "distinct rows_in - duplicates = rows_out"
+    (Summary.counter s "distinct.rows_in"
+    - Summary.counter s "distinct.duplicates")
+    (Summary.counter s "distinct.rows_out");
+  check_bool "joins recorded" true (Summary.counter s "join.joins" > 0)
+
+let test_explain_est_vs_observed () =
+  let kb, _ = expand_with_obs () in
+  let prepared = Grounding.Queries.prepare (Kb.Gamma.partitions kb) in
+  let pi = Kb.Gamma.pi kb in
+  let checked = ref 0 in
+  List.iter
+    (fun pat ->
+      if Mln.Partition.count (Grounding.Queries.partitions prepared) pat > 0
+      then begin
+        incr checked;
+        let plan = Grounding.Queries.atoms_plan prepared pat pi in
+        let table, a = Relational.Plan.analyze plan in
+        check_int "observed rows match the result" (Relational.Table.nrows table)
+          a.Relational.Plan.rows;
+        check_bool "estimate is non-negative" true (a.Relational.Plan.est_rows >= 0);
+        check_bool "plan has children" true (a.Relational.Plan.children <> []);
+        check_bool "timing is non-negative" true (a.Relational.Plan.seconds >= 0.)
+      end)
+    Mln.Pattern.all;
+  check_bool "at least one active pattern" true (!checked > 0)
+
+let test_summary_json_roundtrip () =
+  let obs = Obs.create ~config:Obs.Config.enabled () in
+  Obs.with_ambient obs (fun () ->
+      Obs.with_span obs "root" (fun () ->
+          Obs.with_span obs "child" (fun () -> ());
+          Obs.with_span obs "child" (fun () -> ()));
+      Obs.add obs "c.hits" 3;
+      Obs.incr obs "c.hits";
+      Obs.add_time obs "t.busy" 0.125;
+      Obs.gauge obs "g.skew" 2.5);
+  let s = Summary.of_trace obs in
+  check_int "aggregated count" 2
+    (match Summary.find s [ "root"; "child" ] with
+    | Some n -> n.Summary.count
+    | None -> -1);
+  let s' = Summary.of_json_string (Obs.Json.to_string (Summary.to_json s)) in
+  check_bool "round-trips through JSON text" true (s = s');
+  (* Engine summaries survive the same round-trip. *)
+  let _, e = expand_with_obs () in
+  let es = e.Probkb.Engine.obs in
+  let es' = Summary.of_json_string (Obs.Json.to_string (Summary.to_json es)) in
+  check_bool "engine summary round-trips" true (es = es')
+
+let test_malformed_json () =
+  check_bool "unterminated object rejected" true
+    (Obs.Json.of_string_opt "{\"a\": " = None);
+  check_bool "garbage rejected" true (Obs.Json.of_string_opt "nonsense" = None);
+  let raised =
+    try
+      ignore (Summary.of_json_string "[1, 2]");
+      false
+    with Obs.Json.Malformed _ | Failure _ -> true
+  in
+  check_bool "non-summary JSON rejected" true raised
+
+let test_disabled_trace_is_inert () =
+  let _, e =
+    let kb, _, _ = Tutil.ruth_gruber_kb () in
+    let engine =
+      Probkb.Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb
+    in
+    (kb, Probkb.Engine.expand engine)
+  in
+  let s = e.Probkb.Engine.obs in
+  check_bool "no spans recorded when disabled" true (s.Summary.spans = []);
+  check_int "no counters recorded when disabled" 0
+    (List.length s.Summary.counters)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracing",
+        [
+          Alcotest.test_case "span tree deterministic across pool sizes"
+            `Quick test_span_tree_deterministic;
+          Alcotest.test_case "counters on the worked example" `Quick
+            test_counters_worked_example;
+          Alcotest.test_case "disabled trace is inert" `Quick
+            test_disabled_trace_is_inert;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "estimated vs observed rows" `Quick
+            test_explain_est_vs_observed;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "summary round-trip" `Quick
+            test_summary_json_roundtrip;
+          Alcotest.test_case "malformed input" `Quick test_malformed_json;
+        ] );
+    ]
