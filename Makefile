@@ -1,4 +1,4 @@
-.PHONY: build test check bench clean
+.PHONY: build test check bench bench-check clean
 
 build:
 	dune build
@@ -23,6 +23,15 @@ check: build
 
 bench:
 	dune exec bench/main.exe -- --quick -e parallel
+
+# The regression gate: re-run the parallel experiment into a scratch
+# artifact and diff it against the committed BENCH_parallel.json.
+# Exits non-zero when any non-oversubscribed, non-noise stage cell is
+# more than 25% slower than the baseline.
+bench-check:
+	dune exec bench/main.exe -- --quick -e parallel \
+	  --out BENCH_fresh.json --compare BENCH_parallel.json
+	rm -f BENCH_fresh.json
 
 clean:
 	dune clean

@@ -42,7 +42,7 @@ let git_rev () =
   with _ -> None
 
 (* Bump when the shape of a BENCH_*.json file changes. *)
-let bench_schema_version = 2
+let bench_schema_version = 3
 
 (* [meta_json ~engine] identifies the run: schema version, engine variant,
    pool size, host parallelism, and the git revision (null outside a
@@ -84,9 +84,23 @@ type options = {
   mutable full : bool; (* paper-scale sweeps *)
   mutable scale : float option; (* override default scale *)
   mutable quick : bool; (* CI-sized runs *)
+  mutable out : string option; (* artifact path override *)
+  mutable compare : string option; (* baseline BENCH_parallel.json *)
 }
 
-let options = { experiments = []; full = false; scale = None; quick = false }
+let options =
+  {
+    experiments = [];
+    full = false;
+    scale = None;
+    quick = false;
+    out = None;
+    compare = None;
+  }
+
+(* The parallel experiment's artifact path ([--out] overrides the
+   committed default so a fresh run can sit next to the baseline). *)
+let parallel_out () = Option.value options.out ~default:"BENCH_parallel.json"
 
 let scale_or default =
   match options.scale with

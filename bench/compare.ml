@@ -1,0 +1,159 @@
+(* The bench regression gate: diff a fresh BENCH_parallel.json against a
+   committed baseline, per stage and pool size.
+
+   Comparison rules:
+   - entries flagged oversubscribed in EITHER file are skipped (a pool
+     larger than the host's cores measures scheduler contention, not the
+     code under test);
+   - stage/domain cells below an absolute floor (50 ms in both files) are
+     skipped — at that magnitude the delta is timer noise;
+   - a wall-clock increase beyond the threshold (default 25%) on any
+     remaining cell fails the gate. *)
+
+let floor_seconds = 0.05
+let default_threshold = 0.25
+
+type cell = {
+  stage : string;
+  domain : string;
+  base_s : float;
+  fresh_s : float;
+  delta : float; (* (fresh - base) / base *)
+  skipped : string option; (* reason, when excluded from the gate *)
+}
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Obs.Json.of_string s
+
+let member_exn name json what =
+  match Obs.Json.member name json with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing %S" what name)
+
+let float_field json name what =
+  match Obs.Json.member name json |> Option.map Obs.Json.to_float with
+  | Some (Some f) -> f
+  | _ -> failwith (Printf.sprintf "%s: %S is not a number" what name)
+
+let schema_version json =
+  match Obs.Json.member "meta" json with
+  | Some meta ->
+    Option.bind (Obs.Json.member "schema_version" meta) Obs.Json.to_int
+  | None -> None
+
+(* Per-stage seconds and oversubscription flags, keyed by domain count.
+   Schema v2 files predate the [oversubscribed] block; treat every entry
+   as eligible there. *)
+let stage_cells json what =
+  let stages =
+    match member_exn "stages" json what with
+    | Obs.Json.Obj fields -> fields
+    | _ -> failwith (what ^ ": \"stages\" is not an object")
+  in
+  List.map
+    (fun (stage, body) ->
+      let seconds =
+        match member_exn "seconds" body (what ^ "." ^ stage) with
+        | Obs.Json.Obj fields ->
+          List.map
+            (fun (d, v) ->
+              match Obs.Json.to_float v with
+              | Some f -> (d, f)
+              | None -> failwith (what ^ ": non-numeric seconds"))
+            fields
+        | _ -> failwith (what ^ ": \"seconds\" is not an object")
+      in
+      let oversub d =
+        match Obs.Json.member "oversubscribed" body with
+        | Some (Obs.Json.Obj fields) -> (
+          match List.assoc_opt d fields with
+          | Some (Obs.Json.Bool b) -> b
+          | _ -> false)
+        | _ -> false
+      in
+      (stage, seconds, oversub))
+    stages
+
+let diff ~baseline ~fresh =
+  let base_stages = stage_cells baseline "baseline" in
+  let fresh_stages = stage_cells fresh "fresh" in
+  List.concat_map
+    (fun (stage, base_seconds, base_oversub) ->
+      match
+        List.find_opt (fun (s, _, _) -> s = stage) fresh_stages
+      with
+      | None -> []
+      | Some (_, fresh_seconds, fresh_oversub) ->
+        List.filter_map
+          (fun (d, base_s) ->
+            match List.assoc_opt d fresh_seconds with
+            | None -> None
+            | Some fresh_s ->
+              let skipped =
+                if base_oversub d || fresh_oversub d then
+                  Some "oversubscribed"
+                else if base_s < floor_seconds && fresh_s < floor_seconds
+                then Some "below floor"
+                else None
+              in
+              Some
+                {
+                  stage;
+                  domain = d;
+                  base_s;
+                  fresh_s;
+                  delta = (fresh_s -. base_s) /. Float.max 1e-9 base_s;
+                  skipped;
+                })
+          base_seconds)
+    base_stages
+
+let pp_table ppf cells =
+  Format.fprintf ppf "  %-8s %8s %10s %10s %8s  %s@." "stage" "domains"
+    "baseline" "fresh" "delta" "gate";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-8s %8s %9.3fs %9.3fs %+7.1f%%  %s@." c.stage
+        c.domain c.base_s c.fresh_s (c.delta *. 100.)
+        (match c.skipped with
+        | Some reason -> "skipped (" ^ reason ^ ")"
+        | None -> "checked"))
+    cells
+
+(* Returns the number of regressions (0 = gate passed). *)
+let run ?(threshold = default_threshold) ~baseline_path ~fresh_path () =
+  let baseline = load baseline_path and fresh = load fresh_path in
+  Format.printf "@.bench regression gate: %s vs baseline %s@." fresh_path
+    baseline_path;
+  (match (schema_version baseline, schema_version fresh) with
+  | Some b, Some f when b <> f ->
+    Format.printf "  note: schema versions differ (baseline v%d, fresh v%d)@."
+      b f
+  | None, _ ->
+    Format.printf "  note: baseline has no schema version (pre-v2 file)@."
+  | _ -> ());
+  let cells = diff ~baseline ~fresh in
+  if cells = [] then begin
+    Format.printf "  no comparable stage entries — gate not applicable@.";
+    0
+  end
+  else begin
+    pp_table Format.std_formatter cells;
+    let regressions =
+      List.filter (fun c -> c.skipped = None && c.delta > threshold) cells
+    in
+    List.iter
+      (fun c ->
+        Format.printf "  REGRESSION: %s at %s domains is %.1f%% slower \
+                       (threshold %.0f%%)@."
+          c.stage c.domain (c.delta *. 100.) (threshold *. 100.))
+      regressions;
+    if regressions = [] then
+      Format.printf "  gate passed: no stage regressed beyond %.0f%%@."
+        (threshold *. 100.);
+    List.length regressions
+  end

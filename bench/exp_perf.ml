@@ -477,6 +477,63 @@ let parallel () =
         (base /. Float.max 1e-9 last))
     stage_names;
   measured "identical results across pool sizes: %b" !identical;
+  (* Oversubscribed pool sizes (more domains than host cores) measure
+     scheduling overhead, not speedup — flag them and keep them out of
+     the headline number. *)
+  let oversubscribed d = d > host_cores in
+  let eligible = List.filter (fun d -> not (oversubscribed d)) domains in
+  let headline stage =
+    match List.rev eligible with
+    | [] | [ _ ] -> None
+    | best :: _ ->
+      Some (t stage (List.hd domains) /. Float.max 1e-9 (t stage best))
+  in
+  List.iter
+    (fun stage ->
+      match headline stage with
+      | Some s ->
+        measured "headline %s speedup (<=%d domains, host-eligible): %.2fx"
+          stage host_cores s
+      | None ->
+        note
+          "%s: no headline speedup — host has %d core(s), larger pools are \
+           oversubscribed"
+          stage host_cores)
+    stage_names;
+  (* Online-diagnostics overhead: the same chromatic run with Welford +
+     lag-1 tracking on.  The two variants are interleaved (plain, online,
+     plain, online, …) so slow clock drift on a shared host hits both
+     sides equally, and each takes its best-of-5. *)
+  let diag_overhead =
+    let kb = copy_kb kb0 in
+    let r =
+      Grounding.Ground.run
+        ~options:{ Grounding.Ground.default_options with max_iterations = 4 }
+        kb
+    in
+    let c = Factor_graph.Fgraph.compile r.Grounding.Ground.graph in
+    let gopts = { Inference.Gibbs.burn_in = 20; samples = 80; seed = 42 } in
+    let plain () = ignore (Inference.Chromatic.marginals ~options:gopts c) in
+    let online () =
+      ignore (Inference.Chromatic.marginals_info ~options:gopts ~online:true c)
+    in
+    let plain_s = ref infinity and online_s = ref infinity in
+    (* Warm-up pass primes caches and triggers any pending major GC. *)
+    plain ();
+    for _ = 1 to 5 do
+      let _, dt = time plain in
+      plain_s := Float.min !plain_s dt;
+      let _, dt = time online in
+      online_s := Float.min !online_s dt
+    done;
+    let plain_s = !plain_s and online_s = !online_s in
+    let overhead = (online_s -. plain_s) /. Float.max 1e-9 plain_s in
+    measured
+      "online diagnostics overhead: %.1f%% (plain %.3fs, online %.3fs, \
+       interleaved best of 5)"
+      (overhead *. 100.) plain_s online_s;
+    overhead
+  in
   (* One extra instrumented run (telemetry enabled) for the per-stage
      breakdown in the artifact.  Stages are wrapped in their own spans so
      the single-node and MPP closures don't collide on the shared root
@@ -516,20 +573,30 @@ let parallel () =
     let base = t stage (List.hd domains) in
     ( stage,
       Obs.Json.Obj
-        [
-          ( "seconds",
-            Obs.Json.Obj
-              (List.map
-                 (fun d -> (string_of_int d, Obs.Json.Float (t stage d)))
-                 domains) );
-          ( "speedup",
-            Obs.Json.Obj
-              (List.map
-                 (fun d ->
-                   ( string_of_int d,
-                     Obs.Json.Float (base /. Float.max 1e-9 (t stage d)) ))
-                 domains) );
-        ] )
+        ([
+           ( "seconds",
+             Obs.Json.Obj
+               (List.map
+                  (fun d -> (string_of_int d, Obs.Json.Float (t stage d)))
+                  domains) );
+           ( "speedup",
+             Obs.Json.Obj
+               (List.map
+                  (fun d ->
+                    ( string_of_int d,
+                      Obs.Json.Float (base /. Float.max 1e-9 (t stage d)) ))
+                  domains) );
+           ( "oversubscribed",
+             Obs.Json.Obj
+               (List.map
+                  (fun d ->
+                    (string_of_int d, Obs.Json.Bool (oversubscribed d)))
+                  domains) );
+         ]
+        @
+        match headline stage with
+        | Some s -> [ ("headline_speedup", Obs.Json.Float s) ]
+        | None -> []) )
   in
   let json =
     Obs.Json.Obj
@@ -539,12 +606,14 @@ let parallel () =
         ("scale", Obs.Json.Float scale);
         ("host_cores", Obs.Json.Int host_cores);
         ("identical_results", Obs.Json.Bool !identical);
+        ("online_diag_overhead", Obs.Json.Float diag_overhead);
         ("stages", Obs.Json.Obj (List.map stage_json stage_names));
         ("obs", Obs.Summary.to_json summary);
       ]
   in
-  let oc = open_out "BENCH_parallel.json" in
+  let out = parallel_out () in
+  let oc = open_out out in
   output_string oc (Obs.Json.to_pretty_string json);
   output_char oc '\n';
   close_out oc;
-  note "wrote BENCH_parallel.json"
+  note "wrote %s" out

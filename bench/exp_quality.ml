@@ -128,7 +128,7 @@ let fig7b () =
             (v, Quality.Semantic.violation_group pi v) :: !collected
         end)
       vs;
-    Quality.Semantic.apply pi omega
+    (List.length vs, Quality.Semantic.apply pi omega)
   in
   ignore
     (Grounding.Ground.closure

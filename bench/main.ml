@@ -39,6 +39,15 @@ let () =
       ( "--scale",
         Arg.Float (fun s -> options.scale <- Some s),
         "S override the default KB scale" );
+      ( "--out",
+        Arg.String (fun p -> options.out <- Some p),
+        "FILE write the parallel experiment's artifact here instead of \
+         BENCH_parallel.json" );
+      ( "--compare",
+        Arg.String (fun p -> options.compare <- Some p),
+        "BASELINE after the run, diff the fresh parallel artifact against \
+         this BENCH_parallel.json; exit non-zero on a >25% wall-clock \
+         regression" );
     ]
   in
   Arg.parse spec
@@ -65,4 +74,17 @@ let () =
       Format.printf "  [%s done in %.1fs]@." name (Unix.gettimeofday () -. t))
     selected;
   Format.printf "@.all experiments done in %.1fs@."
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  match options.compare with
+  | None -> ()
+  | Some baseline_path ->
+    let fresh_path = parallel_out () in
+    if not (Sys.file_exists fresh_path) then begin
+      Printf.eprintf
+        "--compare: fresh artifact %s not found (run the parallel \
+         experiment, e.g. -e parallel)\n"
+        fresh_path;
+      exit 2
+    end;
+    let regressions = Compare.run ~baseline_path ~fresh_path () in
+    if regressions > 0 then exit 1

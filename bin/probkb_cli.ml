@@ -74,15 +74,15 @@ let iterations_arg =
     value & opt int 15
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Grounding iteration budget.")
 
-let config ?(obs = Probkb.Obs.Config.default) ~sc ~theta ~mpp ~iterations
-    ~inference () =
+let config ?(obs = Probkb.Obs.Config.default) ?target_r_hat ?min_ess ~sc
+    ~theta ~mpp ~iterations ~inference () =
   Probkb.Config.make
     ~engine:
       (if mpp then
          Probkb.Config.Mpp { cluster = Mpp.Cluster.default; views = true }
        else Probkb.Config.Single_node)
     ~semantic_constraints:sc ~rule_theta:theta ~max_iterations:iterations
-    ~inference ~obs ()
+    ~inference ~obs ?target_r_hat ?min_ess ()
 
 (* --- observability arguments (expand / infer) --- *)
 
@@ -118,6 +118,45 @@ let explain_arg =
 let obs_config ~trace ~metrics =
   if trace <> None || metrics <> None then Probkb.Obs.Config.enabled
   else Probkb.Obs.Config.default
+
+(* --- live-run snapshots (expand / infer) --- *)
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a live progress line per grounding iteration and sampler \
+           checkpoint to stderr.")
+
+let snapshots_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshots" ] ~docv:"FILE"
+        ~doc:
+          "Stream progress snapshots to FILE as NDJSON (one JSON document \
+           per line, flushed as the run advances).")
+
+(* Installs the snapshot sinks on the engine's trace; returns the cleanup
+   that detaches them and closes the file. *)
+let install_snapshots engine ~progress ~snapshots =
+  let trace = Probkb.Engine.trace engine in
+  let sinks = if progress then [ Obs.Snapshot.ticker Format.err_formatter ] else [] in
+  let oc = Option.map open_out snapshots in
+  let sinks =
+    match oc with Some oc -> Obs.Snapshot.ndjson oc :: sinks | None -> sinks
+  in
+  if sinks <> [] then
+    Probkb.Obs.set_snapshot_sink trace (Some (Obs.Snapshot.tee sinks));
+  fun () ->
+    Probkb.Obs.set_snapshot_sink trace None;
+    match oc with
+    | Some oc ->
+      close_out oc;
+      Format.eprintf "snapshots written to %s@."
+        (Option.get snapshots)
+    | None -> ()
 
 let write_trace engine = function
   | None -> ()
@@ -228,7 +267,7 @@ let lint_report kb =
   end
 
 let expand facts rules constraints sc theta mpp iterations out trace metrics
-    explain verbose =
+    explain progress snapshots verbose =
   setup_logs verbose;
   let kb = load_kb facts rules constraints in
   lint_report kb;
@@ -239,7 +278,9 @@ let expand facts rules constraints sc theta mpp iterations out trace metrics
            ~inference:None ())
       kb
   in
+  let detach = install_snapshots engine ~progress ~snapshots in
   let e = Probkb.Engine.expand engine in
+  detach ();
   let plans = if explain then explain_plans kb else [] in
   (match metrics with
   | Some Mjson ->
@@ -251,6 +292,7 @@ let expand facts rules constraints sc theta mpp iterations out trace metrics
     print_endline (Obs.Json.to_string doc)
   | Some Mtext ->
     Format.printf "%a@." Probkb.Report.pp_expansion e;
+    Format.printf "%a@." Probkb.Report.pp_trajectory e.Probkb.Engine.trajectory;
     if explain then print_explain plans;
     Format.printf "%a@." Probkb.Report.pp_summary e.Probkb.Engine.obs
   | None ->
@@ -278,12 +320,13 @@ let expand_cmd =
     Term.(
       const expand $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
       $ theta_arg $ mpp_arg $ iterations_arg $ out_arg $ trace_arg
-      $ metrics_arg $ explain_arg $ verbose_arg)
+      $ metrics_arg $ explain_arg $ progress_arg $ snapshots_arg
+      $ verbose_arg)
 
 (* --- infer --- *)
 
-let infer facts rules constraints sc theta iterations top samples trace
-    metrics =
+let infer facts rules constraints sc theta iterations top samples target_r_hat
+    min_ess trace metrics progress snapshots =
   let kb = load_kb facts rules constraints in
   let inference =
     Some
@@ -293,17 +336,20 @@ let infer facts rules constraints sc theta iterations top samples trace
   let engine =
     Probkb.Engine.create
       ~config:
-        (config ~obs:(obs_config ~trace ~metrics) ~sc ~theta ~mpp:false
-           ~iterations ~inference ())
+        (config ~obs:(obs_config ~trace ~metrics) ?target_r_hat ?min_ess ~sc
+           ~theta ~mpp:false ~iterations ~inference ())
       kb
   in
+  let detach = install_snapshots engine ~progress ~snapshots in
   let e = Probkb.Engine.expand engine in
-  let marginals = Probkb.Engine.infer engine e in
+  let marginals, run_info = Probkb.Engine.infer_full engine e in
+  detach ();
   let marginals_stored = Probkb.Engine.store_marginals engine marginals in
   let result =
     {
       Probkb.Engine.expansion = e;
       marginals_stored;
+      inference = run_info;
       obs = Probkb.Engine.summary engine;
     }
   in
@@ -343,12 +389,18 @@ let infer facts rules constraints sc theta iterations top samples trace
     Format.printf
       "expansion: %d new facts; showing the top %d by probability@."
       e.Probkb.Engine.new_fact_count top;
+    (match run_info with
+    | Some i -> Format.printf "%a@." Probkb.Report.pp_inference i
+    | None -> ());
     List.iter
       (fun (p, id) ->
         Format.printf "  %.3f  %a@." p (Kb.Gamma.pp_fact kb) id)
       top_facts;
-    if m = Some Mtext then
-      Format.printf "%a@." Probkb.Report.pp_summary result.Probkb.Engine.obs);
+    if m = Some Mtext then begin
+      Format.printf "%a@." Probkb.Report.pp_trajectory
+        e.Probkb.Engine.trajectory;
+      Format.printf "%a@." Probkb.Report.pp_summary result.Probkb.Engine.obs
+    end);
   write_trace engine trace;
   0
 
@@ -363,11 +415,30 @@ let infer_cmd =
       value & opt int 500
       & info [ "samples" ] ~docv:"N" ~doc:"Gibbs estimation sweeps.")
   in
+  let target_r_hat =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-rhat" ] ~docv:"R"
+          ~doc:
+            "Stop sampling early once the online split-R-hat falls to R \
+             (checked every checkpoint; see also $(b,--min-ess)).")
+  in
+  let min_ess =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-ess" ] ~docv:"N"
+          ~doc:
+            "Stop sampling early once every variable's effective sample \
+             size reaches N.")
+  in
   Cmd.v
     (Cmd.info "infer" ~doc:"Expand a KB and compute marginal probabilities.")
     Term.(
       const infer $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
-      $ theta_arg $ iterations_arg $ top $ samples $ trace_arg $ metrics_arg)
+      $ theta_arg $ iterations_arg $ top $ samples $ target_r_hat $ min_ess
+      $ trace_arg $ metrics_arg $ progress_arg $ snapshots_arg)
 
 (* --- stats --- *)
 

@@ -7,19 +7,27 @@ type t = {
   max_iterations : int;
   inference : Inference.Marginal.method_ option;
   obs : Obs.Config.t;
+  target_r_hat : float option;
+  min_ess : float option;
+  checkpoint_sweeps : int;
 }
 
 let make ?(engine = Single_node) ?(semantic_constraints = false)
     ?(rule_theta = 1.0) ?(max_iterations = 15)
     ?(inference =
       Some (Inference.Marginal.Gibbs Inference.Gibbs.default_options))
-    ?(obs = Obs.Config.default) () =
+    ?(obs = Obs.Config.default) ?target_r_hat ?min_ess
+    ?(checkpoint_sweeps = Inference.Chromatic.default_checkpoint) () =
+  if checkpoint_sweeps < 1 then invalid_arg "Config.make: checkpoint_sweeps < 1";
   {
     engine;
     quality = { semantic_constraints; rule_theta };
     max_iterations;
     inference;
     obs;
+    target_r_hat;
+    min_ess;
+    checkpoint_sweeps;
   }
 
 let default = make ()
@@ -29,4 +37,21 @@ let with_quality quality c = { c with quality }
 let with_max_iterations max_iterations c = { c with max_iterations }
 let with_inference inference c = { c with inference }
 let with_obs obs c = { c with obs }
+
+let with_early_stop ?target_r_hat ?min_ess c =
+  { c with target_r_hat; min_ess }
+
+(* Early stop is requested when either criterion is set; the other one
+   defaults to a value that always holds. *)
+let early_stop_criteria c =
+  match (c.target_r_hat, c.min_ess) with
+  | None, None -> None
+  | tr, me ->
+    Some
+      {
+        Inference.Diagnostics.Online.target_r_hat =
+          Option.value tr ~default:Float.infinity;
+        min_ess = Option.value me ~default:0.;
+      }
+
 let domains = Pool.env_domains

@@ -36,11 +36,22 @@ type t = {
   obs : Obs.Config.t;
       (** observability: when enabled, the engine's trace context records
           span trees, counters and operator metrics across every stage *)
+  target_r_hat : float option;
+      (** adaptive early stop: end Chromatic sampling once the online
+          split-R̂ falls to this value (and [min_ess] holds).  [None]
+          (default) runs the full sweep budget *)
+  min_ess : float option;
+      (** adaptive early stop: minimum effective sample size per
+          variable.  Setting either criterion turns early stopping on *)
+  checkpoint_sweeps : int;
+      (** sweeps between diagnostic checkpoints / snapshot records
+          (default {!Inference.Chromatic.default_checkpoint}) *)
 }
 
 (** [make ()] is the default configuration: single node, no quality
-    control, 15 iterations, Gibbs inference, observability off.  Each
-    labelled argument overrides one knob. *)
+    control, 15 iterations, Gibbs inference, observability off, no early
+    stop.  Each labelled argument overrides one knob.
+    @raise Invalid_argument when [checkpoint_sweeps < 1]. *)
 val make :
   ?engine:engine ->
   ?semantic_constraints:bool ->
@@ -48,6 +59,9 @@ val make :
   ?max_iterations:int ->
   ?inference:Inference.Marginal.method_ option ->
   ?obs:Obs.Config.t ->
+  ?target_r_hat:float ->
+  ?min_ess:float ->
+  ?checkpoint_sweeps:int ->
   unit ->
   t
 
@@ -62,6 +76,15 @@ val with_quality : quality -> t -> t
 val with_max_iterations : int -> t -> t
 val with_inference : Inference.Marginal.method_ option -> t -> t
 val with_obs : Obs.Config.t -> t -> t
+
+(** [with_early_stop ?target_r_hat ?min_ess c] replaces both early-stop
+    criteria (absent arguments clear them). *)
+val with_early_stop : ?target_r_hat:float -> ?min_ess:float -> t -> t
+
+(** [early_stop_criteria c] is the sampler criteria when either knob is
+    set ([None] otherwise); an unset knob defaults to always-satisfied. *)
+val early_stop_criteria :
+  t -> Inference.Diagnostics.Online.criteria option
 
 (** [domains ()] is the size of the shared-memory execution pool, read
     from the [PROBKB_DOMAINS] environment variable (default 1 — fully

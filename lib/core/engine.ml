@@ -15,6 +15,7 @@ type expansion = {
   graph : Factor_graph.Fgraph.t;
   iterations : int;
   converged : bool;
+  trajectory : Grounding.Ground.trajectory_point list;
   new_fact_count : int;
   removed_by_constraints : int;
   n_factors : int;
@@ -67,6 +68,7 @@ let expand t =
       graph = r.Grounding.Ground.graph;
       iterations = r.Grounding.Ground.iterations;
       converged = r.Grounding.Ground.converged;
+      trajectory = r.Grounding.Ground.trajectory;
       new_fact_count = r.Grounding.Ground.new_fact_count;
       removed_by_constraints = r.Grounding.Ground.removed_by_constraints;
       n_factors = Factor_graph.Fgraph.size r.Grounding.Ground.graph;
@@ -94,6 +96,7 @@ let expand t =
       graph = r.Grounding.Ground_mpp.graph;
       iterations = r.Grounding.Ground_mpp.iterations;
       converged = r.Grounding.Ground_mpp.converged;
+      trajectory = r.Grounding.Ground_mpp.trajectory;
       new_fact_count = r.Grounding.Ground_mpp.new_fact_count;
       removed_by_constraints = 0;
       n_factors = Factor_graph.Fgraph.size r.Grounding.Ground_mpp.graph;
@@ -107,13 +110,18 @@ let expand t =
   let e = expand t in
   { e with obs = Obs.Summary.of_trace t.trace }
 
-let infer t e =
+let infer_full t e =
   match t.config.Config.inference with
-  | None -> Hashtbl.create 0
+  | None -> (Hashtbl.create 0, None)
   | Some m ->
     Obs.with_ambient t.trace @@ fun () ->
     Obs.with_span t.trace "infer" ~cat:"engine" @@ fun () ->
-    Inference.Marginal.infer ~obs:t.trace e.graph m
+    Inference.Marginal.infer_full ~obs:t.trace
+      ~checkpoint:t.config.Config.checkpoint_sweeps
+      ?early_stop:(Config.early_stop_criteria t.config)
+      e.graph m
+
+let infer t e = fst (infer_full t e)
 
 let store_marginals t marginals =
   Obs.with_span t.trace "store_marginals" ~cat:"engine" @@ fun () ->
@@ -134,6 +142,7 @@ let store_marginals t marginals =
 type result = {
   expansion : expansion;
   marginals_stored : int;
+  inference : Inference.Chromatic.run_info option;
   obs : Obs.Summary.t;
 }
 
@@ -141,9 +150,9 @@ let summary t = Obs.Summary.of_trace t.trace
 
 let run t =
   let expansion = expand t in
-  let marginals = infer t expansion in
+  let marginals, inference = infer_full t expansion in
   let marginals_stored = store_marginals t marginals in
-  { expansion; marginals_stored; obs = summary t }
+  { expansion; marginals_stored; inference; obs = summary t }
 
 let incorporate t facts =
   let pi = Gamma.pi t.kb in

@@ -32,6 +32,8 @@ type expansion = {
   graph : Factor_graph.Fgraph.t;
   iterations : int;
   converged : bool;
+  trajectory : Grounding.Ground.trajectory_point list;
+      (** per-iteration expansion curve (new facts, totals, violations) *)
   new_fact_count : int;
   removed_by_constraints : int;
   n_factors : int;
@@ -50,6 +52,14 @@ val expand : t -> expansion
     disabled). *)
 val infer : t -> expansion -> (int, float) Hashtbl.t
 
+(** [infer_full t e] is {!infer} plus the sampler's run report (sweeps
+    executed, early-stop sweep, final online diagnostics) when the
+    configured method is Chromatic.  The config's [target_r_hat] /
+    [min_ess] criteria and [checkpoint_sweeps] cadence are applied
+    here. *)
+val infer_full :
+  t -> expansion -> (int, float) Hashtbl.t * Inference.Chromatic.run_info option
+
 (** [store_marginals t marginals] writes each probability into the weight
     column of the corresponding (inferred) fact.  Returns how many facts
     were updated. *)
@@ -58,6 +68,8 @@ val store_marginals : t -> (int, float) Hashtbl.t -> int
 type result = {
   expansion : expansion;
   marginals_stored : int;
+  inference : Inference.Chromatic.run_info option;
+      (** sampler run report (Chromatic method only) *)
   obs : Obs.Summary.t;  (** trace snapshot over the whole pipeline *)
 }
 

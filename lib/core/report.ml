@@ -1,5 +1,81 @@
 module Json = Obs.Json
 
+let trajectory_point_to_json (p : Grounding.Ground.trajectory_point) =
+  Json.Obj
+    [
+      ("iteration", Json.Int p.Grounding.Ground.iteration);
+      ("new_facts", Json.Int p.Grounding.Ground.new_facts);
+      ("total_facts", Json.Int p.Grounding.Ground.total_facts);
+      ("violations", Json.Int p.Grounding.Ground.violations);
+      ("removed", Json.Int p.Grounding.Ground.removed);
+    ]
+
+let trajectory_to_json traj = Json.List (List.map trajectory_point_to_json traj)
+
+(* Text plot of the expansion curve: one bar per iteration, scaled to the
+   largest new-fact count (the Figure 7-style quality-over-iterations
+   view, in a terminal). *)
+let pp_trajectory ppf (traj : Grounding.Ground.trajectory_point list) =
+  match traj with
+  | [] -> ()
+  | _ ->
+    let width = 40 in
+    let peak =
+      List.fold_left
+        (fun m (p : Grounding.Ground.trajectory_point) ->
+          max m p.Grounding.Ground.new_facts)
+        1 traj
+    in
+    Format.fprintf ppf "@[<v>expansion trajectory (■ = new facts):@,";
+    List.iter
+      (fun (p : Grounding.Ground.trajectory_point) ->
+        let open Grounding.Ground in
+        let bar = p.new_facts * width / peak in
+        let extras =
+          if p.violations > 0 || p.removed > 0 then
+            Printf.sprintf "  %d violations, -%d" p.violations p.removed
+          else ""
+        in
+        Format.fprintf ppf "  %2d %s +%-6d total %d%s@," p.iteration
+          (String.concat "" (List.init bar (fun _ -> "\xe2\x96\xa0")))
+          p.new_facts p.total_facts extras)
+      traj;
+    Format.fprintf ppf "@]"
+
+let inference_to_json (i : Inference.Chromatic.run_info) =
+  Json.Obj
+    [
+      ("sweeps_run", Json.Int i.Inference.Chromatic.sweeps_run);
+      ( "stopped_at_sweep",
+        match i.Inference.Chromatic.stopped_at_sweep with
+        | Some s -> Json.Int s
+        | None -> Json.Null );
+      ( "diagnostics",
+        match i.Inference.Chromatic.diag with
+        | Some d ->
+          Json.Obj
+            [
+              ("sweeps", Json.Int d.Inference.Diagnostics.Online.sweeps);
+              ( "max_r_hat",
+                Json.Float d.Inference.Diagnostics.Online.max_r_hat );
+              ("min_ess", Json.Float d.Inference.Diagnostics.Online.min_ess);
+            ]
+        | None -> Json.Null );
+    ]
+
+let pp_inference ppf (i : Inference.Chromatic.run_info) =
+  let open Inference.Chromatic in
+  Format.fprintf ppf "sampler: %d sweeps%s" i.sweeps_run
+    (match i.stopped_at_sweep with
+    | Some s -> Printf.sprintf " (early stop at %d)" s
+    | None -> "");
+  match i.diag with
+  | Some d ->
+    Format.fprintf ppf ", R-hat %.4f, ESS %.0f"
+      d.Inference.Diagnostics.Online.max_r_hat
+      d.Inference.Diagnostics.Online.min_ess
+  | None -> ()
+
 let pp_expansion ppf (e : Engine.expansion) =
   Format.fprintf ppf
     "@[<v>expansion: %d iterations%s, %d rules applied@,\
@@ -19,6 +95,7 @@ let expansion_to_json (e : Engine.expansion) =
     [
       ("iterations", Json.Int e.Engine.iterations);
       ("converged", Json.Bool e.Engine.converged);
+      ("trajectory", trajectory_to_json e.Engine.trajectory);
       ("new_fact_count", Json.Int e.Engine.new_fact_count);
       ("removed_by_constraints", Json.Int e.Engine.removed_by_constraints);
       ("n_factors", Json.Int e.Engine.n_factors);
@@ -32,14 +109,22 @@ let expansion_to_json (e : Engine.expansion) =
     ]
 
 let pp_result ppf (r : Engine.result) =
-  Format.fprintf ppf "@[<v>%a@,marginals stored: %d@]" pp_expansion
-    r.Engine.expansion r.Engine.marginals_stored
+  Format.fprintf ppf "@[<v>%a@,marginals stored: %d" pp_expansion
+    r.Engine.expansion r.Engine.marginals_stored;
+  (match r.Engine.inference with
+  | Some i -> Format.fprintf ppf "@,%a" pp_inference i
+  | None -> ());
+  Format.fprintf ppf "@]"
 
 let result_to_json (r : Engine.result) =
   Json.Obj
     [
       ("expansion", expansion_to_json r.Engine.expansion);
       ("marginals_stored", Json.Int r.Engine.marginals_stored);
+      ( "inference",
+        match r.Engine.inference with
+        | Some i -> inference_to_json i
+        | None -> Json.Null );
       ("obs", Obs.Summary.to_json r.Engine.obs);
     ]
 

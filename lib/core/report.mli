@@ -11,6 +11,20 @@ val pp_expansion : Format.formatter -> Engine.expansion -> unit
 
 val expansion_to_json : Engine.expansion -> Json.t
 
+(** [pp_trajectory ppf traj] plots the expansion curve as text: one bar
+    per closure iteration, scaled to the peak new-fact count, annotated
+    with constraint violations and removals. *)
+val pp_trajectory :
+  Format.formatter -> Grounding.Ground.trajectory_point list -> unit
+
+val trajectory_to_json : Grounding.Ground.trajectory_point list -> Json.t
+
+(** [pp_inference ppf i] prints the sampler run report: sweeps executed,
+    early-stop sweep, final R̂ / ESS. *)
+val pp_inference : Format.formatter -> Inference.Chromatic.run_info -> unit
+
+val inference_to_json : Inference.Chromatic.run_info -> Json.t
+
 (** [pp_result ppf r] is {!pp_expansion} plus the inference stage. *)
 val pp_result : Format.formatter -> Engine.result -> unit
 

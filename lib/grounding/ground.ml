@@ -11,7 +11,7 @@ module Log = (val Logs.src_log src)
 
 type options = {
   max_iterations : int;
-  apply_constraints : (Storage.t -> int) option;
+  apply_constraints : (Storage.t -> int * int) option;
   distinct_before_merge : bool;
   build_factors : bool;
   semi_naive : bool;
@@ -32,11 +32,20 @@ let default_options =
     obs = Obs.null;
   }
 
+type trajectory_point = {
+  iteration : int;
+  new_facts : int;
+  total_facts : int;
+  violations : int;
+  removed : int;
+}
+
 type result = {
   graph : Fgraph.t;
   iterations : int;
   converged : bool;
   facts_per_iteration : int list;
+  trajectory : trajectory_point list;
   new_fact_count : int;
   removed_by_constraints : int;
   n_singleton_factors : int;
@@ -64,21 +73,43 @@ let run ?(options = default_options) kb =
   let removed = ref 0 in
   let total_new = ref 0 in
   let facts_per_iteration = ref [] in
+  let trajectory = ref [] in
   let iterations = ref 0 in
   let converged = ref false in
+  (* Returns this pass's (violations, facts removed). *)
   let constrain pi =
     match options.apply_constraints with
     | Some f ->
-      let n = Obs.timed obs "ground.constraints_seconds" (fun () -> f pi) in
+      let nviol, n =
+        Obs.timed obs "ground.constraints_seconds" (fun () -> f pi)
+      in
       Obs.add obs "ground.constraint_removed" n;
-      removed := !removed + n
-    | None -> ()
+      removed := !removed + n;
+      (nviol, n)
+    | None -> (0, 0)
+  in
+  let record_point ~iteration ~new_facts ~violations ~removed:rm =
+    let total_facts = Storage.size pi in
+    trajectory :=
+      { iteration; new_facts; total_facts; violations; removed = rm }
+      :: !trajectory;
+    Obs.snapshot obs ~stage:"ground" ~point:"iteration" ~step:iteration
+      ~perf:(Obs.mem_stats ())
+      [
+        ("new_facts", Obs.I new_facts);
+        ("total_facts", Obs.I total_facts);
+        ("violations", Obs.I violations);
+        ("removed", Obs.I rm);
+      ]
   in
   (* Constraints are applied once before inference starts (the paper's
      Section 6.1.1 protocol) and then after every iteration (Algorithm 1,
      line 6): an entity that already violates Ω must not seed the very
-     first round of joins. *)
-  constrain pi;
+     first round of joins.  This pre-pass is trajectory point 0. *)
+  if options.apply_constraints <> None then begin
+    let violations, rm = constrain pi in
+    record_point ~iteration:0 ~new_facts:0 ~violations ~removed:rm
+  end;
   (* Semi-naive evaluation joins only against the previous iteration's
      delta; it is sound only when facts are never deleted mid-run, so a
      constraint hook forces naive evaluation. *)
@@ -161,7 +192,7 @@ let run ?(options = default_options) kb =
                         (Table.nrows facts - before_merge)
                         (fun i -> before_merge + i)))
             end;
-            constrain pi;
+            let violations, rm = constrain pi in
             total_new := !total_new + !new_facts;
             Obs.add obs "ground.new_facts" !new_facts;
             Obs.incr obs "ground.iterations";
@@ -169,6 +200,8 @@ let run ?(options = default_options) kb =
                 m "iteration %d: +%d facts (T_Pi now %d)" iteration !new_facts
                   (Storage.size pi));
             facts_per_iteration := Storage.size pi :: !facts_per_iteration;
+            record_point ~iteration ~new_facts:!new_facts ~violations
+              ~removed:rm;
             (match options.on_iteration with
             | Some f -> f ~iteration ~new_facts:!new_facts
             | None -> ());
@@ -204,6 +237,7 @@ let run ?(options = default_options) kb =
     iterations = !iterations;
     converged = !converged;
     facts_per_iteration = List.rev !facts_per_iteration;
+    trajectory = List.rev !trajectory;
     new_fact_count = !total_new;
     removed_by_constraints = !removed;
     n_singleton_factors = !n_singleton_factors;

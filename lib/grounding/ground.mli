@@ -8,9 +8,9 @@
 
 type options = {
   max_iterations : int;  (** closure iteration budget (paper: 15 suffice) *)
-  apply_constraints : (Kb.Storage.t -> int) option;
+  apply_constraints : (Kb.Storage.t -> int * int) option;
       (** the [applyConstraints(TΠ)] hook of Algorithm 1, line 6; returns
-          the number of facts removed (see [Quality.Semantic]) *)
+          [(violations found, facts removed)] (see [Quality.Semantic]) *)
   distinct_before_merge : bool;
       (** deduplicate query outputs before merging (bounds peak memory on
           rule sets with heavy overlap; default true) *)
@@ -40,12 +40,27 @@ type options = {
 
 val default_options : options
 
+(** One point of the expansion trajectory — the per-iteration curve behind
+    the paper's quality-over-iterations figures.  Point 0 (present only
+    with a constraint hook) is the pre-closure constraint pass. *)
+type trajectory_point = {
+  iteration : int;
+  new_facts : int;  (** facts added by this iteration's joins *)
+  total_facts : int;  (** [TΠ] size after constraints ran *)
+  violations : int;  (** constraint violations found this pass *)
+  removed : int;  (** facts the constraint pass deleted *)
+}
+
 type result = {
   graph : Factor_graph.Fgraph.t;  (** [TΦ] *)
   iterations : int;  (** closure iterations executed *)
   converged : bool;  (** true iff a fixpoint was reached *)
   facts_per_iteration : int list;
       (** [TΠ] size after each iteration, oldest first *)
+  trajectory : trajectory_point list;
+      (** per-iteration expansion curve, oldest first; each point is also
+          emitted as a snapshot (stage ["ground"], point ["iteration"])
+          when [obs] has a sink installed *)
   new_fact_count : int;  (** facts added by inference in total *)
   removed_by_constraints : int;  (** facts deleted by the constraint hook *)
   n_singleton_factors : int;

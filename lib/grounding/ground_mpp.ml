@@ -14,7 +14,7 @@ type mode = Views | No_views
 
 type options = {
   max_iterations : int;
-  apply_constraints : (Storage.t -> int) option;
+  apply_constraints : (Storage.t -> int * int) option;
   build_factors : bool;
   on_iteration :
     (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
@@ -34,6 +34,7 @@ type result = {
   graph : Fgraph.t;
   iterations : int;
   converged : bool;
+  trajectory : Ground.trajectory_point list;
   new_fact_count : int;
   n_singleton_factors : int;
   n_clause_factors : int;
@@ -174,10 +175,40 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
   let iterations = ref 0 in
   let converged = ref false in
   let total_new = ref 0 in
+  let trajectory = ref [] in
+  let constrain () =
+    match options.apply_constraints with
+    | Some f -> f pi
+    | None -> (0, 0)
+  in
+  let record_point ~iteration ~new_facts ~violations ~removed =
+    trajectory :=
+      {
+        Ground.iteration;
+        new_facts;
+        total_facts = Storage.size pi;
+        violations;
+        removed;
+      }
+      :: !trajectory;
+    (* sim_seconds is deterministic (a cost-model figure, not a clock), so
+       it belongs in the snapshot's [data] payload. *)
+    Obs.snapshot obs ~stage:"mpp" ~point:"iteration" ~step:iteration
+      ~perf:(Obs.mem_stats ())
+      [
+        ("new_facts", Obs.I new_facts);
+        ("total_facts", Obs.I (Storage.size pi));
+        ("violations", Obs.I violations);
+        ("removed", Obs.I removed);
+        ("sim_seconds", Obs.F (Mpp.Cost.elapsed cost));
+        ("motion_bytes", Obs.I (Mpp.Cost.motion_bytes cost));
+      ]
+  in
   (* Apply constraints once before inference starts (Section 6.1.1). *)
-  (match options.apply_constraints with
-  | Some f -> ignore (f pi)
-  | None -> ());
+  if options.apply_constraints <> None then begin
+    let violations, removed = constrain () in
+    record_point ~iteration:0 ~new_facts:0 ~violations ~removed
+  end;
   Obs.with_span obs "closure" ~cat:"mpp" (fun () ->
       while (not !converged) && !iterations < options.max_iterations do
         incr iterations;
@@ -213,10 +244,10 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
               (fun atoms ->
                 new_facts := !new_facts + Storage.merge_new pi atoms)
               results;
-            (match options.apply_constraints with
-            | Some f -> ignore (f pi)
-            | None -> ());
+            let violations, removed = constrain () in
             total_new := !total_new + !new_facts;
+            record_point ~iteration:!iterations ~new_facts:!new_facts
+              ~violations ~removed;
             Obs.add obs "mpp.new_facts" !new_facts;
             Log.debug (fun m ->
                 m "iteration %d: +%d facts, sim %.3fs" !iterations !new_facts
@@ -270,6 +301,7 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
     graph;
     iterations = !iterations;
     converged = !converged;
+    trajectory = List.rev !trajectory;
     new_fact_count = !total_new;
     n_singleton_factors = !n_singleton_factors;
     n_clause_factors = !n_clause_factors;

@@ -17,7 +17,9 @@ type mode =
 
 type options = {
   max_iterations : int;
-  apply_constraints : (Kb.Storage.t -> int) option;
+  apply_constraints : (Kb.Storage.t -> int * int) option;
+      (** the [applyConstraints(TΠ)] hook; returns
+          [(violations found, facts removed)] *)
   build_factors : bool;
   on_iteration :
     (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
@@ -36,6 +38,10 @@ type result = {
   graph : Factor_graph.Fgraph.t;
   iterations : int;
   converged : bool;
+  trajectory : Ground.trajectory_point list;
+      (** per-iteration expansion curve (see {!Ground.trajectory_point});
+          each point is also emitted as a snapshot (stage ["mpp"], point
+          ["iteration"]) when [obs] has a sink installed *)
   new_fact_count : int;
   n_singleton_factors : int;
   n_clause_factors : int;

@@ -33,6 +33,19 @@ val color : Factor_graph.Fgraph.compiled -> int array
     test suite calls it directly. *)
 val verify_coloring : Factor_graph.Fgraph.compiled -> int array -> bool
 
+(** Outcome of one sampling run beyond the marginals themselves. *)
+type run_info = {
+  sweeps_run : int;  (** estimation sweeps actually executed *)
+  stopped_at_sweep : int option;
+      (** [Some s] when the early-stop criteria fired at sweep [s] *)
+  diag : Diagnostics.Online.report option;
+      (** final online diagnostics, when they were tracked *)
+}
+
+(** Default checkpoint cadence (sweeps between diagnostic checkpoints /
+    snapshot records). *)
+val default_checkpoint : int
+
 (** [marginals ?options ?obs ?pool c] estimates marginals with the
     chromatic schedule, sweeping each colour class across [pool] (default
     {!Pool.get_default}).  Options are shared with {!Gibbs.options};
@@ -46,6 +59,31 @@ val marginals :
   ?pool:Pool.t ->
   Factor_graph.Fgraph.compiled ->
   float array
+
+(** [marginals_info ?options ?obs ?pool ?checkpoint ?online ?early_stop c]
+    is {!marginals} with live-run support:
+
+    - every [checkpoint] sweeps (default {!default_checkpoint}) a
+      snapshot is emitted through [obs]'s sink (see {!Obs.snapshot}) with
+      the current phase, sweep number, and — when diagnostics are on —
+      the running max-R̂/min-ESS;
+    - [~online:true] tracks {!Diagnostics.Online} state on the run
+      (implied by [early_stop]);
+    - [~early_stop:criteria] ends sampling at the first checkpoint whose
+      diagnostics satisfy [criteria], normalizing the marginals by the
+      sweeps actually run.
+
+    Diagnostic values in the returned {!run_info} and in snapshot [data]
+    are bit-identical for every pool size (the chain itself is). *)
+val marginals_info :
+  ?options:Gibbs.options ->
+  ?obs:Obs.t ->
+  ?pool:Pool.t ->
+  ?checkpoint:int ->
+  ?online:bool ->
+  ?early_stop:Diagnostics.Online.criteria ->
+  Factor_graph.Fgraph.compiled ->
+  float array * run_info
 
 (** [schedule_stats c] is the colouring statistics for reporting. *)
 val schedule_stats : Factor_graph.Fgraph.compiled -> stats

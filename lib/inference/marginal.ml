@@ -6,15 +6,29 @@ type method_ =
   | Chromatic of Gibbs.options
   | Bp of Bp.options
 
-let infer_compiled ?(obs = Obs.null) c = function
-  | Exact -> Exact.marginals c
-  | Gibbs options -> Gibbs.marginals ~options c
-  | Chromatic options -> Chromatic.marginals ~options ~obs c
-  | Bp options -> fst (Bp.marginals ~options c)
+let infer_compiled_full ?(obs = Obs.null) ?checkpoint ?online ?early_stop c =
+  function
+  | Exact -> (Exact.marginals c, None)
+  | Gibbs options -> (Gibbs.marginals ~options c, None)
+  | Chromatic options ->
+    let marg, info =
+      Chromatic.marginals_info ~options ~obs ?checkpoint ?online ?early_stop c
+    in
+    (marg, Some info)
+  | Bp options -> (fst (Bp.marginals ~options c), None)
 
-let infer ?obs g m =
-  let c = Fgraph.compile g in
-  let marg = infer_compiled ?obs c m in
+let infer_compiled ?obs c m = fst (infer_compiled_full ?obs c m)
+
+let to_table c marg =
   let out = Hashtbl.create (Array.length marg) in
   Array.iteri (fun v p -> Hashtbl.replace out c.Fgraph.var_ids.(v) p) marg;
   out
+
+let infer_full ?obs ?checkpoint ?online ?early_stop g m =
+  let c = Fgraph.compile g in
+  let marg, info =
+    infer_compiled_full ?obs ?checkpoint ?online ?early_stop c m
+  in
+  (to_table c marg, info)
+
+let infer ?obs g m = fst (infer_full ?obs g m)

@@ -17,7 +17,30 @@ type method_ =
 val infer :
   ?obs:Obs.t -> Factor_graph.Fgraph.t -> method_ -> (int, float) Hashtbl.t
 
+(** [infer_full ?obs ?checkpoint ?online ?early_stop g method_] is
+    {!infer} plus the sampler's {!Chromatic.run_info} when [method_] is
+    {!Chromatic} ([None] otherwise — the extra arguments only affect that
+    method).  See {!Chromatic.marginals_info} for their semantics. *)
+val infer_full :
+  ?obs:Obs.t ->
+  ?checkpoint:int ->
+  ?online:bool ->
+  ?early_stop:Diagnostics.Online.criteria ->
+  Factor_graph.Fgraph.t ->
+  method_ ->
+  (int, float) Hashtbl.t * Chromatic.run_info option
+
 (** [infer_compiled ?obs c method_] runs on an already compiled graph and
     returns marginals per dense variable. *)
 val infer_compiled :
   ?obs:Obs.t -> Factor_graph.Fgraph.compiled -> method_ -> float array
+
+(** {!infer_compiled} with the {!Chromatic.run_info} of a Chromatic run. *)
+val infer_compiled_full :
+  ?obs:Obs.t ->
+  ?checkpoint:int ->
+  ?online:bool ->
+  ?early_stop:Diagnostics.Online.criteria ->
+  Factor_graph.Fgraph.compiled ->
+  method_ ->
+  float array * Chromatic.run_info option

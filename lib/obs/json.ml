@@ -32,9 +32,14 @@ let escape buf s =
 
 (* Floats must survive print-then-parse: integral floats keep a ".0" so
    they do not come back as [Int], and everything else uses enough digits
-   to be exact. *)
+   to be exact.  JSON has no token for non-finite floats, so NaN and the
+   infinities are encoded deterministically as the strings "NaN",
+   "Infinity" and "-Infinity"; [to_float] decodes them back, and the
+   parser rejects the bare (invalid-JSON) tokens with a clear error. *)
 let float_repr f =
-  if Float.is_nan f then "null"
+  if Float.is_nan f then "\"NaN\""
+  else if f = Float.infinity then "\"Infinity\""
+  else if f = Float.neg_infinity then "\"-Infinity\""
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
   else
@@ -197,11 +202,21 @@ let parse_string cur =
   go ();
   Buffer.contents buf
 
+let non_finite_error cur token =
+  error cur
+    (Printf.sprintf
+       "%s is not valid JSON (non-finite floats are encoded as the strings \
+        \"NaN\", \"Infinity\" and \"-Infinity\")"
+       token)
+
 let parse_number cur =
   let start = cur.pos in
   let is_float = ref false in
   let advance () = cur.pos <- cur.pos + 1 in
   (match peek cur with Some '-' -> advance () | _ -> ());
+  (match peek cur with
+  | Some 'I' -> non_finite_error cur "-Infinity"
+  | _ -> ());
   let rec digits () =
     match peek cur with
     | Some ('0' .. '9') ->
@@ -238,6 +253,8 @@ let rec parse_value cur =
   | Some 'n' -> literal cur "null" Null
   | Some 't' -> literal cur "true" (Bool true)
   | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'N' -> non_finite_error cur "NaN"
+  | Some 'I' -> non_finite_error cur "Infinity"
   | Some '"' -> String (parse_string cur)
   | Some '[' ->
     cur.pos <- cur.pos + 1;
@@ -310,6 +327,14 @@ let member key = function
   | _ -> None
 
 let to_int = function Int i -> Some i | Float f when Float.is_integer f -> Some (int_of_float f) | _ -> None
-let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+(* The string spellings close the round-trip for non-finite floats. *)
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | String "NaN" -> Some Float.nan
+  | String "Infinity" -> Some Float.infinity
+  | String "-Infinity" -> Some Float.neg_infinity
+  | _ -> None
 let to_string_value = function String s -> Some s | _ -> None
 let to_list = function List l -> Some l | _ -> None

@@ -18,6 +18,132 @@ let json_of_value = function
   | F f -> Json.Float f
   | S s -> Json.String s
 
+(* --- live-run snapshots ---------------------------------------------
+
+   A snapshot is one periodic progress record emitted by a long-running
+   stage (a grounding iteration, a Gibbs checkpoint).  The deterministic
+   payload ([data]) carries counts and step numbers that are identical
+   for every pool size; the volatile payload ([perf]) carries wall-clock
+   rates and memory figures.  Consumers that diff runs strip [at] and
+   [perf] (see {!Snapshot.deterministic_json}). *)
+
+module Snapshot = struct
+  type t = {
+    seq : int;  (** monotonic per trace *)
+    stage : string;  (** "ground" | "mpp" | "gibbs" | ... *)
+    point : string;  (** "iteration" | "checkpoint" | ... *)
+    step : int;  (** iteration / sweep number *)
+    at : float;  (** seconds since the trace was created (volatile) *)
+    data : (string * value) list;  (** deterministic fields *)
+    perf : (string * value) list;  (** volatile fields: rates, memory *)
+  }
+
+  type sink = t -> unit
+
+  let fields_to_json fields =
+    Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) fields)
+
+  let to_json s =
+    Json.Obj
+      [
+        ("seq", Json.Int s.seq);
+        ("stage", Json.String s.stage);
+        ("point", Json.String s.point);
+        ("step", Json.Int s.step);
+        ("at", Json.Float s.at);
+        ("data", fields_to_json s.data);
+        ("perf", fields_to_json s.perf);
+      ]
+
+  (* The pool-size-invariant part: everything except [at] and [perf]. *)
+  let deterministic_json s =
+    Json.Obj
+      [
+        ("seq", Json.Int s.seq);
+        ("stage", Json.String s.stage);
+        ("point", Json.String s.point);
+        ("step", Json.Int s.step);
+        ("data", fields_to_json s.data);
+      ]
+
+  let decode_error what = failwith ("Obs.Snapshot.of_json: malformed " ^ what)
+
+  let get what decode j =
+    match decode j with Some v -> v | None -> decode_error what
+
+  let fields_of_json what = function
+    | None -> []
+    | Some (Json.Obj kvs) ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | Json.Int i -> (k, I i)
+          | Json.Float f -> (k, F f)
+          | Json.String s -> (k, S s)
+          | _ -> decode_error what)
+        kvs
+    | Some _ -> decode_error what
+
+  let of_json j =
+    let int k = get k (fun j -> Option.bind (Json.member k j) Json.to_int) j in
+    let str k =
+      get k (fun j -> Option.bind (Json.member k j) Json.to_string_value) j
+    in
+    {
+      seq = int "seq";
+      stage = str "stage";
+      point = str "point";
+      step = int "step";
+      at = get "at" (fun j -> Option.bind (Json.member "at" j) Json.to_float) j;
+      data = fields_of_json "data" (Json.member "data" j);
+      perf = fields_of_json "perf" (Json.member "perf" j);
+    }
+
+  let of_json_string s = of_json (Json.of_string s)
+
+  (* One JSON document per line (NDJSON), flushed so a tail -f (or a
+     crashed run) always shows complete records. *)
+  let ndjson oc s =
+    output_string oc (Json.to_string (to_json s));
+    output_char oc '\n';
+    flush oc
+
+  let pp_fields ppf fields =
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | I i -> Format.fprintf ppf " %s=%d" k i
+        | F f -> Format.fprintf ppf " %s=%.4g" k f
+        | S v -> Format.fprintf ppf " %s=%s" k v)
+      fields
+
+  (* Human ticker: one stderr line per snapshot. *)
+  let ticker ppf s =
+    Format.fprintf ppf "[%7.2fs] %s %s %d:%a%a@." s.at s.stage s.point s.step
+      pp_fields s.data pp_fields s.perf
+
+  let tee sinks s = List.iter (fun f -> f s) sinks
+end
+
+(* Volatile process stats for snapshot [perf] sections: OCaml heap and
+   (when /proc is available) resident set size. *)
+let mem_stats () =
+  let st = Gc.quick_stat () in
+  let gc =
+    [
+      ("heap_mb", F (float_of_int st.Gc.heap_words *. 8. /. 1e6));
+      ("major_gcs", I st.Gc.major_collections);
+    ]
+  in
+  match
+    let ic = open_in "/proc/self/statm" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Scanf.sscanf (input_line ic) "%d %d" (fun _ rss -> rss))
+  with
+  | rss_pages -> ("rss_mb", F (float_of_int rss_pages *. 4096. /. 1e6)) :: gc
+  | exception _ -> gc
+
 type span = {
   id : int;
   parent : int; (* -1 = root *)
@@ -56,6 +182,12 @@ type t = {
   creator_dom : int;
   registry : registry;
   key : buffer Domain.DLS.key;
+  (* Live-run snapshot stream.  Independent of [enabled]: a sink can be
+     installed on a disabled trace, so `--snapshots` works without paying
+     for span recording.  Snapshots are emitted from single-threaded
+     points (between pool barriers), so an atomic ref suffices. *)
+  snapshot_sink : Snapshot.sink option Atomic.t;
+  snapshot_seq : int Atomic.t;
 }
 
 type trace = t
@@ -90,11 +222,37 @@ let make_trace enabled =
     creator_dom = (Domain.self () :> int);
     registry;
     key;
+    snapshot_sink = Atomic.make None;
+    snapshot_seq = Atomic.make 0;
   }
 
 let create ?(config = Config.default) () = make_trace config.Config.enabled
 let null = make_trace false
 let enabled t = t.enabled
+
+(* --- snapshot emission ---------------------------------------------- *)
+
+(* [null] is shared process-wide; installing a sink on it would leak the
+   stream into every uninstrumented pipeline, so it is refused. *)
+let set_snapshot_sink t sink =
+  if t != null then Atomic.set t.snapshot_sink sink
+
+let snapshots_enabled t = Atomic.get t.snapshot_sink <> None
+
+let snapshot t ~stage ~point ~step ?(perf = []) data =
+  match Atomic.get t.snapshot_sink with
+  | None -> ()
+  | Some sink ->
+    sink
+      {
+        Snapshot.seq = Atomic.fetch_and_add t.snapshot_seq 1;
+        stage;
+        point;
+        step;
+        at = now () -. t.t_start;
+        data;
+        perf;
+      }
 
 (* --- ambient context -------------------------------------------------
 

@@ -61,6 +61,54 @@ end
 (** Attribute values attached to spans. *)
 type value = I of int | F of float | S of string
 
+(** {2 Live-run snapshots}
+
+    Periodic progress records emitted by long-running stages (grounding
+    iterations, Gibbs checkpoints) through a pluggable sink.  The [data]
+    payload is deterministic — identical for every pool size — while
+    [at] and [perf] carry wall-clock and memory figures that are not. *)
+
+module Snapshot : sig
+  type t = {
+    seq : int;  (** monotonic per trace *)
+    stage : string;  (** e.g. ["ground"], ["mpp"], ["gibbs"] *)
+    point : string;  (** e.g. ["iteration"], ["checkpoint"] *)
+    step : int;  (** iteration / sweep number *)
+    at : float;  (** seconds since the trace was created (volatile) *)
+    data : (string * value) list;  (** deterministic fields *)
+    perf : (string * value) list;  (** volatile fields: rates, memory *)
+  }
+
+  type sink = t -> unit
+
+  val to_json : t -> Json.t
+
+  (** [deterministic_json s] is [to_json s] without the volatile [at] and
+      [perf] fields — the pool-size-invariant content. *)
+  val deterministic_json : t -> Json.t
+
+  (** @raise Failure / Json.Malformed on input that does not encode a
+      snapshot. *)
+  val of_json : Json.t -> t
+
+  val of_json_string : string -> t
+
+  (** [ndjson oc] is a sink writing one JSON document per line, flushed
+      after every record. *)
+  val ndjson : out_channel -> sink
+
+  (** [ticker ppf] is a sink printing one human-readable line per
+      snapshot (for [--progress] on stderr). *)
+  val ticker : Format.formatter -> sink
+
+  val tee : sink list -> sink
+end
+
+(** [mem_stats ()] is the volatile memory figures (OCaml heap MB, major
+    collections, RSS when /proc is readable) for a snapshot's [perf]
+    section. *)
+val mem_stats : unit -> (string * value) list
+
 type t
 (** A trace context. *)
 
@@ -82,6 +130,31 @@ val enabled : t -> bool
 val ambient : unit -> t
 val set_ambient : t -> unit
 val with_ambient : t -> (unit -> 'a) -> 'a
+
+(** {2 Snapshot stream}
+
+    Emission is gated on the sink alone, not on {!enabled}: a
+    [--snapshots] run does not pay for span recording.  Snapshots must be
+    emitted from single-threaded points (between pool barriers) — the
+    grounding iteration boundary, the sampler checkpoint. *)
+
+(** [set_snapshot_sink t sink] installs (or, with [None], removes) the
+    snapshot sink.  Refused on {!null}, which is shared process-wide. *)
+val set_snapshot_sink : t -> Snapshot.sink option -> unit
+
+val snapshots_enabled : t -> bool
+
+(** [snapshot t ~stage ~point ~step ?perf data] emits one record through
+    the installed sink (no-op without one).  [data] must be deterministic
+    across pool sizes; volatile figures belong in [perf]. *)
+val snapshot :
+  t ->
+  stage:string ->
+  point:string ->
+  step:int ->
+  ?perf:(string * value) list ->
+  (string * value) list ->
+  unit
 
 (** {2 Spans} *)
 

@@ -123,7 +123,9 @@ let apply_collect ?(ban = true) pi omega =
   end
 
 let apply ?ban pi omega = snd (apply_collect ?ban pi omega)
-let hook omega pi = apply pi omega
+let hook omega pi =
+  let vs, deleted = apply_collect pi omega in
+  (List.length vs, deleted)
 
 let pp_violation ~entity_name ~rel_name ppf v =
   Format.fprintf ppf "%s violates %s (%s): %d facts, degree %d"

@@ -44,9 +44,10 @@ val apply_collect :
 val violation_group :
   Kb.Storage.t -> violation -> ((int * int * int * int * int) * bool) list
 
-(** [hook omega] packages {!apply} as the [apply_constraints] option of
-    the grounding driver. *)
-val hook : Kb.Funcon.t list -> Kb.Storage.t -> int
+(** [hook omega] packages {!apply_collect} as the [apply_constraints]
+    option of the grounding driver, returning
+    [(violation count, facts deleted)]. *)
+val hook : Kb.Funcon.t list -> Kb.Storage.t -> int * int
 
 (** [pp_violation ~entity_name ~rel_name ppf v] prints a violation. *)
 val pp_violation :

@@ -180,6 +180,111 @@ let test_report_rendering () =
   let kb_text = Fmt.str "%a" Probkb.Report.pp_kb kb in
   Alcotest.(check bool) "lists relations" true (contains kb_text "born_in")
 
+let test_expansion_trajectory () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb
+  in
+  let e = Probkb.Engine.expand engine in
+  let traj = e.Probkb.Engine.trajectory in
+  (* No constraint hook: one point per closure iteration, no pre-pass. *)
+  check_int "one point per iteration" e.Probkb.Engine.iterations
+    (List.length traj);
+  let total =
+    List.fold_left
+      (fun acc (p : Grounding.Ground.trajectory_point) ->
+        acc + p.Grounding.Ground.new_facts)
+      0 traj
+  in
+  check_int "trajectory sums to the new-fact count"
+    e.Probkb.Engine.new_fact_count total;
+  (* total_facts is non-decreasing without deletions. *)
+  let rec monotone = function
+    | (a : Grounding.Ground.trajectory_point)
+      :: (b : Grounding.Ground.trajectory_point) :: rest ->
+      a.Grounding.Ground.total_facts <= b.Grounding.Ground.total_facts
+      && monotone (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "totals monotone" true (monotone traj);
+  (* The bar plot renders, and both JSON encoders include the curve. *)
+  let text = Fmt.str "%a" Probkb.Report.pp_trajectory traj in
+  Alcotest.(check bool) "plot mentions totals" true (contains text "total");
+  let json = Obs.Json.to_string (Probkb.Report.expansion_to_json e) in
+  Alcotest.(check bool) "expansion JSON carries trajectory" true
+    (contains json "\"trajectory\"")
+
+let test_trajectory_with_constraints () =
+  let kb = Kb.Gamma.create () in
+  ignore (Kb.Loader.load_rules kb [ "1.0 p(x:A, y:B) :- q(x, y)" ]);
+  let add x y =
+    ignore (Kb.Gamma.add_fact_by_name kb ~r:"q" ~x ~c1:"A" ~y ~c2:"B" ~w:0.9)
+  in
+  add "a" "b1";
+  add "a" "b2";
+  Kb.Gamma.add_funcon kb
+    (Kb.Funcon.make ~rel:(Kb.Gamma.relation kb "q") ~ftype:Kb.Funcon.Type_I
+       ~degree:1);
+  let engine =
+    Probkb.Engine.create
+      ~config:(Probkb.Config.make ~inference:None ~semantic_constraints:true ())
+      kb
+  in
+  let e = Probkb.Engine.expand engine in
+  match e.Probkb.Engine.trajectory with
+  | (p0 : Grounding.Ground.trajectory_point) :: _ ->
+    check_int "pre-pass is point 0" 0 p0.Grounding.Ground.iteration;
+    check_int "pre-pass sees the violation" 1 p0.Grounding.Ground.violations;
+    check_int "pre-pass removes both facts" 2 p0.Grounding.Ground.removed
+  | [] -> Alcotest.fail "constraint run must record the pre-pass"
+
+let test_run_reports_sampler_info () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        (Probkb.Config.make
+           ~inference:
+             (Some
+                (Inference.Marginal.Chromatic
+                   { Inference.Gibbs.burn_in = 50; samples = 200; seed = 3 }))
+           ~target_r_hat:1.5 ~min_ess:5. ~checkpoint_sweeps:10 ())
+      kb
+  in
+  let result = Probkb.Engine.run engine in
+  (match result.Probkb.Engine.inference with
+  | None -> Alcotest.fail "Chromatic run must report sampler info"
+  | Some i ->
+    Alcotest.(check bool) "sweeps recorded" true
+      (i.Inference.Chromatic.sweeps_run > 0);
+    (match i.Inference.Chromatic.diag with
+    | Some _ -> ()
+    | None -> Alcotest.fail "early-stop config implies online diagnostics"));
+  let text = Fmt.str "%a" Probkb.Report.pp_result result in
+  Alcotest.(check bool) "report mentions the sampler" true
+    (contains text "sampler:");
+  let json = Obs.Json.to_string (Probkb.Report.result_to_json result) in
+  Alcotest.(check bool) "JSON carries sweeps_run" true
+    (contains json "\"sweeps_run\"");
+  Alcotest.(check bool) "JSON carries stopped_at_sweep" true
+    (contains json "\"stopped_at_sweep\"")
+
+let test_config_early_stop () =
+  let c = Probkb.Config.make () in
+  Alcotest.(check bool) "no criteria by default" true
+    (Probkb.Config.early_stop_criteria c = None);
+  let c' = Probkb.Config.with_early_stop ~target_r_hat:1.05 c in
+  (match Probkb.Config.early_stop_criteria c' with
+  | Some crit ->
+    Alcotest.(check (float 1e-9)) "target carried" 1.05
+      crit.Inference.Diagnostics.Online.target_r_hat;
+    Alcotest.(check (float 1e-9)) "unset ESS never binds" 0.
+      crit.Inference.Diagnostics.Online.min_ess
+  | None -> Alcotest.fail "criterion set but not reported");
+  match Probkb.Config.make ~checkpoint_sweeps:0 () with
+  | _ -> Alcotest.fail "checkpoint_sweeps 0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "core"
     [
@@ -198,5 +303,15 @@ let () =
           Alcotest.test_case "incremental cascade" `Quick
             test_incremental_chain_reaction;
           Alcotest.test_case "report rendering" `Quick test_report_rendering;
+        ] );
+      ( "live run health",
+        [
+          Alcotest.test_case "expansion trajectory" `Quick
+            test_expansion_trajectory;
+          Alcotest.test_case "trajectory with constraints" `Quick
+            test_trajectory_with_constraints;
+          Alcotest.test_case "sampler info in result" `Quick
+            test_run_reports_sampler_info;
+          Alcotest.test_case "early-stop config" `Quick test_config_early_stop;
         ] );
     ]

@@ -228,7 +228,7 @@ let test_constraints_hook_runs_each_iteration () =
         Some
           (fun _ ->
             incr calls;
-            0);
+            (0, 0));
     }
   in
   let result = Grounding.Ground.run ~options kb in

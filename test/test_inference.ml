@@ -311,6 +311,153 @@ let test_rhat_requires_two_chains () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_rhat_zero_variance_is_one () =
+  (* Singletons at w = ±20: the Rao-Blackwellized conditional is the same
+     constant every sweep, so within-chain variance is exactly zero and
+     the variable must report R̂ = 1, not NaN or a blow-up. *)
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:0 ~w:20.0;
+        Fgraph.add_singleton g ~i:1 ~w:(-20.0))
+  in
+  let report =
+    Inference.Diagnostics.r_hat ~chains:4
+      ~options:{ Inference.Gibbs.burn_in = 10; samples = 50; seed = 5 }
+      c
+  in
+  Array.iter
+    (fun r -> Alcotest.(check (float 1e-12)) "R-hat is 1" 1.0 r)
+    report.Inference.Diagnostics.r_hat;
+  Alcotest.(check (float 1e-12)) "max R-hat is 1" 1.0
+    report.Inference.Diagnostics.max_r_hat
+
+(* --- online diagnostics --- *)
+
+let online_options = { Inference.Gibbs.burn_in = 100; samples = 400; seed = 7 }
+
+let test_online_report_sanity () =
+  let c = random_graph 77 6 6 in
+  let _, info =
+    Inference.Chromatic.marginals_info ~options:online_options ~online:true c
+  in
+  Alcotest.(check int) "full budget" online_options.Inference.Gibbs.samples
+    info.Inference.Chromatic.sweeps_run;
+  Alcotest.(check bool) "no early stop without criteria" true
+    (info.Inference.Chromatic.stopped_at_sweep = None);
+  match info.Inference.Chromatic.diag with
+  | None -> Alcotest.fail "online requested but no report"
+  | Some d ->
+    let open Inference.Diagnostics.Online in
+    Alcotest.(check int) "report covers the run"
+      online_options.Inference.Gibbs.samples d.sweeps;
+    Alcotest.(check bool)
+      (Printf.sprintf "max R-hat %.3f computable and near 1" d.max_r_hat)
+      true
+      (Float.is_finite d.max_r_hat && d.max_r_hat < 1.5);
+    Array.iter
+      (fun e ->
+        if not (Float.is_nan e) then
+          Alcotest.(check bool) "ESS within [1, n]" true
+            (e >= 1. && e <= float_of_int online_options.Inference.Gibbs.samples))
+      d.ess
+
+let test_online_zero_variance () =
+  let c =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:0 ~w:20.0;
+        Fgraph.add_singleton g ~i:1 ~w:(-20.0))
+  in
+  let _, info =
+    Inference.Chromatic.marginals_info ~options:online_options ~online:true c
+  in
+  match info.Inference.Chromatic.diag with
+  | None -> Alcotest.fail "no report"
+  | Some d ->
+    Array.iter
+      (fun r ->
+        Alcotest.(check (float 1e-12)) "pinned variable reports R-hat 1" 1.0 r)
+      d.Inference.Diagnostics.Online.r_hat
+
+let test_online_early_stop () =
+  let c = random_graph 77 6 6 in
+  let budget = { online_options with samples = 4000 } in
+  let marg_full, info_full =
+    Inference.Chromatic.marginals_info ~options:budget ~online:true c
+  in
+  let crit =
+    { Inference.Diagnostics.Online.target_r_hat = 1.1; min_ess = 30. }
+  in
+  let marg_early, info =
+    Inference.Chromatic.marginals_info ~options:budget ~early_stop:crit c
+  in
+  (match info.Inference.Chromatic.stopped_at_sweep with
+  | None -> Alcotest.fail "easy graph should trigger the early stop"
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "stopped at %d, well under the budget" s)
+      true
+      (s < budget.Inference.Gibbs.samples);
+    Alcotest.(check int) "sweeps_run matches the stop" s
+      info.Inference.Chromatic.sweeps_run);
+  (match info.Inference.Chromatic.diag with
+  | Some d ->
+    let open Inference.Diagnostics.Online in
+    Alcotest.(check bool) "final report satisfies the criteria" true
+      (satisfied crit d)
+  | None -> Alcotest.fail "early-stopped run must carry its diagnostics");
+  ignore info_full;
+  let d = max_abs_diff marg_full marg_early in
+  Alcotest.(check bool)
+    (Printf.sprintf "early-stop marginals within 0.05 of full run (%.4f)" d)
+    true (d < 0.05)
+
+let test_online_deterministic_across_pools () =
+  (* Diagnostics accumulate per-variable state under the chromatic
+     schedule, so the report must be bit-identical for any pool size. *)
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 999 do
+          Fgraph.add_singleton g ~i ~w:((float_of_int i /. 500.) -. 1.)
+        done;
+        for i = 0 to 99 do
+          Fgraph.add_clause g ~i1:(2 * i) ~i2:((2 * i) + 1) ~w:0.8 ()
+        done)
+  in
+  let opts = { Inference.Gibbs.burn_in = 10; samples = 60; seed = 11 } in
+  let p1 = Pool.create 1 and p4 = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p1;
+      Pool.shutdown p4)
+    (fun () ->
+      let run pool =
+        Inference.Chromatic.marginals_info ~options:opts ~pool ~online:true c
+      in
+      let m1, i1 = run p1 and m4, i4 = run p4 in
+      Alcotest.(check bool) "marginals identical" true (m1 = m4);
+      match (i1.Inference.Chromatic.diag, i4.Inference.Chromatic.diag) with
+      | Some d1, Some d4 ->
+        let open Inference.Diagnostics.Online in
+        Alcotest.(check bool) "R-hat bit-identical" true
+          (d1.r_hat = d4.r_hat);
+        Alcotest.(check bool) "ESS bit-identical" true (d1.ess = d4.ess)
+      | _ -> Alcotest.fail "missing online report")
+
+let test_online_never_stops_on_short_chain () =
+  (* Fewer sweeps than two checkpoint windows: R̂ is incomputable (NaN),
+     and NaN must never satisfy the stop criteria. *)
+  let o = Inference.Diagnostics.Online.create ~segment:20 2 in
+  for i = 1 to 15 do
+    Inference.Diagnostics.Online.begin_sweep o;
+    Inference.Diagnostics.Online.observe o 0 (0.3 +. (0.02 *. float_of_int i));
+    Inference.Diagnostics.Online.observe o 1 (0.9 -. (0.01 *. float_of_int i))
+  done;
+  let r = Inference.Diagnostics.Online.report o in
+  Alcotest.(check bool) "lenient criteria still unsatisfied" false
+    (Inference.Diagnostics.Online.satisfied
+       { Inference.Diagnostics.Online.target_r_hat = 10.; min_ess = 0. }
+       r)
+
 (* --- front-end --- *)
 
 let test_marginal_front_end () =
@@ -375,6 +522,18 @@ let () =
             test_rhat_flags_short_chains;
           Alcotest.test_case "needs two chains" `Quick
             test_rhat_requires_two_chains;
+          Alcotest.test_case "zero variance is R-hat 1" `Quick
+            test_rhat_zero_variance_is_one;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "report sanity" `Quick test_online_report_sanity;
+          Alcotest.test_case "zero variance" `Quick test_online_zero_variance;
+          Alcotest.test_case "early stop" `Slow test_online_early_stop;
+          Alcotest.test_case "deterministic across pools" `Quick
+            test_online_deterministic_across_pools;
+          Alcotest.test_case "short chain never stops" `Quick
+            test_online_never_stops_on_short_chain;
         ] );
       ("front-end", [ Alcotest.test_case "id mapping" `Quick test_marginal_front_end ]);
     ]

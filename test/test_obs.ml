@@ -117,6 +117,150 @@ let test_malformed_json () =
   in
   check_bool "non-summary JSON rejected" true raised
 
+let test_nonfinite_json () =
+  (* Non-finite floats encode as strings — the output stays valid JSON. *)
+  let enc v = Obs.Json.to_string (Obs.Json.Float v) in
+  Alcotest.(check string) "nan" "\"NaN\"" (enc Float.nan);
+  Alcotest.(check string) "inf" "\"Infinity\"" (enc Float.infinity);
+  Alcotest.(check string) "-inf" "\"-Infinity\"" (enc Float.neg_infinity);
+  (* The encoded document parses back, and the accessor recovers the
+     float. *)
+  let doc =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [ ("r_hat", Obs.Json.Float Float.nan);
+           ("ess", Obs.Json.Float Float.infinity);
+           ("x", Obs.Json.Float 1.5) ])
+  in
+  let parsed = Obs.Json.of_string doc in
+  let f name =
+    Option.bind (Obs.Json.member name parsed) Obs.Json.to_float
+  in
+  check_bool "NaN round-trips" true
+    (match f "r_hat" with Some v -> Float.is_nan v | None -> false);
+  check_bool "Infinity round-trips" true (f "ess" = Some Float.infinity);
+  check_bool "finite untouched" true (f "x" = Some 1.5);
+  (* Bare non-finite tokens (what a naive printer would emit) are
+     rejected with a clear error. *)
+  List.iter
+    (fun s ->
+      check_bool (s ^ " rejected") true (Obs.Json.of_string_opt s = None))
+    [ "NaN"; "Infinity"; "-Infinity"; "{\"a\": NaN}"; "[-Infinity]" ];
+  let msg =
+    try
+      ignore (Obs.Json.of_string "NaN");
+      ""
+    with Obs.Json.Malformed m -> m
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "error explains the encoding" true (contains msg "non-finite")
+
+(* --- snapshots --- *)
+
+let collect_snapshots ?(config = Probkb.Config.make ~inference:None ()) kb =
+  let engine = Probkb.Engine.create ~config kb in
+  let snaps = ref [] in
+  Probkb.Obs.set_snapshot_sink
+    (Probkb.Engine.trace engine)
+    (Some (fun s -> snaps := s :: !snaps));
+  let e = Probkb.Engine.expand engine in
+  Probkb.Obs.set_snapshot_sink (Probkb.Engine.trace engine) None;
+  (e, List.rev !snaps)
+
+let test_snapshots_per_iteration () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let e, snaps = collect_snapshots kb in
+  let ground =
+    List.filter (fun s -> s.Obs.Snapshot.stage = "ground") snaps
+  in
+  (* One snapshot per closure iteration (no constraint hook, so no
+     iteration-0 pre-pass). *)
+  check_int "one snapshot per grounding iteration" e.Probkb.Engine.iterations
+    (List.length ground);
+  List.iteri
+    (fun i s ->
+      check_int "step is the iteration number" (i + 1) s.Obs.Snapshot.step;
+      check_bool "point" true (s.Obs.Snapshot.point = "iteration"))
+    ground;
+  (* seq is monotone over the stream. *)
+  let seqs = List.map (fun s -> s.Obs.Snapshot.seq) snaps in
+  check_bool "seq monotone" true (List.sort compare seqs = seqs);
+  (* Snapshots flow without span recording: the trace stayed disabled. *)
+  check_bool "trace stayed disabled" true
+    ((Probkb.Engine.expand (Probkb.Engine.create kb)).Probkb.Engine.obs
+     |> fun s -> s.Summary.spans = [])
+
+let test_snapshot_json_roundtrip () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let _, snaps = collect_snapshots kb in
+  check_bool "collected something" true (snaps <> []);
+  List.iter
+    (fun s ->
+      let s' =
+        Obs.Snapshot.of_json_string
+          (Obs.Json.to_string (Obs.Snapshot.to_json s))
+      in
+      check_bool "snapshot round-trips" true (s = s'))
+    snaps
+
+let test_snapshots_deterministic_across_pools () =
+  let content_at d =
+    with_pool_size d (fun () ->
+        let kb, _, _ = Tutil.ruth_gruber_kb () in
+        let _, snaps = collect_snapshots kb in
+        List.map
+          (fun s -> Obs.Json.to_string (Obs.Snapshot.deterministic_json s))
+          snaps)
+  in
+  let c1 = content_at 1 and c4 = content_at 4 in
+  check_bool "non-empty" true (c1 <> []);
+  check_bool "snapshot content identical for pool sizes 1 and 4" true
+    (c1 = c4)
+
+let test_ndjson_sink () =
+  let path = Filename.temp_file "probkb_snaps" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let kb, _, _ = Tutil.ruth_gruber_kb () in
+      let engine =
+        Probkb.Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb
+      in
+      let oc = open_out path in
+      Probkb.Obs.set_snapshot_sink
+        (Probkb.Engine.trace engine)
+        (Some (Obs.Snapshot.ndjson oc));
+      let e = Probkb.Engine.expand engine in
+      Probkb.Obs.set_snapshot_sink (Probkb.Engine.trace engine) None;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = List.rev !lines in
+      check_int "one NDJSON line per iteration" e.Probkb.Engine.iterations
+        (List.length lines);
+      let prev_at = ref neg_infinity in
+      List.iter
+        (fun line ->
+          let s = Obs.Snapshot.of_json_string line in
+          check_bool "at is monotone" true (s.Obs.Snapshot.at >= !prev_at);
+          prev_at := s.Obs.Snapshot.at)
+        lines)
+
+let test_null_sink_refused () =
+  Probkb.Obs.set_snapshot_sink Probkb.Obs.null (Some (fun _ -> ()));
+  check_bool "null never accepts a sink" false
+    (Probkb.Obs.snapshots_enabled Probkb.Obs.null)
+
 let test_disabled_trace_is_inert () =
   let _, e =
     let kb, _, _ = Tutil.ruth_gruber_kb () in
@@ -152,5 +296,18 @@ let () =
           Alcotest.test_case "summary round-trip" `Quick
             test_summary_json_roundtrip;
           Alcotest.test_case "malformed input" `Quick test_malformed_json;
+          Alcotest.test_case "non-finite floats" `Quick test_nonfinite_json;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "one per grounding iteration" `Quick
+            test_snapshots_per_iteration;
+          Alcotest.test_case "JSON round-trip" `Quick
+            test_snapshot_json_roundtrip;
+          Alcotest.test_case "deterministic across pool sizes" `Quick
+            test_snapshots_deterministic_across_pools;
+          Alcotest.test_case "ndjson sink" `Quick test_ndjson_sink;
+          Alcotest.test_case "null refuses sinks" `Quick
+            test_null_sink_refused;
         ] );
     ]
