@@ -22,16 +22,19 @@ check: build
 	rm -rf _smoke
 
 bench:
-	dune exec bench/main.exe -- --quick -e parallel
+	dune exec bench/main.exe -- --quick -e parallel -e pipeline
 
-# The regression gate: re-run the parallel experiment into a scratch
-# artifact and diff it against the committed BENCH_parallel.json.
-# Exits non-zero when any non-oversubscribed, non-noise stage cell is
-# more than 25% slower than the baseline.
+# The regression gate: re-run the parallel and pipeline experiments into
+# scratch artifacts and diff them against the committed
+# BENCH_parallel.json / BENCH_pipeline.json.  Exits non-zero when any
+# non-oversubscribed, non-noise stage cell is more than 25% slower than
+# the baseline.
 bench-check:
-	dune exec bench/main.exe -- --quick -e parallel \
-	  --out BENCH_fresh.json --compare BENCH_parallel.json
-	rm -f BENCH_fresh.json
+	dune exec bench/main.exe -- --quick -e parallel -e pipeline \
+	  --out BENCH_fresh.json --compare BENCH_parallel.json \
+	  --out-pipeline BENCH_pipeline_fresh.json \
+	  --compare-pipeline BENCH_pipeline.json
+	rm -f BENCH_fresh.json BENCH_pipeline_fresh.json
 
 clean:
 	dune clean

@@ -86,6 +86,8 @@ type options = {
   mutable quick : bool; (* CI-sized runs *)
   mutable out : string option; (* artifact path override *)
   mutable compare : string option; (* baseline BENCH_parallel.json *)
+  mutable out_pipeline : string option; (* pipeline artifact path override *)
+  mutable compare_pipeline : string option; (* baseline BENCH_pipeline.json *)
 }
 
 let options =
@@ -96,11 +98,17 @@ let options =
     quick = false;
     out = None;
     compare = None;
+    out_pipeline = None;
+    compare_pipeline = None;
   }
 
 (* The parallel experiment's artifact path ([--out] overrides the
    committed default so a fresh run can sit next to the baseline). *)
 let parallel_out () = Option.value options.out ~default:"BENCH_parallel.json"
+
+(* Same for the pipeline experiment ([--out-pipeline]). *)
+let pipeline_out () =
+  Option.value options.out_pipeline ~default:"BENCH_pipeline.json"
 
 let scale_or default =
   match options.scale with

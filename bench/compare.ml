@@ -1,5 +1,7 @@
-(* The bench regression gate: diff a fresh BENCH_parallel.json against a
-   committed baseline, per stage and pool size.
+(* The bench regression gate: diff a fresh BENCH_*.json artifact against
+   a committed baseline, per stage and pool size.  Generic over any
+   artifact with a [stages.{stage}.seconds.{domain}] block (currently
+   BENCH_parallel.json and BENCH_pipeline.json).
 
    Comparison rules:
    - entries flagged oversubscribed in EITHER file are skipped (a pool

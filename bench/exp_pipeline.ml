@@ -1,0 +1,152 @@
+(* Executor comparison: the materializing reference engine vs the
+   morsel-driven pipelined engine, on the grounding query workload
+   (the Query 1-i plans over a grounded KB), per pool size.
+
+   Writes BENCH_pipeline.json with the same [stages.{stage}.seconds.{d}]
+   shape as BENCH_parallel.json, so [Compare] gates both artifacts with
+   one implementation. *)
+
+open Bench_util
+module Table = Relational.Table
+module Plan = Relational.Plan
+
+let stage_names = [ "materializing"; "pipelined" ]
+
+(* Bit-exact equality: same rows, same order, same weights. *)
+let tables_identical a b =
+  Table.nrows a = Table.nrows b
+  && Table.width a = Table.width b
+  && Table.weighted a = Table.weighted b
+  &&
+  let ok = ref true in
+  for r = 0 to Table.nrows a - 1 do
+    if not (Table.equal_rows a r b r) then ok := false;
+    if Table.weighted a && compare (Table.weight a r) (Table.weight b r) <> 0
+    then ok := false
+  done;
+  !ok
+
+let run () =
+  section "Pipelined executor — materializing vs morsel-driven pipelines";
+  let scale = scale_or 0.05 in
+  let domains = if options.quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  note
+    "ReVerb-Sherlock at scale %.3f, grounded first so TΠ holds the derived \
+     facts; each engine runs every Query 1-i plan"
+    scale;
+  let g =
+    Workload.Reverb_sherlock.generate
+      { Workload.Reverb_sherlock.default_config with scale }
+  in
+  let kb = Workload.Reverb_sherlock.kb g in
+  ignore
+    (Grounding.Ground.run
+       ~options:{ Grounding.Ground.default_options with max_iterations = 4 }
+       kb);
+  let prepared = Grounding.Queries.prepare (Kb.Gamma.partitions kb) in
+  let pi = Kb.Gamma.pi kb in
+  let plans =
+    List.filter_map
+      (fun pat ->
+        if Mln.Partition.count (Grounding.Queries.partitions prepared) pat > 0
+        then Some (Grounding.Queries.atoms_plan prepared pat pi)
+        else None)
+      Mln.Pattern.all
+  in
+  let workload () = List.iter (fun p -> ignore (Plan.run p)) plans in
+  let workload_mat () =
+    List.iter (fun p -> ignore (Plan.run_materializing p)) plans
+  in
+  note "%d plans over %d facts; outputs checked bit-identical between engines"
+    (List.length plans)
+    (Kb.Storage.size pi);
+  let times = Hashtbl.create 16 in
+  let identical = ref true in
+  let reps = if options.quick then 2 else 3 in
+  List.iter
+    (fun d ->
+      Pool.set_default_size d;
+      (* Warm-up doubles as the identity check. *)
+      List.iter
+        (fun p ->
+          if not (tables_identical (Plan.run_materializing p) (Plan.run p))
+          then identical := false)
+        plans;
+      (* Interleaved best-of-N: clock drift on a shared host hits both
+         engines equally. *)
+      let mat = ref infinity and pip = ref infinity in
+      for _ = 1 to reps do
+        let (), s = time workload_mat in
+        mat := Float.min !mat s;
+        let (), s = time workload in
+        pip := Float.min !pip s
+      done;
+      Hashtbl.replace times ("materializing", d) !mat;
+      Hashtbl.replace times ("pipelined", d) !pip;
+      measured "domains=%d  materializing %7.3fs | pipelined %7.3fs (%.2fx)" d
+        !mat !pip
+        (!mat /. Float.max 1e-9 !pip))
+    domains;
+  Pool.set_default_size (Pool.env_domains ());
+  measured "identical results across engines and pool sizes: %b" !identical;
+  (* Peak intermediate allocation per engine, from the executor's
+     high-water gauge (one instrumented pass at the default pool size). *)
+  let peak_bytes wl =
+    let obs = Obs.create ~config:Obs.Config.enabled () in
+    Obs.with_ambient obs wl;
+    let s = Obs.Summary.of_trace obs in
+    match List.assoc_opt "exec.peak_intermediate_bytes" s.Obs.Summary.gauges with
+    | Some v -> v
+    | None -> 0.
+  in
+  let peak_mat = peak_bytes workload_mat in
+  let peak_pip = peak_bytes workload in
+  measured
+    "peak intermediate allocation: materializing %.1f MB | pipelined %.1f MB"
+    (peak_mat /. 1.048576e6)
+    (peak_pip /. 1.048576e6);
+  let t stage d = Hashtbl.find times (stage, d) in
+  let oversubscribed d = d > host_cores in
+  let per_domain f = List.map (fun d -> (string_of_int d, f d)) domains in
+  let stage_json stage =
+    ( stage,
+      Obs.Json.Obj
+        [
+          ("seconds", Obs.Json.Obj (per_domain (fun d -> Obs.Json.Float (t stage d))));
+          ( "oversubscribed",
+            Obs.Json.Obj (per_domain (fun d -> Obs.Json.Bool (oversubscribed d)))
+          );
+        ] )
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("meta", meta_json ~engine:"plan_executors");
+        ("domains", Obs.Json.List (List.map (fun d -> Obs.Json.Int d) domains));
+        ("scale", Obs.Json.Float scale);
+        ("host_cores", Obs.Json.Int host_cores);
+        ("plans", Obs.Json.Int (List.length plans));
+        ("facts", Obs.Json.Int (Kb.Storage.size pi));
+        ("identical_results", Obs.Json.Bool !identical);
+        ( "pipelined_speedup",
+          Obs.Json.Obj
+            (per_domain (fun d ->
+                 Obs.Json.Float
+                   (t "materializing" d /. Float.max 1e-9 (t "pipelined" d))))
+        );
+        ( "peak_intermediate_bytes",
+          Obs.Json.Obj
+            [
+              ("materializing", Obs.Json.Float peak_mat);
+              ("pipelined", Obs.Json.Float peak_pip);
+            ] );
+        ("stages", Obs.Json.Obj (List.map stage_json stage_names));
+      ]
+  in
+  let out = pipeline_out () in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_pretty_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" out

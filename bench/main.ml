@@ -20,6 +20,7 @@ let all_experiments =
     ("fig6b", Exp_perf.fig6b);
     ("fig6c", Exp_perf.fig6c);
     ("parallel", Exp_perf.parallel);
+    ("pipeline", Exp_pipeline.run);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);
@@ -48,6 +49,14 @@ let () =
         "BASELINE after the run, diff the fresh parallel artifact against \
          this BENCH_parallel.json; exit non-zero on a >25% wall-clock \
          regression" );
+      ( "--out-pipeline",
+        Arg.String (fun p -> options.out_pipeline <- Some p),
+        "FILE write the pipeline experiment's artifact here instead of \
+         BENCH_pipeline.json" );
+      ( "--compare-pipeline",
+        Arg.String (fun p -> options.compare_pipeline <- Some p),
+        "BASELINE diff the fresh pipeline artifact against this \
+         BENCH_pipeline.json; exit non-zero on a >25% regression" );
     ]
   in
   Arg.parse spec
@@ -75,16 +84,23 @@ let () =
     selected;
   Format.printf "@.all experiments done in %.1fs@."
     (Unix.gettimeofday () -. t0);
-  match options.compare with
-  | None -> ()
-  | Some baseline_path ->
-    let fresh_path = parallel_out () in
+  let gate what baseline_path fresh_path =
     if not (Sys.file_exists fresh_path) then begin
       Printf.eprintf
-        "--compare: fresh artifact %s not found (run the parallel \
-         experiment, e.g. -e parallel)\n"
-        fresh_path;
+        "--compare%s: fresh artifact %s not found (run the %s experiment, \
+         e.g. -e %s)\n"
+        (if what = "parallel" then "" else "-" ^ what)
+        fresh_path what what;
       exit 2
     end;
-    let regressions = Compare.run ~baseline_path ~fresh_path () in
-    if regressions > 0 then exit 1
+    Compare.run ~baseline_path ~fresh_path ()
+  in
+  let regressions =
+    (match options.compare with
+    | None -> 0
+    | Some baseline -> gate "parallel" baseline (parallel_out ()))
+    + (match options.compare_pipeline with
+      | None -> 0
+      | Some baseline -> gate "pipeline" baseline (pipeline_out ()))
+  in
+  if regressions > 0 then exit 1

@@ -1,6 +1,7 @@
 module Table = Relational.Table
 module Index = Relational.Index
 module Join = Relational.Join
+module Sink = Relational.Sink
 module Pattern = Mln.Pattern
 module Storage = Kb.Storage
 module Fgraph = Factor_graph.Fgraph
@@ -315,18 +316,13 @@ let mirror_rule_table pat tbl =
     tbl;
   out
 
-(* Swap the head columns back: (R, x', C1', y', C2') → (R, y', C2', x', C1'). *)
-let swap_xy atoms =
-  let out = Table.create ~name:(Table.name atoms) atom_cols in
-  Table.iter
-    (fun r ->
-      Table.append out
-        [|
-          Table.get atoms r 0; Table.get atoms r 3; Table.get atoms r 4;
-          Table.get atoms r 1; Table.get atoms r 2;
-        |])
-    atoms;
-  out
+(* [atoms_out] with the head columns swapped in the projection itself:
+   (R, x', C1', y', C2') → (R, y', C2', x', C1').  The mirrored pattern's
+   join emits rows directly in head orientation, so the delta path needs
+   no post-hoc rewrite pass over a materialized table. *)
+let atoms_out_swapped s =
+  let a = atoms_out s in
+  [| a.(0); a.(3); a.(4); a.(1); a.(2) |]
 
 let mirror_index p pat =
   match p.mirror_index.(Pattern.index pat) with
@@ -346,14 +342,33 @@ let ground_atoms_delta p pat pi ~delta =
   match shape_of pat with
   | Shape.One_atom _ -> ground_atoms_tables midx pat ~q_tbl:delta ~r_tbl:t
   | Shape.Two_atom _ ->
-    let via_q = ground_atoms_tables midx pat ~q_tbl:delta ~r_tbl:t in
-    let mp = mirror_pattern pat in
-    let via_r =
-      swap_xy
-        (ground_atoms_tables (mirror_index p pat) mp ~q_tbl:delta ~r_tbl:t)
+    (* Both union terms stream their probe output into one shared dedup
+       sink — no per-term result table, no union materialization, and
+       rows reachable through both body atoms appear once (the first
+       term's occurrence wins, as a sequential distinct would pick). *)
+    let sink =
+      Sink.create
+        ~dedup_key:(Array.init (Array.length atom_cols) Fun.id)
+        ~name:("atoms_" ^ Pattern.to_string pat)
+        atom_cols
     in
-    Table.append_all via_q via_r;
-    via_q
+    let probe_into index as_pat ~out =
+      match shape_of as_pat with
+      | Shape.One_atom _ -> assert false
+      | Shape.Two_atom s2 ->
+        let shape = shape_of as_pat in
+        let j = step1 index as_pat shape delta in
+        Join.hash_join_pre_into ~out:(out shape) ~oweight:Join.No_weight ~sink
+          (Index.build j s2.j_key2) (t, s2.t_key2)
+    in
+    (* Δ bound to the q atom… *)
+    probe_into midx pat ~out:atoms_out;
+    (* …then Δ bound to the r atom, via the mirrored pattern with the
+       head columns swapped back inside the projection. *)
+    probe_into (mirror_index p pat) (mirror_pattern pat) ~out:atoms_out_swapped;
+    let obs = Obs.ambient () in
+    if Obs.enabled obs then Sink.record_distinct_obs obs sink;
+    Sink.table sink
 
 let ground_factors p pat pi g =
   let s = shape_of pat in

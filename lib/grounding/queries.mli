@@ -84,7 +84,10 @@ val ground_atoms :
     [delta] fact (a table with the [TΠ] schema).  For two-atom patterns
     this runs the plan twice — once with Δ on the first body atom, once
     with Δ on the second via the *mirrored* pattern (P3↔P3, P4↔P5,
-    P6↔P6 with transformed rule rows) — and unions the results. *)
+    P6↔P6 with transformed rule rows and the head columns swapped back
+    inside the projection) — streaming both probe outputs into one
+    shared dedup sink, so the union never materializes per-term
+    tables. *)
 val ground_atoms_delta :
   prepared ->
   Mln.Pattern.t ->

@@ -15,9 +15,14 @@ let partition cluster tbl dist =
   | Hash key ->
     let segs =
       Array.init cluster.Cluster.nseg (fun i ->
-          Table.create ~weighted:(Table.weighted tbl)
-            ~name:(Printf.sprintf "%s@%d" (Table.name tbl) i)
-            (Table.cols tbl))
+          let s =
+            Table.create ~weighted:(Table.weighted tbl)
+              ~name:(Printf.sprintf "%s@%d" (Table.name tbl) i)
+              (Table.cols tbl)
+          in
+          (* Pre-size for a uniform spread; skewed segments still grow. *)
+          Table.reserve s (Table.nrows tbl / cluster.Cluster.nseg);
+          s)
     in
     Table.iter
       (fun r -> Table.append_from segs.(seg_of_row cluster key tbl r) tbl r)
@@ -54,6 +59,7 @@ let gather t =
         ~name:(Table.name t.segs.(0))
         (Table.cols t.segs.(0))
     in
+    Table.reserve out (nrows t);
     Array.iter (fun s -> Table.append_all out s) t.segs;
     out
 

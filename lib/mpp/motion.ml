@@ -20,9 +20,13 @@ let redistribute cluster cost dt key =
   let sample = Dtable.seg dt 0 in
   let segs =
     Array.init nseg (fun i ->
-        Table.create ~weighted:(Table.weighted sample)
-          ~name:(Printf.sprintf "%s@%d" (Table.name sample) i)
-          (Table.cols sample))
+        let s =
+          Table.create ~weighted:(Table.weighted sample)
+            ~name:(Printf.sprintf "%s@%d" (Table.name sample) i)
+            (Table.cols sample)
+        in
+        Table.reserve s (Dtable.nrows dt / nseg);
+        s)
   in
   let moved = ref 0 in
   for s = 0 to Dtable.nseg dt - 1 do

@@ -11,6 +11,12 @@ type t
 (** [analyze tbl] scans the table once and collects statistics. *)
 val analyze : Table.t -> t
 
+(** [stats_for tbl] is {!analyze} behind a small process-wide cache
+    keyed by physical table identity and current row count, so repeated
+    plan estimates against unchanged base tables do not rescan them.
+    Thread-safe. *)
+val stats_for : Table.t -> t
+
 (** [rows st] is the row count at analysis time. *)
 val rows : t -> int
 

@@ -1,159 +1,67 @@
-type side = Build | Probe
-type out_col = Col of side * int | Const of int
-type out_weight = No_weight | Weight_of of side
+(* The single physical join operator: a build/probe hash join executed on
+   the pipelined engine ({!Pipeline}) — the probe side streams in batches
+   through a probe kernel into a {!Sink}, so the local operators, the
+   query planner and the per-segment MPP joins all share one kernel
+   implementation.  The output spec types are re-exported from
+   [Pipeline]. *)
 
-let emit out oweight btbl ptbl result dedup_idx buf br pr =
-  for i = 0 to Array.length out - 1 do
-    buf.(i) <-
-      (match out.(i) with
-      | Const v -> v
-      | Col (Build, c) -> Table.get btbl br c
-      | Col (Probe, c) -> Table.get ptbl pr c)
-  done;
-  let fresh =
-    match dedup_idx with
-    | None -> true
-    | Some idx -> not (Index.mem idx buf)
-  in
-  if fresh then begin
-    (match oweight with
-    | No_weight -> Table.append result buf
-    | Weight_of Build -> Table.append_w result buf (Table.weight btbl br)
-    | Weight_of Probe -> Table.append_w result buf (Table.weight ptbl pr));
-    match dedup_idx with
-    | Some idx -> Index.add idx (Table.nrows result - 1)
-    | None -> ()
-  end
+type side = Pipeline.side = Build | Probe
+type out_col = Pipeline.out_col = Col of side * int | Const of int
+type out_weight = Pipeline.out_weight = No_weight | Weight_of of side
 
-(* Probe rows [lo, hi) of [ptbl] against the shared build index, emitting
-   into [result].  Each caller passes private [result]/[dedup_idx]; the
-   index and both input tables are only read, so concurrent probes over
-   disjoint ranges are race-free. *)
-let probe_range ~out ~oweight ~residual bidx (ptbl, pkey) result dedup_idx lo
-    hi =
-  let btbl = Index.table bidx in
-  let buf = Array.make (Array.length out) 0 in
-  let kv = Array.make (Array.length pkey) 0 in
-  match residual with
-  | None ->
-    for pr = lo to hi - 1 do
-      for i = 0 to Array.length pkey - 1 do
-        kv.(i) <- Table.get ptbl pr pkey.(i)
-      done;
-      Index.iter_matches bidx kv (fun br ->
-          emit out oweight btbl ptbl result dedup_idx buf br pr)
-    done
-  | Some keep ->
-    for pr = lo to hi - 1 do
-      for i = 0 to Array.length pkey - 1 do
-        kv.(i) <- Table.get ptbl pr pkey.(i)
-      done;
-      Index.iter_matches bidx kv (fun br ->
-          if keep br pr then emit out oweight btbl ptbl result dedup_idx buf br pr)
-    done
-
-(* Below this many probe rows the per-chunk tables and the merge pass cost
-   more than they save. *)
+(* Below this many probe rows the per-morsel sinks and the ordered
+   absorb cost more than they save. *)
 let parallel_probe_threshold = 2048
+
+let check_arity bidx pkey =
+  if Array.length (Index.key bidx) <> Array.length pkey then
+    invalid_arg "Join.hash_join: key arity mismatch"
+
+(* Streams the probe side through a probe kernel into [sink].  Inline
+   DISTINCT is the sink's dedup set (over the integer output columns),
+   so duplicate-heavy queries never materialize their raw output. *)
+let probe_into ~out ~oweight ?residual ?pool ~sink bidx (ptbl, pkey) =
+  check_arity bidx pkey;
+  let chain s =
+    Pipeline.probe bidx ~pkey ~out ~oweight ?residual
+      ~next:(Pipeline.into_sink s) ()
+  in
+  ignore
+    (Pipeline.run ?pool ~threshold:parallel_probe_threshold ~source:ptbl
+       ~make_sink:(fun () -> Sink.clone_empty sink)
+       ~chain ~sink ())
 
 let hash_join_pre_raw ~name ~cols ~out ~oweight ?(dedup = false) ?residual
     ?pool bidx (ptbl, pkey) =
-  if Array.length (Index.key bidx) <> Array.length pkey then
-    invalid_arg "Join.hash_join: key arity mismatch";
   let weighted = oweight <> No_weight in
-  (* Inline DISTINCT: dedup on all integer output columns as rows are
-     emitted, so duplicate-heavy queries never materialize their raw
-     output. *)
-  let fresh_result () =
-    let result = Table.create ~weighted ~name cols in
-    let dedup_idx =
-      if dedup then
-        Some (Index.build result (Array.init (Array.length out) Fun.id))
-      else None
-    in
-    (result, dedup_idx)
+  let dedup_key =
+    if dedup then Some (Array.init (Array.length out) Fun.id) else None
   in
-  let nprobe = Table.nrows ptbl in
-  let pool = match pool with Some p -> p | None -> Pool.get_default () in
-  let nworkers = Pool.size pool in
-  if nworkers <= 1 || nprobe < parallel_probe_threshold then begin
-    let result, dedup_idx = fresh_result () in
-    probe_range ~out ~oweight ~residual bidx (ptbl, pkey) result dedup_idx 0
-      nprobe;
-    result
-  end
-  else begin
-    (* Partition the probe side into one contiguous chunk per worker.
-       Concatenating the private chunk outputs in chunk order reproduces
-       the sequential probe order exactly, so the parallel join (including
-       its first-occurrence dedup) is bit-identical to the sequential
-       one. *)
-    let chunk = (nprobe + nworkers - 1) / nworkers in
-    let parts =
-      Pool.map_reduce pool ~n:nworkers
-        ~map:(fun i ->
-          let lo = i * chunk and hi = min nprobe ((i + 1) * chunk) in
-          let part, part_idx = fresh_result () in
-          if lo < hi then
-            probe_range ~out ~oweight ~residual bidx (ptbl, pkey) part
-              part_idx lo hi;
-          part)
-        ~fold:(fun acc part -> part :: acc)
-        ~init:[]
-      |> List.rev
-    in
-    (* Partition skew: ratio of the heaviest chunk's output to the mean —
-       1.0 means the probe work split evenly across the pool. *)
-    (let obs = Obs.ambient () in
-     if Obs.enabled obs then begin
-       let rows = List.map Table.nrows parts in
-       let total = List.fold_left ( + ) 0 rows in
-       let mean = float_of_int total /. float_of_int (max 1 nworkers) in
-       if mean > 0. then
-         Obs.gauge_max obs "join.partition_skew"
-           (float_of_int (List.fold_left max 0 rows) /. mean)
-     end);
-    if not dedup then begin
-      match parts with
-      | [] -> fst (fresh_result ())
-      | first :: rest ->
-        List.iter (fun part -> Table.append_all first part) rest;
-        first
-    end
-    else begin
-      (* Per-chunk dedup is only local; re-dedup while concatenating so
-         the global first occurrence (in sequential probe order) wins. *)
-      let result, dedup_idx = fresh_result () in
-      let idx = Option.get dedup_idx in
-      let all = Array.init (Array.length out) Fun.id in
-      List.iter
-        (fun part ->
-          for r = 0 to Table.nrows part - 1 do
-            if not (Index.mem_row idx part all r) then begin
-              Table.append_from result part r;
-              Index.add idx (Table.nrows result - 1)
-            end
-          done)
-        parts;
-      result
-    end
-  end
+  let sink =
+    Sink.create ?dedup_key ~reserve:(Table.nrows ptbl) ~weighted ~name cols
+  in
+  probe_into ~out ~oweight ?residual ?pool ~sink bidx (ptbl, pkey);
+  sink
 
 (* Telemetry wrapper: when the ambient trace is enabled, record rows
-   in/out, probe time, and hash-chain statistics of the build index; when
-   disabled this is one branch over the raw join. *)
+   in/out, probe time, hash-chain statistics of the build index, and —
+   through the shared sink abstraction — the same dedup counters a
+   standalone DISTINCT reports; when disabled this is one branch over
+   the raw join. *)
 let hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
     (ptbl, pkey) =
   let obs = Obs.ambient () in
   if not (Obs.enabled obs) then
-    hash_join_pre_raw ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
-      (ptbl, pkey)
+    Sink.table
+      (hash_join_pre_raw ~name ~cols ~out ~oweight ?dedup ?residual ?pool
+         bidx (ptbl, pkey))
   else begin
     let t0 = Unix.gettimeofday () in
-    let result =
+    let sink =
       hash_join_pre_raw ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
         (ptbl, pkey)
     in
+    let result = Sink.table sink in
     Obs.incr obs "join.joins";
     Obs.add obs "join.build_rows" (Index.size bidx);
     Obs.add obs "join.probe_rows" (Table.nrows ptbl);
@@ -162,7 +70,31 @@ let hash_join_pre ~name ~cols ~out ~oweight ?dedup ?residual ?pool bidx
     let collisions, max_chain = Index.chain_stats bidx in
     Obs.add obs "join.hash_collisions" collisions;
     Obs.gauge_max obs "join.max_hash_chain" (float_of_int max_chain);
+    Sink.record_distinct_obs obs sink;
     result
+  end
+
+(* Join into a caller-owned sink: several joins can stream into one
+   shared dedup sink (the grounding delta path unions its two join
+   branches this way without an intermediate table).  Emits the join.*
+   counters; dedup counters are the caller's to record once the sink is
+   complete ({!Sink.record_distinct_obs}). *)
+let hash_join_pre_into ~out ~oweight ?residual ?pool ~sink bidx (ptbl, pkey) =
+  let obs = Obs.ambient () in
+  if not (Obs.enabled obs) then
+    probe_into ~out ~oweight ?residual ?pool ~sink bidx (ptbl, pkey)
+  else begin
+    let before = Sink.rows_out sink in
+    let t0 = Unix.gettimeofday () in
+    probe_into ~out ~oweight ?residual ?pool ~sink bidx (ptbl, pkey);
+    Obs.incr obs "join.joins";
+    Obs.add obs "join.build_rows" (Index.size bidx);
+    Obs.add obs "join.probe_rows" (Table.nrows ptbl);
+    Obs.add obs "join.rows_out" (Sink.rows_out sink - before);
+    Obs.add_time obs "join.probe_seconds" (Unix.gettimeofday () -. t0);
+    let collisions, max_chain = Index.chain_stats bidx in
+    Obs.add obs "join.hash_collisions" collisions;
+    Obs.gauge_max obs "join.max_hash_chain" (float_of_int max_chain)
   end
 
 let hash_join ~name ~cols ~out ~oweight ?dedup ?residual ?pool (btbl, bkey)
@@ -187,6 +119,29 @@ let nested_loop ~name ~cols ~out ~oweight ?(dedup = false) ?residual
     else None
   in
   let buf = Array.make (Array.length out) 0 in
+  let emit br pr =
+    for i = 0 to Array.length out - 1 do
+      buf.(i) <-
+        (match out.(i) with
+        | Const v -> v
+        | Col (Build, c) -> Table.get btbl br c
+        | Col (Probe, c) -> Table.get ptbl pr c)
+    done;
+    let fresh =
+      match dedup_idx with
+      | None -> true
+      | Some idx -> not (Index.mem idx buf)
+    in
+    if fresh then begin
+      (match oweight with
+      | No_weight -> Table.append result buf
+      | Weight_of Build -> Table.append_w result buf (Table.weight btbl br)
+      | Weight_of Probe -> Table.append_w result buf (Table.weight ptbl pr));
+      match dedup_idx with
+      | Some idx -> Index.add idx (Table.nrows result - 1)
+      | None -> ()
+    end
+  in
   let keys_equal br pr =
     let rec eq i =
       i >= Array.length bkey
@@ -197,8 +152,7 @@ let nested_loop ~name ~cols ~out ~oweight ?(dedup = false) ?residual
   let keep = match residual with None -> fun _ _ -> true | Some f -> f in
   for pr = 0 to Table.nrows ptbl - 1 do
     for br = 0 to Table.nrows btbl - 1 do
-      if keys_equal br pr && keep br pr then
-        emit out oweight btbl ptbl result dedup_idx buf br pr
+      if keys_equal br pr && keep br pr then emit br pr
     done
   done;
   result

@@ -10,18 +10,19 @@
     column it is read from; this is the SELECT clause of the SQL queries in
     Figure 3 of the paper. *)
 
-(** Which input a projected column or weight comes from. *)
-type side =
+(** Which input a projected column or weight comes from (re-exported
+    from {!Pipeline}, whose probe kernel executes the join). *)
+type side = Pipeline.side =
   | Build  (** the (usually smaller) side the hash table is built on *)
   | Probe  (** the side streamed through the hash table *)
 
 (** One output column of the join. *)
-type out_col =
+type out_col = Pipeline.out_col =
   | Col of side * int  (** column [i] of the given side *)
   | Const of int  (** a constant *)
 
 (** Where the output weight column comes from. *)
-type out_weight =
+type out_weight = Pipeline.out_weight =
   | No_weight  (** output is not weighted *)
   | Weight_of of side  (** copy the weight of the given side's row *)
 
@@ -71,6 +72,23 @@ val hash_join_pre :
   Index.t ->
   Table.t * int array ->
   Table.t
+
+(** [hash_join_pre_into ~sink ...] is {!hash_join_pre} but streams the
+    join output into a caller-owned {!Sink.t} instead of a fresh table:
+    several joins can union into one shared dedup sink with no
+    intermediate table (the grounding delta path does exactly this).
+    The sink's schema must match the output spec.  Emits the [join.*]
+    counters; the caller records the sink's dedup counters once the sink
+    is complete ({!Sink.record_distinct_obs}). *)
+val hash_join_pre_into :
+  out:out_col array ->
+  oweight:out_weight ->
+  ?residual:(int -> int -> bool) ->
+  ?pool:Pool.t ->
+  sink:Sink.t ->
+  Index.t ->
+  Table.t * int array ->
+  unit
 
 (** [nested_loop ...] is a reference implementation of the same operator
     with O(n·m) complexity.  It exists for differential testing only; it

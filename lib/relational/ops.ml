@@ -1,62 +1,32 @@
-let distinct_range t key out idx lo hi =
-  for r = lo to hi - 1 do
-    if not (Index.mem_row idx t key r) then begin
-      Table.append_from out t r;
-      Index.add idx (Table.nrows out - 1)
-    end
-  done
-
 let parallel_distinct_threshold = 4096
 
-let distinct_raw ?pool t key =
-  let fresh () =
-    let out =
-      Table.create ~weighted:(Table.weighted t) ~name:(Table.name t)
-        (Table.cols t)
-    in
-    (out, Index.build out key)
+(* DISTINCT is a pipeline with no kernels: the source streams straight
+   into a dedup sink (per-morsel private sinks absorbed in morsel order
+   when parallel — the first occurrence in row order wins, exactly as in
+   a sequential pass).  Inline join dedup terminates in the same sink
+   abstraction, so both paths report identical Obs counters. *)
+let distinct_sink ?pool t key =
+  let sink =
+    Sink.create ~dedup_key:key ~weighted:(Table.weighted t)
+      ~name:(Table.name t) (Table.cols t)
   in
-  let n = Table.nrows t in
-  let pool = match pool with Some p -> p | None -> Pool.get_default () in
-  let nworkers = Pool.size pool in
-  if nworkers <= 1 || n < parallel_distinct_threshold then begin
-    let out, idx = fresh () in
-    distinct_range t key out idx 0 n;
-    out
-  end
-  else begin
-    (* Per-worker local dedup over contiguous row chunks, then a global
-       re-dedup while concatenating in chunk order: the first occurrence
-       in row order wins, exactly as in the sequential pass. *)
-    let chunk = (n + nworkers - 1) / nworkers in
-    let parts =
-      Pool.map_reduce pool ~n:nworkers
-        ~map:(fun i ->
-          let lo = i * chunk and hi = min n ((i + 1) * chunk) in
-          let part, pidx = fresh () in
-          if lo < hi then distinct_range t key part pidx lo hi;
-          part)
-        ~fold:(fun acc p -> p :: acc)
-        ~init:[]
-      |> List.rev
-    in
-    let out, idx = fresh () in
-    List.iter (fun part -> distinct_range part key out idx 0 (Table.nrows part))
-      parts;
-    out
-  end
+  ignore
+    (Pipeline.run ?pool ~threshold:parallel_distinct_threshold ~source:t
+       ~make_sink:(fun () -> Sink.clone_empty sink)
+       ~chain:Pipeline.into_sink ~sink ());
+  sink
+
+let distinct_raw ?pool t key = Sink.table (distinct_sink ?pool t key)
 
 let distinct ?pool t key =
   let obs = Obs.ambient () in
   if not (Obs.enabled obs) then distinct_raw ?pool t key
   else begin
     let t0 = Unix.gettimeofday () in
-    let out = distinct_raw ?pool t key in
-    Obs.add obs "distinct.rows_in" (Table.nrows t);
-    Obs.add obs "distinct.rows_out" (Table.nrows out);
-    Obs.add obs "distinct.duplicates" (Table.nrows t - Table.nrows out);
+    let sink = distinct_sink ?pool t key in
+    Sink.record_distinct_obs obs sink;
     Obs.add_time obs "distinct.seconds" (Unix.gettimeofday () -. t0);
-    out
+    Sink.table sink
   end
 
 let group_count t key =

@@ -1,0 +1,81 @@
+(** Push-based, batch-at-a-time operator pipelines.
+
+    This is the execution engine under {!Join}, {!Ops} and {!Plan}: a
+    source table is scanned in {!Batch.t} chunks, a chain of kernels
+    transforms each batch in flight (filters compact in place, probes
+    stream against prebuilt hash indexes), and a {!Sink.t} materializes
+    the survivors.  The only pipeline breakers are hash-table build
+    sides, DISTINCT (a dedup sink) and sorts — Scan→Select→Project→probe
+    chains never materialize an intermediate table.
+
+    Parallelism is morsel-driven: the driver splits the source scan into
+    contiguous morsels, dynamically scheduled over the domain pool; each
+    worker runs the whole kernel chain over its morsel into a private
+    sink, and the private sinks are absorbed into the global sink in
+    morsel order.  Output is therefore bit-identical to the sequential
+    engine for any pool size — including first-occurrence semantics of
+    dedup sinks, which re-check their dedup set while absorbing. *)
+
+(** Which input of a join an output column or weight is drawn from.
+    These types are re-exported by {!Join} under the same constructors;
+    the probe side of a pipeline join streams as batches while the build
+    side is a materialized, indexed table. *)
+type side = Build | Probe
+
+type out_col = Col of side * int | Const of int
+type out_weight = No_weight | Weight_of of side
+
+(** An operator kernel: [push] consumes one batch (the producer may
+    reuse the batch after [push] returns), [flush] drains buffered
+    output at end of stream and propagates downstream. *)
+type kernel = { push : Batch.t -> unit; flush : unit -> unit }
+
+(** [into_sink s] is the terminal kernel appending into [s]. *)
+val into_sink : Sink.t -> kernel
+
+(** [select pred ~next] keeps the rows satisfying [pred b r], compacting
+    the batch in place. *)
+val select : (Batch.t -> int -> bool) -> next:kernel -> kernel
+
+(** [project ~cols ~weighted ~next ()] maps each row to the given child
+    columns (weights carried over when [weighted]). *)
+val project : cols:int array -> weighted:bool -> next:kernel -> unit -> kernel
+
+(** [probe idx ~pkey ~out ~oweight ?residual ~next ()] hash-probes each
+    batch row (key columns [pkey]) against [idx], emitting one output
+    row per match as specified by [out]/[oweight] — in probe-row order,
+    with matches in the index's chain order, exactly like the
+    materializing join.  [residual] sees (build row, probe source row
+    id) and filters matches before emission. *)
+val probe :
+  Index.t ->
+  pkey:int array ->
+  out:out_col array ->
+  oweight:out_weight ->
+  ?residual:(int -> int -> bool) ->
+  next:kernel ->
+  unit ->
+  kernel
+
+(** Source-row count below which {!run} stays sequential (the per-morsel
+    sinks and the ordered absorb cost more than they save). *)
+val default_parallel_threshold : int
+
+(** [run ~source ~make_sink ~chain ~sink ()] drives a full pipeline:
+    scans [source] through [chain sink] sequentially, or — when the pool
+    has workers and the source clears [threshold] — through
+    [chain (make_sink ())] per morsel with ordered absorption into
+    [sink].  [chain] must build a fresh kernel chain ending at the given
+    sink each time it is called.  Returns the number of source batches
+    scanned; records [pipeline.*] counters and the morsel-skew gauge on
+    the ambient trace when enabled. *)
+val run :
+  ?pool:Pool.t ->
+  ?batch_capacity:int ->
+  ?threshold:int ->
+  source:Table.t ->
+  make_sink:(unit -> Sink.t) ->
+  chain:(Sink.t -> kernel) ->
+  sink:Sink.t ->
+  unit ->
+  int

@@ -3,9 +3,19 @@
     The grounding engine calls the physical operators directly (its six
     query shapes are fixed), but a knowledge base is also a database, and
     ad-hoc queries deserve a planner: this module provides composable
-    logical plans with an executor, statistics-based cardinality
-    estimates, automatic build-side selection for joins, and an EXPLAIN
-    printer.
+    logical plans, statistics-based cardinality estimates, automatic
+    build-side selection for joins, an EXPLAIN printer — and two
+    executors that produce bit-identical output:
+
+    - {!run} (the default) compiles the plan into push-based pipelines:
+      Scan→Select→Project→probe chains stream batch-at-a-time into a
+      sink and never materialize intermediates; the only pipeline
+      breakers are hash-table build sides, [Distinct] (a dedup sink) and
+      [Order_by].  Large sources are split into contiguous morsels
+      executed by pool workers and merged in morsel order.
+    - {!run_materializing} materializes every node bottom-up — the
+      pre-pipeline reference engine, kept for differential testing and
+      the bench comparison.
 
     Column addressing is positional: each node exposes an output schema
     ({!columns}); joins concatenate the left and the right schemas. *)
@@ -32,41 +42,62 @@ type t =
     @raise Invalid_argument on out-of-range column references. *)
 val columns : t -> string array
 
-(** [estimate_rows p] is a textbook cardinality estimate: selections take
-    fixed selectivities, equi-joins use |L|·|R| / max(ndv keys), distinct
-    caps at the input estimate. *)
+(** [estimate_rows p] is the planner's cardinality estimate.  Columns are
+    traced through filters, projections and joins back to base tables so
+    {!Colstats} can be consulted: [Eq_const] selectivity is 1/NDV of the
+    column (0 when the constant falls outside the column's min/max),
+    equi-joins use |L|·|R| / max(ndv keys), [Distinct] is capped by the
+    NDV product of its key.  Textbook constants are the fallback when a
+    column cannot be resolved to a base table. *)
 val estimate_rows : t -> int
 
-(** [run ?stats ?pool p] materializes the plan bottom-up.  Hash joins
-    build on the smaller (materialized) input; [Order_by] uses the sort
-    operator; when [stats] is given, each node's execution is recorded.
-    Joins and distincts over large inputs execute on [pool] (default
-    {!Pool.get_default}) with sequential-identical output. *)
+(** [run ?stats ?pool p] executes the plan on the pipelined engine and
+    materializes only the final sink (plus pipeline breakers: hash build
+    sides, dedup sinks, sorts).  Hash joins build on the side with the
+    smaller {e estimated} cardinality.  Sources above a size threshold
+    are morsel-parallel on [pool] (default {!Pool.get_default});
+    per-worker sinks are merged in morsel order, so output — rows,
+    order, weights — is bit-identical to {!run_materializing} and to
+    sequential execution, for every pool size.  When [stats] is given,
+    one ["pipeline"] entry is recorded per pipeline plus one per
+    breaker. *)
 val run : ?stats:Stats.t -> ?pool:Pool.t -> t -> Table.t
 
-(** [explain ppf p] prints the plan tree with schemas and row
-    estimates. *)
+(** [run_materializing ?stats ?pool p] materializes the plan bottom-up,
+    one table per node — the reference engine.  Same build-side rule,
+    same operators, same output as {!run}; when [stats] is given each
+    node's execution is recorded under its operator label. *)
+val run_materializing : ?stats:Stats.t -> ?pool:Pool.t -> t -> Table.t
+
+(** [explain ppf p] prints the plan tree with schemas, row estimates and
+    pipeline annotations: each streaming node is tagged with the
+    pipeline that consumes its batches ([pipeline N], with the join
+    build side noted), and each breaker with the pipeline it
+    terminates. *)
 val explain : Format.formatter -> t -> unit
 
 (** One plan node's EXPLAIN ANALYZE record: the estimated cardinality
-    side by side with what execution actually produced.  [seconds] is
-    inclusive of children (wall time to materialize this node). *)
+    side by side with what execution actually produced.  Streaming nodes
+    share their pipeline's [batches] count and wall time; breaker nodes
+    ([Distinct], [Order_by]) time their own materialization.  [batches]
+    is 0 for nodes that did not stream (scans, sorts). *)
 type analysis = {
   op : string;
   schema : string array;
   est_rows : int;
   rows : int;
+  batches : int;
   seconds : float;
   children : analysis list;
 }
 
-(** [analyze ?pool p] executes the plan like {!run} while recording, per
-    node, observed output cardinality and inclusive wall time alongside
-    the optimizer estimate. *)
+(** [analyze ?pool p] executes the plan on the pipelined engine while
+    metering, per node, observed cardinality, batch count and pipeline
+    wall time alongside the optimizer estimate. *)
 val analyze : ?pool:Pool.t -> t -> Table.t * analysis
 
 (** [pp_analysis ppf a] prints the analyzed tree, one node per line as
-    [op  (est=… rows=… time=…ms)]. *)
+    [op  (est=… rows=… time=…ms batches=…)]. *)
 val pp_analysis : Format.formatter -> analysis -> unit
 
 (** [analysis_to_json a] is the analyzed tree as JSON (for [--metrics

@@ -1,0 +1,63 @@
+(** Materializing sinks: where pipelines end.
+
+    A sink owns the output table of a pipeline and, optionally, the
+    dedup index that makes it a streaming DISTINCT: rows pushed into a
+    dedup sink are appended only on their first occurrence.  Inline join
+    deduplication ({!Join.hash_join} [~dedup:true]) and the standalone
+    {!Ops.distinct} operator both terminate in this one abstraction, so
+    their [Obs] dedup counters are computed identically
+    ({!record_distinct_obs}).
+
+    Parallel (morsel-driven) pipelines give each worker a private sink
+    and {!absorb} them into the global one in morsel order; absorbing
+    re-checks the dedup set so the global first occurrence — the one the
+    sequential engine would keep — wins. *)
+
+type t
+
+(** [create ~name cols] is a sink over an empty table.  [dedup_key]
+    (positions in [cols]) makes it a dedup sink; [reserve] pre-sizes the
+    table from a cardinality estimate (capped internally, so estimates
+    may be wild); [weighted] as in {!Table.create}. *)
+val create :
+  ?dedup_key:int array ->
+  ?reserve:int ->
+  ?weighted:bool ->
+  name:string ->
+  string array ->
+  t
+
+(** [clone_empty s] is a fresh empty sink with the same schema, weight
+    and dedup configuration — the per-morsel private sink of the
+    parallel driver. *)
+val clone_empty : t -> t
+
+(** [table s] is the sink's output table. *)
+val table : t -> Table.t
+
+(** [rows_out s] is the number of rows kept so far. *)
+val rows_out : t -> int
+
+(** [pushed s] is the number of rows offered so far ([>= rows_out];
+    the difference is the dedup hits). *)
+val pushed : t -> int
+
+(** [add_pushed s n] transfers [n] logical pushes into [s]'s count —
+    used by the morsel driver when the physical pushes happened in
+    per-worker sinks. *)
+val add_pushed : t -> int -> unit
+
+(** [is_dedup s] is [true] iff the sink deduplicates. *)
+val is_dedup : t -> bool
+
+(** [push_batch s b] offers every row of [b] to the sink. *)
+val push_batch : t -> Batch.t -> unit
+
+(** [absorb s src] appends the rows of [src] (same schema), re-checked
+    against the dedup set; does not count as pushes. *)
+val absorb : t -> Table.t -> unit
+
+(** [record_distinct_obs obs s] emits the uniform dedup counters
+    ([distinct.rows_in], [distinct.rows_out], [distinct.duplicates]) for
+    a dedup sink; a no-op for plain sinks or a disabled trace. *)
+val record_distinct_obs : Obs.t -> t -> unit

@@ -58,6 +58,8 @@ let ensure t extra =
     t.wts <- wts
   end
 
+let reserve t n = if n > 0 then ensure t n
+
 let append t row =
   if Array.length row <> t.width then invalid_arg "Table.append: width";
   ensure t 1;
@@ -95,6 +97,20 @@ let set_weight t r w =
   t.wts.(r) <- w
 
 let read_row t r buf = Array.blit t.cells (r * t.width) buf 0 t.width
+let blit_row t r buf off = Array.blit t.cells (r * t.width) buf off t.width
+
+let append_slice t src off =
+  ensure t 1;
+  Array.blit src off t.cells (t.nrows * t.width) t.width;
+  if t.weighted then t.wts.(t.nrows) <- null_weight;
+  t.nrows <- t.nrows + 1
+
+let append_slice_w t src off w =
+  if not t.weighted then invalid_arg "Table.append_slice_w: not weighted";
+  ensure t 1;
+  Array.blit src off t.cells (t.nrows * t.width) t.width;
+  t.wts.(t.nrows) <- w;
+  t.nrows <- t.nrows + 1
 
 let row t r =
   let buf = Array.make t.width 0 in

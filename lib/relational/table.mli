@@ -40,6 +40,11 @@ val nrows : t -> int
     @raise Not_found if there is no such column. *)
 val col_index : t -> string -> int
 
+(** [reserve t n] grows the backing storage so that [n] further rows can
+    be appended without reallocation.  A no-op when capacity already
+    suffices (or [n <= 0]); never shrinks. *)
+val reserve : t -> int -> unit
+
 (** [append t row] appends [row] (weight set to null when weighted).
     @raise Invalid_argument if [Array.length row <> width t]. *)
 val append : t -> int array -> unit
@@ -67,6 +72,18 @@ val set_weight : t -> int -> float -> unit
 
 (** [read_row t r buf] copies row [r] into [buf] (length ≥ width). *)
 val read_row : t -> int -> int array -> unit
+
+(** [blit_row t r buf off] copies row [r] into [buf] starting at offset
+    [off] (allocation-free row export for batch builders). *)
+val blit_row : t -> int -> int array -> int -> unit
+
+(** [append_slice t src off] appends the [width t] cells found in [src]
+    at offset [off] as a new row (weight set to null when weighted). *)
+val append_slice : t -> int array -> int -> unit
+
+(** [append_slice_w t src off w] is {!append_slice} with weight [w].
+    @raise Invalid_argument if [t] is not weighted. *)
+val append_slice_w : t -> int array -> int -> float -> unit
 
 (** [row t r] is a fresh array holding row [r]. *)
 val row : t -> int -> int array
