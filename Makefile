@@ -19,22 +19,33 @@ check: build
 	dune exec bin/probkb_cli.exe -- expand --facts _smoke/facts.tsv \
 	  --rules _smoke/rules.mln --explain --metrics json \
 	  | python3 -m json.tool > /dev/null
+	printf '%s\n' \
+	  '{"op":"reexpand"}' \
+	  '{"op":"refresh"}' \
+	  '{"op":"query","key":["no_such","a","A","b","B"]}' \
+	  | dune exec bin/probkb_cli.exe -- session --facts _smoke/facts.tsv \
+	      --rules _smoke/rules.mln --samples 100 \
+	  | python3 -c 'import json,sys; d=[json.loads(l) for l in sys.stdin]; \
+	    assert len(d)==3 and "epoch" in d[0] and "epoch" in d[1] \
+	      and d[2]=={"found":False}, d; print("session smoke ok")'
 	rm -rf _smoke
 
 bench:
-	dune exec bench/main.exe -- --quick -e parallel -e pipeline
+	dune exec bench/main.exe -- --quick -e parallel -e pipeline -e incremental
 
-# The regression gate: re-run the parallel and pipeline experiments into
-# scratch artifacts and diff them against the committed
-# BENCH_parallel.json / BENCH_pipeline.json.  Exits non-zero when any
-# non-oversubscribed, non-noise stage cell is more than 25% slower than
-# the baseline.
+# The regression gate: re-run the parallel, pipeline and incremental
+# experiments into scratch artifacts and diff them against the committed
+# BENCH_parallel.json / BENCH_pipeline.json / BENCH_incremental.json.
+# Exits non-zero when any non-oversubscribed, non-noise stage cell is
+# more than 25% slower than the baseline.
 bench-check:
-	dune exec bench/main.exe -- --quick -e parallel -e pipeline \
+	dune exec bench/main.exe -- --quick -e parallel -e pipeline -e incremental \
 	  --out BENCH_fresh.json --compare BENCH_parallel.json \
 	  --out-pipeline BENCH_pipeline_fresh.json \
-	  --compare-pipeline BENCH_pipeline.json
-	rm -f BENCH_fresh.json BENCH_pipeline_fresh.json
+	  --compare-pipeline BENCH_pipeline.json \
+	  --out-incremental BENCH_incremental_fresh.json \
+	  --compare-incremental BENCH_incremental.json
+	rm -f BENCH_fresh.json BENCH_pipeline_fresh.json BENCH_incremental_fresh.json
 
 clean:
 	dune clean

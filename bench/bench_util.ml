@@ -88,6 +88,10 @@ type options = {
   mutable compare : string option; (* baseline BENCH_parallel.json *)
   mutable out_pipeline : string option; (* pipeline artifact path override *)
   mutable compare_pipeline : string option; (* baseline BENCH_pipeline.json *)
+  mutable out_incremental : string option;
+      (* incremental artifact path override *)
+  mutable compare_incremental : string option;
+      (* baseline BENCH_incremental.json *)
 }
 
 let options =
@@ -100,6 +104,8 @@ let options =
     compare = None;
     out_pipeline = None;
     compare_pipeline = None;
+    out_incremental = None;
+    compare_incremental = None;
   }
 
 (* The parallel experiment's artifact path ([--out] overrides the
@@ -109,6 +115,10 @@ let parallel_out () = Option.value options.out ~default:"BENCH_parallel.json"
 (* Same for the pipeline experiment ([--out-pipeline]). *)
 let pipeline_out () =
   Option.value options.out_pipeline ~default:"BENCH_pipeline.json"
+
+(* Same for the incremental experiment ([--out-incremental]). *)
+let incremental_out () =
+  Option.value options.out_incremental ~default:"BENCH_incremental.json"
 
 let scale_or default =
   match options.scale with

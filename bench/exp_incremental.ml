@@ -1,0 +1,209 @@
+(* Incremental maintenance: DRed delete-rederive + delta ingest on a
+   live session vs re-running the batch pipeline after every epoch, per
+   pool size.
+
+   One deterministic epoch stream (alternating small retractions and
+   ingest batches over a ReVerb-Sherlock KB) is replayed twice per pool
+   size: once through [Incremental.Dred] on a continuously-maintained
+   store, once by rebuilding the KB from the surviving extractions and
+   re-running [Ground.run] from scratch.  Both sides must land on the
+   same closure; the artifact records the wall-clock of each side.
+
+   Writes BENCH_incremental.json with the same
+   [stages.{stage}.seconds.{d}] shape as BENCH_parallel.json, so
+   [Compare] gates it with the same implementation. *)
+
+open Bench_util
+module Rng = Workload.Rng
+module Gamma = Kb.Gamma
+module Storage = Kb.Storage
+
+let stage_names = [ "dred"; "reexpand" ]
+
+type op =
+  | Retract of (int * int * int * int * int) list
+  | Ingest of (int * int * int * int * int * float) list
+
+let base_facts kb =
+  let acc = ref [] in
+  Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w -> acc := (r, x, c1, y, c2, w) :: !acc)
+    (Gamma.pi kb);
+  List.rev !acc
+
+let kb_of proto facts =
+  let kb = Gamma.create_like proto in
+  List.iter (Gamma.add_rule kb) (Gamma.rules proto);
+  List.iter
+    (fun (r, x, c1, y, c2, w) -> ignore (Gamma.add_fact kb ~r ~x ~c1 ~y ~c2 ~w))
+    facts;
+  kb
+
+let closure_keys kb =
+  let acc = ref [] in
+  Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> acc := (r, x, c1, y, c2) :: !acc)
+    (Gamma.pi kb);
+  List.sort compare !acc
+
+let run () =
+  section "Incremental maintenance — DRed epochs vs full re-expansion";
+  let scale = scale_or 0.03 in
+  let domains = if options.quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  let epochs = if options.quick then 6 else 10 in
+  let batch = 4 in
+  let g =
+    Workload.Reverb_sherlock.generate
+      { Workload.Reverb_sherlock.default_config with scale }
+  in
+  let proto = Workload.Reverb_sherlock.kb g in
+  let base = Array.of_list (base_facts proto) in
+  let rng = Rng.create 42 in
+  Rng.shuffle rng base;
+  (* Hold out the tail of the shuffled extractions: they arrive through
+     the ingest epochs; the rest is the initial load. *)
+  let holdout = (epochs / 2) * batch in
+  let n_initial = Array.length base - holdout in
+  let initial = Array.to_list (Array.sub base 0 n_initial) in
+  (* The op stream is fixed up-front (keys, not ids) so the maintained
+     and rebuilt sides — and every pool size — replay the same epochs. *)
+  let next_held = ref n_initial in
+  let ops =
+    List.init epochs (fun i ->
+        if i mod 2 = 0 && !next_held < Array.length base then begin
+          let chunk =
+            Array.to_list (Array.sub base !next_held batch)
+          in
+          next_held := !next_held + batch;
+          Ingest chunk
+        end
+        else
+          Retract
+            (List.init batch (fun _ ->
+                 let r, x, c1, y, c2, _w =
+                   base.(Rng.int rng n_initial)
+                 in
+                 (r, x, c1, y, c2))))
+  in
+  note
+    "ReVerb-Sherlock at scale %.3f: %d extractions loaded, %d held out; %d \
+     epochs of %d-fact retract/ingest ops"
+    scale n_initial holdout epochs batch;
+  let times = Hashtbl.create 16 in
+  let identical = ref true in
+  let cone_sizes = ref [] in
+  List.iter
+    (fun d ->
+      Pool.set_default_size d;
+      (* Maintained side: expand once (not timed), then apply every epoch
+         through DRed. *)
+      let live = kb_of proto initial in
+      let result = Grounding.Ground.run live in
+      let st = Incremental.Dred.create live result.Grounding.Ground.graph in
+      let record_cones = d = List.hd domains in
+      let (), dred_s =
+        time (fun () ->
+            List.iter
+              (fun op ->
+                match op with
+                | Retract keys ->
+                  let stats = Incremental.Dred.retract_keys st keys in
+                  if record_cones then
+                    cone_sizes :=
+                      stats.Incremental.Dred.cone :: !cone_sizes
+                | Ingest facts -> ignore (Incremental.Dred.ingest st facts))
+              ops)
+      in
+      (* Rebuild side: after every epoch, re-run the batch pipeline on
+         the surviving extractions. *)
+      let current = ref initial in
+      let apply op =
+        match op with
+        | Retract keys ->
+          current :=
+            List.filter
+              (fun (r, x, c1, y, c2, _) -> not (List.mem (r, x, c1, y, c2) keys))
+              !current
+        | Ingest facts -> current := !current @ facts
+      in
+      let last_rebuild = ref None in
+      let (), full_s =
+        time (fun () ->
+            List.iter
+              (fun op ->
+                apply op;
+                let kb = kb_of proto !current in
+                ignore (Grounding.Ground.run kb);
+                last_rebuild := Some kb)
+              ops)
+      in
+      (match !last_rebuild with
+      | Some kb ->
+        (* The maintained closure must match the last rebuild exactly:
+           retracting an extraction leaves its still-derivable
+           consequences in both stores. *)
+        if closure_keys live <> closure_keys kb then identical := false
+      | None -> ());
+      Hashtbl.replace times ("dred", d) dred_s;
+      Hashtbl.replace times ("reexpand", d) full_s;
+      measured "domains=%d  dred %7.3fs | full re-expansion %7.3fs (%.1fx)" d
+        dred_s full_s
+        (full_s /. Float.max 1e-9 dred_s))
+    domains;
+  Pool.set_default_size (Pool.env_domains ());
+  let cones = List.rev !cone_sizes in
+  let cone_max = List.fold_left max 0 cones in
+  let cone_mean =
+    if cones = [] then 0.
+    else
+      float_of_int (List.fold_left ( + ) 0 cones)
+      /. float_of_int (List.length cones)
+  in
+  measured "closures identical after every epoch stream: %b" !identical;
+  measured "retraction cones: mean %.1f facts, max %d" cone_mean cone_max;
+  let t stage d = Hashtbl.find times (stage, d) in
+  let oversubscribed d = d > host_cores in
+  let per_domain f = List.map (fun d -> (string_of_int d, f d)) domains in
+  let stage_json stage =
+    ( stage,
+      Obs.Json.Obj
+        [
+          ( "seconds",
+            Obs.Json.Obj (per_domain (fun d -> Obs.Json.Float (t stage d))) );
+          ( "oversubscribed",
+            Obs.Json.Obj (per_domain (fun d -> Obs.Json.Bool (oversubscribed d)))
+          );
+        ] )
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("meta", meta_json ~engine:"incremental");
+        ("domains", Obs.Json.List (List.map (fun d -> Obs.Json.Int d) domains));
+        ("scale", Obs.Json.Float scale);
+        ("host_cores", Obs.Json.Int host_cores);
+        ("epochs", Obs.Json.Int epochs);
+        ("batch", Obs.Json.Int batch);
+        ("initial_extractions", Obs.Json.Int n_initial);
+        ("identical_results", Obs.Json.Bool !identical);
+        ( "cone",
+          Obs.Json.Obj
+            [
+              ("mean", Obs.Json.Float cone_mean);
+              ("max", Obs.Json.Int cone_max);
+            ] );
+        ( "dred_speedup",
+          Obs.Json.Obj
+            (per_domain (fun d ->
+                 Obs.Json.Float (t "reexpand" d /. Float.max 1e-9 (t "dred" d))))
+        );
+        ("stages", Obs.Json.Obj (List.map stage_json stage_names));
+      ]
+  in
+  let out = incremental_out () in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_pretty_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" out

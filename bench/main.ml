@@ -21,6 +21,7 @@ let all_experiments =
     ("fig6c", Exp_perf.fig6c);
     ("parallel", Exp_perf.parallel);
     ("pipeline", Exp_pipeline.run);
+    ("incremental", Exp_incremental.run);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);
@@ -57,6 +58,14 @@ let () =
         Arg.String (fun p -> options.compare_pipeline <- Some p),
         "BASELINE diff the fresh pipeline artifact against this \
          BENCH_pipeline.json; exit non-zero on a >25% regression" );
+      ( "--out-incremental",
+        Arg.String (fun p -> options.out_incremental <- Some p),
+        "FILE write the incremental experiment's artifact here instead of \
+         BENCH_incremental.json" );
+      ( "--compare-incremental",
+        Arg.String (fun p -> options.compare_incremental <- Some p),
+        "BASELINE diff the fresh incremental artifact against this \
+         BENCH_incremental.json; exit non-zero on a >25% regression" );
     ]
   in
   Arg.parse spec
@@ -102,5 +111,8 @@ let () =
     + (match options.compare_pipeline with
       | None -> 0
       | Some baseline -> gate "pipeline" baseline (pipeline_out ()))
+    + (match options.compare_incremental with
+      | None -> 0
+      | Some baseline -> gate "incremental" baseline (incremental_out ()))
   in
   if regressions > 0 then exit 1

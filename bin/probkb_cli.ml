@@ -542,6 +542,171 @@ let analyze_cmd =
           rules via lineage.")
     Term.(const analyze $ facts_arg $ rules_arg $ constraints_arg $ iterations_arg)
 
+(* --- session --- *)
+
+(* NDJSON op stream on stdin, one JSON result per line on stdout:
+
+     {"op":"ingest","facts":[["r","x","C1","y","C2",0.93], ...]}
+     {"op":"retract","keys":[["r","x","C1","y","C2"], ...],"ban":true}
+     {"op":"retract_rules","head":"r"}
+     {"op":"reexpand"}
+     {"op":"refresh"}
+     {"op":"query","key":["r","x","C1","y","C2"]}
+
+   Epoch ops answer with the epoch ledger entry; query answers with the
+   fact view.  Malformed input answers {"error": ...} and the stream
+   continues. *)
+
+let session_key kb = function
+  | Obs.Json.List
+      [
+        Obs.Json.String r;
+        Obs.Json.String x;
+        Obs.Json.String c1;
+        Obs.Json.String y;
+        Obs.Json.String c2;
+      ] ->
+    Some
+      ( Kb.Gamma.relation kb r,
+        Kb.Gamma.entity kb x,
+        Kb.Gamma.cls kb c1,
+        Kb.Gamma.entity kb y,
+        Kb.Gamma.cls kb c2 )
+  | _ -> None
+
+let session_fact kb = function
+  | Obs.Json.List
+      (Obs.Json.String _ :: _ as parts) -> (
+    match parts with
+    | [ r; x; c1; y; c2; w ] -> (
+      match
+        (session_key kb (Obs.Json.List [ r; x; c1; y; c2 ]), Obs.Json.to_float w)
+      with
+      | Some (r, x, c1, y, c2), Some w -> Some (r, x, c1, y, c2, w)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let session_step kb s line =
+  match Obs.Json.of_string_opt line with
+  | None -> Obs.Json.Obj [ ("error", Obs.Json.String "malformed JSON") ]
+  | Some doc -> (
+    let op =
+      Option.bind (Obs.Json.member "op" doc) Obs.Json.to_string_value
+    in
+    match op with
+    | Some "ingest" ->
+      let facts =
+        Option.bind (Obs.Json.member "facts" doc) Obs.Json.to_list
+        |> Option.value ~default:[]
+        |> List.filter_map (session_fact kb)
+      in
+      Probkb.Report.epoch_to_json (Probkb.Engine.Session.ingest s facts)
+    | Some "retract" ->
+      let keys =
+        Option.bind (Obs.Json.member "keys" doc) Obs.Json.to_list
+        |> Option.value ~default:[]
+        |> List.filter_map (session_key kb)
+      in
+      let ban =
+        match Obs.Json.member "ban" doc with
+        | Some (Obs.Json.Bool b) -> b
+        | _ -> false
+      in
+      Probkb.Report.epoch_to_json
+        (Probkb.Engine.Session.retract_keys ~ban s keys)
+    | Some "retract_rules" -> (
+      match
+        Option.bind (Obs.Json.member "head" doc) Obs.Json.to_string_value
+      with
+      | None ->
+        Obs.Json.Obj
+          [ ("error", Obs.Json.String "retract_rules needs a head relation") ]
+      | Some head ->
+        let rel = Kb.Gamma.relation kb head in
+        Probkb.Report.epoch_to_json
+          (Probkb.Engine.Session.retract_rules s ~remove:(fun c ->
+               c.Mln.Clause.head_rel = rel)))
+    | Some "reexpand" ->
+      Probkb.Report.epoch_to_json (Probkb.Engine.Session.reexpand s)
+    | Some "refresh" -> (
+      match Probkb.Engine.Session.refresh_marginals s with
+      | Some st -> Probkb.Report.epoch_to_json st
+      | None ->
+        Obs.Json.Obj [ ("error", Obs.Json.String "inference disabled") ])
+    | Some "query" -> (
+      match
+        Option.bind (Obs.Json.member "key" doc) (session_key kb)
+      with
+      | None -> Obs.Json.Obj [ ("error", Obs.Json.String "query needs a key") ]
+      | Some (r, x, c1, y, c2) -> (
+        match Probkb.Engine.Session.query s ~r ~x ~c1 ~y ~c2 with
+        | None -> Obs.Json.Obj [ ("found", Obs.Json.Bool false) ]
+        | Some v ->
+          Obs.Json.Obj
+            [
+              ("found", Obs.Json.Bool true);
+              ("id", Obs.Json.Int v.Probkb.Engine.Session.id);
+              ("base", Obs.Json.Bool v.Probkb.Engine.Session.base);
+              ( "weight",
+                if Relational.Table.is_null_weight
+                     v.Probkb.Engine.Session.weight
+                then Obs.Json.Null
+                else Obs.Json.Float v.Probkb.Engine.Session.weight );
+              ( "marginal",
+                match v.Probkb.Engine.Session.marginal with
+                | Some p -> Obs.Json.Float p
+                | None -> Obs.Json.Null );
+            ]))
+    | Some other ->
+      Obs.Json.Obj
+        [ ("error", Obs.Json.String (Printf.sprintf "unknown op %S" other)) ]
+    | None -> Obs.Json.Obj [ ("error", Obs.Json.String "missing op") ])
+
+let session_run facts rules constraints sc theta iterations samples verbose =
+  setup_logs verbose;
+  let kb = load_kb facts rules constraints in
+  let inference =
+    Some
+      (Inference.Marginal.Chromatic
+         { Inference.Gibbs.default_options with samples })
+  in
+  let engine =
+    Probkb.Engine.create
+      ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference ())
+      kb
+  in
+  let s = Probkb.Engine.session engine in
+  Format.eprintf "session open: %d facts, %d factors@."
+    (Kb.Storage.size (Kb.Gamma.pi kb))
+    (Factor_graph.Fgraph.size (Probkb.Engine.Session.graph s));
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         print_endline (Obs.Json.to_string (session_step kb s line));
+         flush stdout
+       end
+     done
+   with End_of_file -> ());
+  0
+
+let session_cmd =
+  let samples =
+    Arg.(
+      value & opt int 200
+      & info [ "samples" ] ~docv:"N" ~doc:"Gibbs estimation sweeps per refresh.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Open a live session over an expanded KB: read NDJSON \
+          ingest/retract/refresh/query ops from stdin, answer one JSON \
+          document per op on stdout.")
+    Term.(
+      const session_run $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
+      $ theta_arg $ iterations_arg $ samples $ verbose_arg)
+
 (* --- demo --- *)
 
 let demo () =
@@ -589,5 +754,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; expand_cmd; infer_cmd; stats_cmd; sql_cmd;
-            analyze_cmd; demo_cmd;
+            analyze_cmd; session_cmd; demo_cmd;
           ]))

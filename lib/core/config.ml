@@ -10,6 +10,7 @@ type t = {
   target_r_hat : float option;
   min_ess : float option;
   checkpoint_sweeps : int;
+  warm_start : bool;
 }
 
 let make ?(engine = Single_node) ?(semantic_constraints = false)
@@ -17,7 +18,8 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
     ?(inference =
       Some (Inference.Marginal.Gibbs Inference.Gibbs.default_options))
     ?(obs = Obs.Config.default) ?target_r_hat ?min_ess
-    ?(checkpoint_sweeps = Inference.Chromatic.default_checkpoint) () =
+    ?(checkpoint_sweeps = Inference.Chromatic.default_checkpoint)
+    ?(warm_start = true) () =
   if checkpoint_sweeps < 1 then invalid_arg "Config.make: checkpoint_sweeps < 1";
   {
     engine;
@@ -28,6 +30,7 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
     target_r_hat;
     min_ess;
     checkpoint_sweeps;
+    warm_start;
   }
 
 let default = make ()
@@ -37,6 +40,7 @@ let with_quality quality c = { c with quality }
 let with_max_iterations max_iterations c = { c with max_iterations }
 let with_inference inference c = { c with inference }
 let with_obs obs c = { c with obs }
+let with_warm_start warm_start c = { c with warm_start }
 
 let with_early_stop ?target_r_hat ?min_ess c =
   { c with target_r_hat; min_ess }

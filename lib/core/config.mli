@@ -46,6 +46,12 @@ type t = {
   checkpoint_sweeps : int;
       (** sweeps between diagnostic checkpoints / snapshot records
           (default {!Inference.Chromatic.default_checkpoint}) *)
+  warm_start : bool;
+      (** sessions: [Engine.Session.refresh_marginals] starts the
+          Chromatic chain from the previous epoch's final state for the
+          variables the epoch's updates did not touch, re-randomizing only
+          the touched cone (default [true]; [false] re-initializes every
+          variable from the seed stream) *)
 }
 
 (** [make ()] is the default configuration: single node, no quality
@@ -62,6 +68,7 @@ val make :
   ?target_r_hat:float ->
   ?min_ess:float ->
   ?checkpoint_sweeps:int ->
+  ?warm_start:bool ->
   unit ->
   t
 
@@ -76,6 +83,7 @@ val with_quality : quality -> t -> t
 val with_max_iterations : int -> t -> t
 val with_inference : Inference.Marginal.method_ option -> t -> t
 val with_obs : Obs.Config.t -> t -> t
+val with_warm_start : bool -> t -> t
 
 (** [with_early_stop ?target_r_hat ?min_ess c] replaces both early-stop
     criteria (absent arguments clear them). *)

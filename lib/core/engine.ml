@@ -154,6 +154,276 @@ let run t =
   let marginals_stored = store_marginals t marginals in
   { expansion; marginals_stored; inference; obs = summary t }
 
+module Session = struct
+  type engine = t
+
+  type epoch_stats = {
+    epoch : int;
+    op : string;
+    inserted : int;
+    promoted : int;
+    derived : int;
+    retracted : int;
+    cone : int;
+    rederived : int;
+    violations : int;
+    facts : int;
+    factors : int;
+    wall_seconds : float;
+  }
+
+  type t = {
+    engine : engine;
+    dred : Incremental.Dred.t;
+    mutable epoch : int;
+    state : (int, bool) Hashtbl.t;
+        (* fact id → chain state at the end of the last refresh *)
+    marginals : (int, float) Hashtbl.t;  (* fact id → last estimate *)
+    touched : (int, unit) Hashtbl.t;
+        (* facts whose support changed since the last refresh *)
+    mutable last_info : Inference.Chromatic.run_info option;
+    mutable history : epoch_stats list;  (* newest first *)
+  }
+
+  let dred s = s.dred
+  let engine s = s.engine
+  let kb s = s.engine.kb
+  let graph s = Incremental.Dred.graph s.dred
+  let epoch s = s.epoch
+  let history s = List.rev s.history
+  let last_run s = s.last_info
+
+  let touch s ids = List.iter (fun id -> Hashtbl.replace s.touched id ()) ids
+
+  let forget s ids =
+    List.iter
+      (fun id ->
+        Hashtbl.remove s.state id;
+        Hashtbl.remove s.marginals id)
+      ids
+
+  let record s ~op ~(ins : Incremental.Dred.ingest_stats)
+      ~(ret : Incremental.Dred.retract_stats) ~violations ~wall_seconds =
+    s.epoch <- s.epoch + 1;
+    let st =
+      {
+        epoch = s.epoch;
+        op;
+        inserted = ins.Incremental.Dred.inserted;
+        promoted = ins.Incremental.Dred.promoted;
+        derived = ins.Incremental.Dred.derived;
+        retracted = ret.Incremental.Dred.overdeleted;
+        cone = ret.Incremental.Dred.cone;
+        rederived = ret.Incremental.Dred.rederived;
+        violations;
+        facts = Storage.size (Gamma.pi s.engine.kb);
+        factors = Factor_graph.Fgraph.size (graph s);
+        wall_seconds;
+      }
+    in
+    s.history <- st :: s.history;
+    Obs.snapshot s.engine.trace ~stage:"session" ~point:"epoch" ~step:st.epoch
+      ~perf:[ ("wall_seconds", Obs.F wall_seconds) ]
+      [
+        ("op", Obs.S op);
+        ("inserted", Obs.I st.inserted);
+        ("promoted", Obs.I st.promoted);
+        ("derived", Obs.I st.derived);
+        ("retracted", Obs.I st.retracted);
+        ("cone", Obs.I st.cone);
+        ("rederived", Obs.I st.rederived);
+        ("violations", Obs.I st.violations);
+        ("facts", Obs.I st.facts);
+        ("factors", Obs.I st.factors);
+      ];
+    st
+
+  (* Session-mode constraint enforcement runs *after* the incremental
+     closure, as a banned DRed retraction — not as the in-closure hook
+     (the batch pipeline's choice); violations introduced by an epoch are
+     removed together with their already-derived consequences. *)
+  let constrain s =
+    if s.engine.config.Config.quality.Config.semantic_constraints then begin
+      let violations, ret = Incremental.Dred.enforce_constraints s.dred in
+      touch s ret.Incremental.Dred.touched_ids;
+      forget s ret.Incremental.Dred.deleted_ids;
+      (violations, ret)
+    end
+    else (0, Incremental.Dred.no_retract)
+
+  let ingest s facts =
+    let t0 = Relational.Stats.now () in
+    let ins =
+      Incremental.Dred.ingest
+        ~max_iterations:s.engine.config.Config.max_iterations s.dred facts
+    in
+    touch s ins.Incremental.Dred.new_ids;
+    let violations, ret = constrain s in
+    record s ~op:"ingest" ~ins ~ret ~violations
+      ~wall_seconds:(Relational.Stats.now () -. t0)
+
+  let retract ?ban s ids =
+    let t0 = Relational.Stats.now () in
+    let ret = Incremental.Dred.retract ?ban s.dred ids in
+    touch s ret.Incremental.Dred.touched_ids;
+    forget s ret.Incremental.Dred.deleted_ids;
+    record s ~op:"retract" ~ins:Incremental.Dred.no_ingest ~ret ~violations:0
+      ~wall_seconds:(Relational.Stats.now () -. t0)
+
+  let retract_keys ?ban s keys =
+    let pi = Gamma.pi s.engine.kb in
+    retract ?ban s
+      (List.filter_map
+         (fun (r, x, c1, y, c2) -> Storage.find pi ~r ~x ~c1 ~y ~c2)
+         keys)
+
+  let retract_rules s ~remove =
+    let t0 = Relational.Stats.now () in
+    let ret = Incremental.Dred.retract_rules s.dred ~remove in
+    touch s ret.Incremental.Dred.touched_ids;
+    forget s ret.Incremental.Dred.deleted_ids;
+    record s ~op:"retract_rules" ~ins:Incremental.Dred.no_ingest ~ret
+      ~violations:0
+      ~wall_seconds:(Relational.Stats.now () -. t0)
+
+  let add_rules s rules =
+    let t0 = Relational.Stats.now () in
+    let ins =
+      Incremental.Dred.extend_rules
+        ~max_iterations:s.engine.config.Config.max_iterations s.dred rules
+    in
+    touch s ins.Incremental.Dred.new_ids;
+    let violations, ret = constrain s in
+    record s ~op:"add_rules" ~ins ~ret ~violations
+      ~wall_seconds:(Relational.Stats.now () -. t0)
+
+  let reexpand s =
+    let t0 = Relational.Stats.now () in
+    let ins =
+      Incremental.Dred.reexpand
+        ~max_iterations:s.engine.config.Config.max_iterations s.dred
+    in
+    touch s ins.Incremental.Dred.new_ids;
+    let violations, ret = constrain s in
+    record s ~op:"reexpand" ~ins ~ret ~violations
+      ~wall_seconds:(Relational.Stats.now () -. t0)
+
+  let refresh_marginals s =
+    let t0 = Relational.Stats.now () in
+    match s.engine.config.Config.inference with
+    | None -> None
+    | Some m ->
+      Obs.with_ambient s.engine.trace @@ fun () ->
+      Obs.with_span s.engine.trace "refresh_marginals" ~cat:"engine"
+      @@ fun () ->
+      let c = Factor_graph.Fgraph.compile (graph s) in
+      let marg, info =
+        match m with
+        | Inference.Marginal.Chromatic options ->
+          (* Warm start: untouched variables resume from the previous
+             epoch's final chain state; the touched cone (and any new
+             variable) re-randomizes from the seed-derived init stream.
+             Deterministic for a given (seed, epoch history) at any pool
+             size. *)
+          let init v =
+            if not s.engine.config.Config.warm_start then None
+            else
+              let id = c.Factor_graph.Fgraph.var_ids.(v) in
+              if Hashtbl.mem s.touched id then None
+              else Hashtbl.find_opt s.state id
+          in
+          let marg, info =
+            Inference.Chromatic.marginals_info ~options ~obs:s.engine.trace
+              ~checkpoint:s.engine.config.Config.checkpoint_sweeps
+              ?early_stop:(Config.early_stop_criteria s.engine.config)
+              ~init c
+          in
+          (marg, Some info)
+        | m ->
+          Inference.Marginal.infer_compiled_full ~obs:s.engine.trace
+            ~checkpoint:s.engine.config.Config.checkpoint_sweeps
+            ?early_stop:(Config.early_stop_criteria s.engine.config)
+            c m
+      in
+      Hashtbl.reset s.marginals;
+      Array.iteri
+        (fun v p ->
+          Hashtbl.replace s.marginals c.Factor_graph.Fgraph.var_ids.(v) p)
+        marg;
+      (match info with
+      | Some i ->
+        Hashtbl.reset s.state;
+        Array.iteri
+          (fun v b ->
+            Hashtbl.replace s.state c.Factor_graph.Fgraph.var_ids.(v) b)
+          i.Inference.Chromatic.assignment;
+        s.last_info <- info
+      | None -> ());
+      Hashtbl.reset s.touched;
+      s.epoch <- s.epoch + 1;
+      let st =
+        {
+          epoch = s.epoch;
+          op = "refresh_marginals";
+          inserted = 0;
+          promoted = 0;
+          derived = 0;
+          retracted = 0;
+          cone = 0;
+          rederived = 0;
+          violations = 0;
+          facts = Storage.size (Gamma.pi s.engine.kb);
+          factors = Factor_graph.Fgraph.size (graph s);
+          wall_seconds = Relational.Stats.now () -. t0;
+        }
+      in
+      s.history <- st :: s.history;
+      Some st
+
+  type fact_view = {
+    id : int;
+    base : bool;  (** carries extraction (singleton) support *)
+    weight : float;  (** extraction confidence; null for inferred facts *)
+    marginal : float option;  (** estimate from the last refresh, if any *)
+  }
+
+  let query s ~r ~x ~c1 ~y ~c2 =
+    let pi = Gamma.pi s.engine.kb in
+    match Storage.find pi ~r ~x ~c1 ~y ~c2 with
+    | None -> None
+    | Some id ->
+      let weight =
+        match Storage.row_of_id pi id with
+        | Some row -> Table.weight (Storage.table pi) row
+        | None -> Table.null_weight
+      in
+      Some
+        {
+          id;
+          base =
+            Incremental.Provenance.is_base
+              (Incremental.Dred.provenance s.dred)
+              id;
+          weight;
+          marginal = Hashtbl.find_opt s.marginals id;
+        }
+
+  let marginal s id = Hashtbl.find_opt s.marginals id
+end
+
+let session t =
+  let e = expand t in
+  {
+    Session.engine = t;
+    dred = Incremental.Dred.create ~obs:t.trace t.kb e.graph;
+    epoch = 0;
+    state = Hashtbl.create 256;
+    marginals = Hashtbl.create 256;
+    touched = Hashtbl.create 64;
+    last_info = None;
+    history = [];
+  }
+
 let incorporate t facts =
   let pi = Gamma.pi t.kb in
   let delta =
@@ -162,10 +432,22 @@ let incorporate t facts =
   in
   List.iter
     (fun (r, x, c1, y, c2, w) ->
-      let before = Storage.size pi in
-      let id = Gamma.add_fact t.kb ~r ~x ~c1 ~y ~c2 ~w in
-      if Storage.size pi > before then
-        Table.append_w delta [| id; r; x; c1; y; c2 |] w)
+      match Storage.find pi ~r ~x ~c1 ~y ~c2 with
+      | None ->
+        let id = Gamma.add_fact t.kb ~r ~x ~c1 ~y ~c2 ~w in
+        Table.append_w delta [| id; r; x; c1; y; c2 |] w
+      | Some id ->
+        (* An extraction arriving for an already-inferred fact promotes it
+           to a base fact (same semantics as [Incremental.Dred.ingest]):
+           it takes the extraction weight; its consequences are already
+           derived, so it does not seed the delta. *)
+        let tbl = Storage.table pi in
+        (match Storage.row_of_id pi id with
+        | Some row
+          when Table.is_null_weight (Table.weight tbl row)
+               && not (Table.is_null_weight w) ->
+          Table.set_weight tbl row w
+        | _ -> ()))
     facts;
   let inserted = Table.nrows delta in
   if inserted = 0 then (0, 0)

@@ -76,11 +76,115 @@ type result = {
 (** [run t] is [expand] + [infer] + [store_marginals]. *)
 val run : t -> result
 
+(** {1 Live sessions}
+
+    A session keeps a knowledge base expanded {e continuously}: epochs of
+    {!Session.ingest} / {!Session.retract} update [TΠ] and [TΦ]
+    incrementally (semi-naive closure for inserts, DRed delete–rederive
+    for deletes — see [Incremental.Dred]) instead of re-running the batch
+    pipeline, and {!Session.refresh_marginals} re-estimates probabilities
+    warm-starting the sampler from the previous epoch wherever the
+    updates did not reach. *)
+
+module Session : sig
+  type engine := t
+
+  type t
+
+  (** One epoch's ledger entry. *)
+  type epoch_stats = {
+    epoch : int;
+    op : string;
+        (** ["ingest" | "retract" | "retract_rules" | "add_rules" |
+            "reexpand" | "refresh_marginals"] *)
+    inserted : int;
+    promoted : int;
+    derived : int;
+    retracted : int;  (** facts physically removed *)
+    cone : int;  (** overdelete cone size *)
+    rederived : int;
+    violations : int;  (** constraint violations enforced this epoch *)
+    facts : int;  (** [TΠ] size after the epoch *)
+    factors : int;  (** [TΦ] size after the epoch *)
+    wall_seconds : float;
+  }
+
+  val dred : t -> Incremental.Dred.t
+  val engine : t -> engine
+  val kb : t -> Kb.Gamma.t
+  val graph : t -> Factor_graph.Fgraph.t
+
+  (** [epoch s] is the number of epochs run so far (0 right after
+      {!val:session}; every operation, including a refresh, is one
+      epoch). *)
+  val epoch : t -> int
+
+  (** [history s] is the per-epoch ledger, oldest first; each epoch is
+      also emitted as a snapshot (stage ["session"], point ["epoch"])
+      when the trace has a sink installed. *)
+  val history : t -> epoch_stats list
+
+  (** [last_run s] is the sampler report of the most recent
+      {!refresh_marginals} (Chromatic method only). *)
+  val last_run : t -> Inference.Chromatic.run_info option
+
+  (** [ingest s facts] inserts extractions [(r, x, c1, y, c2, w)] and
+      derives their consequences incrementally.  When the config enables
+      semantic constraints, Ω is enforced afterwards {e as a DRed
+      retraction with banned keys} — session mode never uses the
+      in-closure hook. *)
+  val ingest : t -> (int * int * int * int * int * float) list -> epoch_stats
+
+  (** [retract ?ban s ids] removes facts with delete–rederive; see
+      [Incremental.Dred.retract]. *)
+  val retract : ?ban:bool -> t -> int list -> epoch_stats
+
+  val retract_keys :
+    ?ban:bool -> t -> (int * int * int * int * int) list -> epoch_stats
+
+  val retract_rules : t -> remove:(Mln.Clause.t -> bool) -> epoch_stats
+  val add_rules : t -> Mln.Clause.t list -> epoch_stats
+
+  (** [reexpand s] runs a full-closure consistency pass (a no-op on a
+      closed store). *)
+  val reexpand : t -> epoch_stats
+
+  (** [refresh_marginals s] re-estimates marginals over the current
+      graph with the configured method ([None] when inference is
+      disabled).  With the Chromatic method and [config.warm_start], the
+      chain resumes from the previous refresh's final state for every
+      variable no epoch has touched since; touched and new variables are
+      re-initialized from the seed stream.  The result is deterministic
+      for a given (seed, epoch history) at any pool size. *)
+  val refresh_marginals : t -> epoch_stats option
+
+  (** A fact as seen through the session. *)
+  type fact_view = {
+    id : int;
+    base : bool;  (** carries extraction (singleton) support *)
+    weight : float;  (** extraction confidence; null for inferred facts *)
+    marginal : float option;  (** estimate from the last refresh, if any *)
+  }
+
+  (** [query s ~r ~x ~c1 ~y ~c2] looks a fact up by key. *)
+  val query :
+    t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> fact_view option
+
+  (** [marginal s id] is the fact's estimate from the last refresh. *)
+  val marginal : t -> int -> float option
+end
+
+(** [session t] expands the knowledge base (epoch 0, the batch pipeline
+    of {!expand}) and opens a live session over the result. *)
+val session : t -> Session.t
+
 (** [incorporate t facts] adds newly extracted facts
     [(r, x, c1, y, c2, w)] to an already-expanded knowledge base and
     derives {e only their consequences} (delta-driven grounding seeded
-    with the insertions) instead of re-running full expansion.  Returns
-    [(inserted, inferred)].  Re-run {!expand} when a fresh factor graph is
-    needed. *)
+    with the insertions) instead of re-running full expansion.  An
+    extraction whose fact already exists as an inferred fact promotes it
+    (the fact takes the extraction weight, as in
+    [Incremental.Dred.ingest]).  Returns [(inserted, inferred)].  Re-run
+    {!expand} when a fresh factor graph is needed. *)
 val incorporate :
   t -> (int * int * int * int * int * float) list -> int * int

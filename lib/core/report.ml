@@ -171,3 +171,28 @@ let kb_to_json kb =
 
 let pp_summary = Obs.Summary.pp
 let summary_to_json = Obs.Summary.to_json
+
+let epoch_to_json (st : Engine.Session.epoch_stats) =
+  Json.Obj
+    [
+      ("epoch", Json.Int st.Engine.Session.epoch);
+      ("op", Json.String st.Engine.Session.op);
+      ("inserted", Json.Int st.Engine.Session.inserted);
+      ("promoted", Json.Int st.Engine.Session.promoted);
+      ("derived", Json.Int st.Engine.Session.derived);
+      ("retracted", Json.Int st.Engine.Session.retracted);
+      ("cone", Json.Int st.Engine.Session.cone);
+      ("rederived", Json.Int st.Engine.Session.rederived);
+      ("violations", Json.Int st.Engine.Session.violations);
+      ("facts", Json.Int st.Engine.Session.facts);
+      ("factors", Json.Int st.Engine.Session.factors);
+      ("wall_seconds", Json.Float st.Engine.Session.wall_seconds);
+    ]
+
+let pp_epoch ppf (st : Engine.Session.epoch_stats) =
+  let open Engine.Session in
+  Format.fprintf ppf
+    "epoch %d %s: +%d inserted, +%d derived, -%d retracted (cone %d, %d \
+     rederived), %d facts, %d factors, %.3fs"
+    st.epoch st.op st.inserted st.derived st.retracted st.cone st.rederived
+    st.facts st.factors st.wall_seconds

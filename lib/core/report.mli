@@ -41,3 +41,8 @@ val kb_to_json : Kb.Gamma.t -> Json.t
 val pp_summary : Format.formatter -> Obs.Summary.t -> unit
 
 val summary_to_json : Obs.Summary.t -> Json.t
+
+(** [pp_epoch ppf st] prints one session epoch's ledger line. *)
+val pp_epoch : Format.formatter -> Engine.Session.epoch_stats -> unit
+
+val epoch_to_json : Engine.Session.epoch_stats -> Json.t

@@ -27,6 +27,28 @@ let iter f g =
     f i (factor g i)
   done
 
+let retain g ~keep =
+  let n = size g in
+  if Array.length keep <> n then invalid_arg "Fgraph.retain: mask length";
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  for f = 0 to n - 1 do
+    if keep.(f) then begin
+      remap.(f) <- !next;
+      incr next
+    end
+  done;
+  if !next < n then begin
+    (* [Table.filter] appends survivors in scan order, so the surviving
+       factors keep their relative order — [compile] interns variables in
+       factor-table order, so variable numbering (and the chromatic
+       schedule) of the untouched part of the graph stays stable. *)
+    let kept = Table.filter g.tphi (fun f -> keep.(f)) in
+    Table.clear g.tphi;
+    Table.append_all g.tphi kept
+  end;
+  (n - !next, remap)
+
 type compiled = {
   var_ids : int array;
   var_of_id : (int, int) Hashtbl.t;

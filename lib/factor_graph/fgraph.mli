@@ -44,6 +44,15 @@ val factor : t -> int -> int * int * int * float
 (** [iter f g] applies [f idx (i1, i2, i3, w)] to all factors. *)
 val iter : (int -> int * int * int * float -> unit) -> t -> unit
 
+(** [retain g ~keep] splices the graph in place, dropping every factor [f]
+    with [keep.(f) = false].  Surviving factors keep their relative order
+    (so {!compile}'s variable numbering over the untouched part of the
+    graph is stable — marginals stay comparable across a retraction).
+    Returns [(removed, remap)] where [remap.(old) = new] for survivors and
+    [-1] for removed factors — apply it to any external index holding
+    factor positions (see [Incremental.Provenance]). *)
+val retain : t -> keep:bool array -> int * int array
+
 (** {1 Compiled form}
 
     Inference works over a compiled view with dense variable indexes and a

@@ -102,22 +102,38 @@ let run ?(options = default_options) kb =
         ("removed", Obs.I rm);
       ]
   in
+  let semi_naive = options.semi_naive || options.initial_delta <> None in
+  let delta = ref options.initial_delta in
+  (* Deletions interact with semi-naive evaluation in exactly one place:
+     the saved delta may still hold rows the constraint pass just removed
+     from [TΠ], and joining against them would re-derive consequences of
+     deleted facts.  Dropping those rows from the delta restores the
+     semi-naive invariant (the delta is precisely the surviving facts the
+     rest of [TΠ] has not yet been joined against), so a firing constraint
+     hook no longer forces naive evaluation.  Banned keys vanish here too:
+     a banned fact is deleted from storage, so its delta row dies with
+     it. *)
+  let filter_delta () =
+    match !delta with
+    | Some d ->
+      delta :=
+        Some
+          (Table.filter d (fun r ->
+               Storage.find pi ~r:(Table.get d r 1) ~x:(Table.get d r 2)
+                 ~c1:(Table.get d r 3) ~y:(Table.get d r 4)
+                 ~c2:(Table.get d r 5)
+               <> None))
+    | None -> ()
+  in
   (* Constraints are applied once before inference starts (the paper's
      Section 6.1.1 protocol) and then after every iteration (Algorithm 1,
      line 6): an entity that already violates Ω must not seed the very
      first round of joins.  This pre-pass is trajectory point 0. *)
   if options.apply_constraints <> None then begin
     let violations, rm = constrain pi in
+    if rm > 0 then filter_delta ();
     record_point ~iteration:0 ~new_facts:0 ~violations ~removed:rm
   end;
-  (* Semi-naive evaluation joins only against the previous iteration's
-     delta; it is sound only when facts are never deleted mid-run, so a
-     constraint hook forces naive evaluation. *)
-  let semi_naive =
-    (options.semi_naive || options.initial_delta <> None)
-    && options.apply_constraints = None
-  in
-  let delta = ref options.initial_delta in
   (* Closure phase: Algorithm 1, lines 2-7. *)
   Obs.with_span obs "closure" ~cat:"grounding" (fun () ->
       while (not !converged) && !iterations < options.max_iterations do
@@ -193,6 +209,7 @@ let run ?(options = default_options) kb =
                         (fun i -> before_merge + i)))
             end;
             let violations, rm = constrain pi in
+            if rm > 0 && semi_naive then filter_delta ();
             total_new := !total_new + !new_facts;
             Obs.add obs "ground.new_facts" !new_facts;
             Obs.incr obs "ground.iterations";

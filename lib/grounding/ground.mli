@@ -17,11 +17,14 @@ type options = {
   build_factors : bool;  (** run the groundFactors phase (default true) *)
   semi_naive : bool;
       (** delta-driven evaluation: each iteration joins only against the
-          facts added by the previous one instead of the whole of [TΠ]
-          (sound because derivation is monotone; disabled automatically
-          when a constraint hook deletes facts mid-run).  An optimization
-          the paper leaves on the table — see the ablation benchmark.
-          Default [false], matching the paper's Algorithm 1 *)
+          facts added by the previous one instead of the whole of [TΠ].
+          Sound because derivation is monotone; mid-run deletions by a
+          constraint hook are handled by dropping the deleted rows from
+          the pending delta after each constraint pass, so the hook no
+          longer forces naive evaluation — the delta-mode closure matches
+          the naive reference output.  An optimization the paper leaves on
+          the table — see the ablation benchmark.  Default [false],
+          matching the paper's Algorithm 1 *)
   initial_delta : Relational.Table.t option;
       (** incremental mode: a table with the [TΠ] schema holding the facts
           that were just added to an already-closed store; the first

@@ -391,6 +391,60 @@ let ground_factors p pat pi g =
   in
   resolve_heads rows pi g
 
+(* [factors_out] for the mirrored run of a two-atom pattern: the head
+   columns (x, C1)/(y, C2) *and* the body ids I2/I3 are swapped back to the
+   original orientation, so delta-built factor rows are textually identical
+   to the ones the batch Query 2 emits for the same instances. *)
+let factors_out_swapped s =
+  let a = factors_out s in
+  [| a.(0); a.(3); a.(4); a.(1); a.(2); a.(6); a.(5) |]
+
+let ground_factors_delta p pat pi ~delta ~watermark g =
+  let t = Storage.table pi in
+  let s = shape_of pat in
+  match s with
+  | One_atom s1 ->
+    (* The only body atom must be a delta fact. *)
+    let rows =
+      Join.hash_join_pre
+        ~name:("factors_" ^ Pattern.to_string pat ^ "_d")
+        ~cols:atom_i_cols ~out:(factors_out s)
+        ~oweight:(Join.Weight_of Join.Build)
+        p.m_index.(Pattern.index pat)
+        (delta, s1.t_key)
+    in
+    resolve_heads rows pi g
+  | Two_atom s2 ->
+    (* Δ bound to the q atom (the r atom ranges over all of TΠ)… *)
+    let j = step1 p.m_index.(Pattern.index pat) pat s delta in
+    let n1 =
+      resolve_heads
+        (Join.hash_join
+           ~name:("factors_" ^ Pattern.to_string pat ^ "_dq")
+           ~cols:atom_i_cols ~out:(factors_out s)
+           ~oweight:(Join.Weight_of Join.Build) (j, s2.j_key2) (t, s2.t_key2))
+        pi g
+    in
+    (* …then Δ bound to the r atom via the mirrored pattern, with the q
+       atom restricted to *old* facts ([id < watermark]) so instances
+       whose body atoms are both new are not emitted twice. *)
+    let mp = mirror_pattern pat in
+    let ms = shape_of mp in
+    (match ms with
+    | One_atom _ -> assert false
+    | Two_atom ms2 ->
+      let j2 = step1 (mirror_index p pat) mp ms delta in
+      let rows2 =
+        Join.hash_join
+          ~name:("factors_" ^ Pattern.to_string pat ^ "_dr")
+          ~cols:atom_i_cols
+          ~out:(factors_out_swapped ms)
+          ~oweight:(Join.Weight_of Join.Build)
+          ~residual:(fun _ p_row -> Table.get t p_row 0 < watermark)
+          (j2, ms2.j_key2) (t, ms2.t_key2)
+      in
+      n1 + resolve_heads rows2 pi g)
+
 let singleton_factors pi g =
   let n = ref 0 in
   Storage.iter

@@ -108,6 +108,30 @@ val ground_factors :
   Factor_graph.Fgraph.t ->
   int
 
+(** [ground_factors_delta p pat pi ~delta ~watermark g] is the
+    incremental Query 2-i: only ground-clause instances with at least one
+    body atom bound to a [delta] fact (a table with the [TΠ] schema).
+    Like {!ground_atoms_delta} it runs two-atom patterns twice — Δ on the
+    first body atom against all of [TΠ], then Δ on the second via the
+    mirrored pattern with both the head columns and the body-id columns
+    swapped back inside the projection — and avoids double-counting
+    instances whose body atoms are both new by restricting the second
+    term's other atom to facts with [id < watermark] (take the watermark
+    from [Storage.next_id] before inserting the batch).  On a store whose
+    previous closure converged, appending these factors to the factors of
+    the previous epochs reproduces the batch [ground_factors] output over
+    the grown [TΠ]: an instance built only from old facts would imply its
+    head was already derivable, hence already present with its factor.
+    Returns the number of factors appended. *)
+val ground_factors_delta :
+  prepared ->
+  Mln.Pattern.t ->
+  Kb.Storage.t ->
+  delta:Relational.Table.t ->
+  watermark:int ->
+  Factor_graph.Fgraph.t ->
+  int
+
 (** [singleton_factors pi g] is [groundFactors(TΠ)] (Algorithm 1,
     line 10): one singleton factor per fact with a non-null weight.
     Returns the count. *)

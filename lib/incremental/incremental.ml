@@ -1,0 +1,5 @@
+(** Live maintenance of a grounded knowledge base: the provenance index
+    and the DRed delete–rederive / incremental re-expansion engine. *)
+
+module Provenance = Provenance
+module Dred = Dred

@@ -1,0 +1,59 @@
+(** The provenance index: fact → factor positions, kept incrementally.
+
+    [Factor_graph.Lineage] answers the same questions from a from-scratch
+    batch build over factor {e tuples}; change propagation needs the
+    factor {e positions} too (so the graph can be spliced in place), and
+    needs the index to survive epochs of appends and retractions without
+    rebuilding.  This index maps each fact id to
+
+    - the clause factors deriving it ({!derivations} — factors with the
+      fact as head),
+    - the clause factors it supports ({!supports_of} — factors with the
+      fact in the body), and
+    - its singleton (prior) factor, when the fact is an extracted base
+      fact ({!singleton_of}).
+
+    Presence of a singleton is the authoritative base-vs-inferred marker:
+    the weight column of [TΠ] is unreliable for this once
+    [Engine.store_marginals] has written probabilities into it.
+
+    Keep the index current with {!sync} after appending factors and
+    {!remap} after [Fgraph.retain] removed some. *)
+
+type t
+
+(** [create ()] is an empty index (synced to an empty graph). *)
+val create : unit -> t
+
+(** [of_graph g] is [create] followed by [sync _ g]. *)
+val of_graph : Factor_graph.Fgraph.t -> t
+
+(** [sync t g] indexes the factors appended to [g] since the last sync
+    (all of them on a fresh index).  [g] must only have grown by appends
+    since then. *)
+val sync : t -> Factor_graph.Fgraph.t -> unit
+
+(** [synced_factors t] is the number of factors currently indexed. *)
+val synced_factors : t -> int
+
+(** [derivations t id] lists the clause factors with head [id] (most
+    recently appended first). *)
+val derivations : t -> int -> int list
+
+(** [supports_of t id] lists the clause factors with [id] in the body
+    (each factor once, even when [id] fills both body slots). *)
+val supports_of : t -> int -> int list
+
+(** [singleton_of t id] is the position of [id]'s singleton factor. *)
+val singleton_of : t -> int -> int option
+
+(** [is_base t id] is [true] iff the fact has a singleton factor — i.e. it
+    carries extraction (prior) support. *)
+val is_base : t -> int -> bool
+
+(** [remap t mapping] rewrites every stored factor position through
+    [mapping] (as returned by [Fgraph.retain]): positions mapped to [-1]
+    are dropped, facts left with no entries disappear from the index.
+    @raise Invalid_argument when the index is not synced to exactly
+    [Array.length mapping] factors. *)
+val remap : t -> int array -> unit

@@ -10,6 +10,8 @@ type t = {
   mutable next_id : int;
   mutable id_map : (int, int) Hashtbl.t option; (* id -> row, lazy *)
   banned : (int * int * int * int * int, unit) Hashtbl.t;
+  tombstones : (int, unit) Hashtbl.t; (* ids marked deleted, not yet compacted *)
+  mutable index_rebuilds : int;
 }
 
 let create () =
@@ -20,15 +22,22 @@ let create () =
     next_id = 0;
     id_map = None;
     banned = Hashtbl.create 16;
+    tombstones = Hashtbl.create 16;
+    index_rebuilds = 0;
   }
 
 let table s = s.facts
 let key_index s = s.key_idx
 let size s = Table.nrows s.facts
+let next_id s = s.next_id
+let index_rebuilds s = s.index_rebuilds
 
 let find s ~r ~x ~c1 ~y ~c2 =
   match Index.first_match s.key_idx [| r; x; c1; y; c2 |] with
-  | Some row -> Some (Table.get s.facts row 0)
+  | Some row ->
+    let id = Table.get s.facts row 0 in
+    if Hashtbl.length s.tombstones > 0 && Hashtbl.mem s.tombstones id then None
+    else Some id
   | None -> None
 
 let add s ~r ~x ~c1 ~y ~c2 ~w =
@@ -76,25 +85,43 @@ let merge_new s tbl =
   done;
   !added
 
-let delete_where ?(ban = false) s p =
-  let before = Table.nrows s.facts in
-  if ban then
-    Table.iter
-      (fun r ->
-        if p s.facts r then
-          Hashtbl.replace s.banned
-            ( Table.get s.facts r 1, Table.get s.facts r 2,
-              Table.get s.facts r 3, Table.get s.facts r 4,
-              Table.get s.facts r 5 )
-            ())
-      s.facts;
-  let kept = Table.filter s.facts (fun r -> not (p s.facts r)) in
-  s.facts <- kept;
-  s.key_idx <- Index.build kept key_cols;
-  s.id_map <- None;
-  before - Table.nrows kept
+let ban_key_of_row s r =
+  Hashtbl.replace s.banned
+    ( Table.get s.facts r 1, Table.get s.facts r 2, Table.get s.facts r 3,
+      Table.get s.facts r 4, Table.get s.facts r 5 )
+    ()
+
+let mark_deleted s id = Hashtbl.replace s.tombstones id ()
+let pending_deletes s = Hashtbl.length s.tombstones
+
+let flush_deletes ?(ban = false) s =
+  if Hashtbl.length s.tombstones = 0 then 0
+  else begin
+    let before = Table.nrows s.facts in
+    let dead r = Hashtbl.mem s.tombstones (Table.get s.facts r 0) in
+    if ban then
+      Table.iter (fun r -> if dead r then ban_key_of_row s r) s.facts;
+    let kept = Table.filter s.facts (fun r -> not (dead r)) in
+    s.facts <- kept;
+    s.key_idx <- Index.build kept key_cols;
+    s.index_rebuilds <- s.index_rebuilds + 1;
+    s.id_map <- None;
+    Hashtbl.reset s.tombstones;
+    before - Table.nrows kept
+  end
+
+let delete_ids ?ban s ids =
+  List.iter (fun id -> mark_deleted s id) ids;
+  flush_deletes ?ban s
+
+let delete_where ?ban s p =
+  Table.iter
+    (fun r -> if p s.facts r then mark_deleted s (Table.get s.facts r 0))
+    s.facts;
+  flush_deletes ?ban s
 
 let banned_count s = Hashtbl.length s.banned
+let is_banned s ~r ~x ~c1 ~y ~c2 = Hashtbl.mem s.banned (r, x, c1, y, c2)
 
 let iter f s =
   for row = 0 to Table.nrows s.facts - 1 do
@@ -122,6 +149,11 @@ let row_of_id s id =
   in
   Hashtbl.find_opt m id
 
+let ban_id s id =
+  match row_of_id s id with
+  | Some r -> ban_key_of_row s r
+  | None -> ()
+
 let copy s =
   let facts = Table.copy s.facts in
   {
@@ -130,4 +162,6 @@ let copy s =
     next_id = s.next_id;
     id_map = None;
     banned = Hashtbl.copy s.banned;
+    tombstones = Hashtbl.copy s.tombstones;
+    index_rebuilds = 0;
   }

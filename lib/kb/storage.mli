@@ -28,8 +28,15 @@ val table : t -> Relational.Table.t
     build side of joins against [TΠ]. *)
 val key_index : t -> Relational.Index.t
 
-(** [size s] is the number of stored facts. *)
+(** [size s] is the number of stored facts (tombstoned rows included until
+    {!flush_deletes} compacts them away). *)
 val size : t -> int
+
+(** [next_id s] is the identifier the next inserted fact will receive.
+    Identifiers are assigned in insertion order and never reused, so
+    [next_id] taken before a batch of insertions is a watermark: exactly
+    the facts with [id >= next_id] are newer than the batch boundary. *)
+val next_id : t -> int
 
 (** [add s ~r ~x ~c1 ~y ~c2 ~w] inserts a fact if its key is new and
     returns [`Added id]; otherwise returns [`Dup id] of the existing
@@ -47,18 +54,64 @@ val find : t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> int option
     line 5.  Returns the number of facts actually added. *)
 val merge_new : t -> Relational.Table.t -> int
 
+(** {1 Deletion}
+
+    Deletion is batched: callers tombstone any number of fact ids with
+    {!mark_deleted} (or in one go with {!delete_ids} / {!delete_where})
+    and the store compacts the table and rebuilds the key index {e once}
+    per batch, in {!flush_deletes} — not once per deleted fact.  While a
+    tombstone is pending, {!find} answers [None] for the dead fact but
+    {!table}/{!size}/{!iter} still expose the physical rows (deleted
+    facts must stay joinable while DRed computes their consequence cone).
+    Do not insert a key that is currently tombstoned; flush first. *)
+
+(** [mark_deleted s id] tombstones fact [id]; {!find} no longer reports
+    it.  The physical row remains until {!flush_deletes}. *)
+val mark_deleted : t -> int -> unit
+
+(** [pending_deletes s] is the number of tombstoned, not-yet-compacted
+    facts. *)
+val pending_deletes : t -> int
+
+(** [flush_deletes ?ban s] compacts all tombstoned rows out of the table
+    and rebuilds the key index — one rebuild for the whole batch (a no-op
+    returning 0 when nothing is tombstoned).  With [ban = true] (default
+    [false]) the removed keys are remembered and {!merge_new} will never
+    re-insert them.  Returns the number of facts removed. *)
+val flush_deletes : ?ban:bool -> t -> int
+
+(** [delete_ids ?ban s ids] is {!mark_deleted} on every id followed by one
+    {!flush_deletes}. *)
+val delete_ids : ?ban:bool -> t -> int list -> int
+
 (** [delete_where ?ban s p] removes the facts whose row satisfies [p]
-    (given the backing table and a row index), compacts the table and
-    rebuilds the index.  Fact identifiers are stable across deletions.
-    With [ban = true] (default [false]) the removed keys are remembered
-    and {!merge_new} will never re-insert them: facts removed as
-    constraint violations must not be re-derived by the next grounding
-    iteration (paper, Section 5.1 — errors are removed "to avoid further
-    propagation").  Returns the number of facts removed. *)
+    (given the backing table and a row index) — implemented as one
+    tombstone-and-flush batch, so it costs a single compaction + index
+    rebuild regardless of how many rows match.  Fact identifiers are
+    stable across deletions.  With [ban = true] (default [false]) the
+    removed keys are remembered and {!merge_new} will never re-insert
+    them: facts removed as constraint violations must not be re-derived by
+    the next grounding iteration (paper, Section 5.1 — errors are removed
+    "to avoid further propagation").  Returns the number of facts
+    removed. *)
 val delete_where : ?ban:bool -> t -> (Relational.Table.t -> int -> bool) -> int
+
+(** [ban_id s id] bans the key of a {e live} fact without deleting it —
+    used when a retraction must also block future re-derivation of
+    specific facts (the DRed analogue of [delete_where ~ban], which bans
+    every key it deletes; DRed bans only the explicitly retracted facts,
+    not their overdeleted cone). *)
+val ban_id : t -> int -> unit
+
+(** [index_rebuilds s] counts key-index rebuilds caused by deletions —
+    observable proof that a batch costs one rebuild. *)
+val index_rebuilds : t -> int
 
 (** [banned_count s] is the number of banned keys. *)
 val banned_count : t -> int
+
+(** [is_banned s ~r ~x ~c1 ~y ~c2] is [true] iff the key was banned. *)
+val is_banned : t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> bool
 
 (** [iter f s] applies
     [f ~id ~r ~x ~c1 ~y ~c2 ~w] to every stored fact. *)

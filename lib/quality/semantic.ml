@@ -113,11 +113,19 @@ let apply_collect ?(ban = true) pi omega =
         in
         Hashtbl.replace tbl (v.entity, v.cls) ())
       vs;
-    let deleted =
-      Storage.delete_where ~ban pi (fun t row ->
+    (* Collect the doomed ids, then delete them as one batch — a single
+       table compaction and key-index rebuild no matter how many facts
+       the violating entities reach (see [Storage.delete_ids]). *)
+    let t = Storage.table pi in
+    let doomed = ref [] in
+    Table.iter
+      (fun row ->
+        if
           Hashtbl.mem bad_subject (Table.get t row 2, Table.get t row 3)
-          || Hashtbl.mem bad_object (Table.get t row 4, Table.get t row 5))
-    in
+          || Hashtbl.mem bad_object (Table.get t row 4, Table.get t row 5)
+        then doomed := Table.get t row 0 :: !doomed)
+      t;
+    let deleted = Storage.delete_ids ~ban pi (List.rev !doomed) in
     record vs deleted;
     (vs, deleted)
   end

@@ -158,6 +158,50 @@ let test_incremental_chain_reaction () =
     (Kb.Gamma.pi kb);
   check_int "anc closure after bridge" 6 !count
 
+let test_incorporate_batches_differential =
+  (* Feeding the same extractions through [incorporate] in k batches must
+     reach the same closure as one from-scratch expansion over their
+     union — the insert-path mirror of the retract differential in
+     test_incremental. *)
+  Tutil.qcheck_case ~count:10 "incorporate over batches = from-scratch expand"
+    QCheck.(pair small_nat (int_range 2 5))
+    (fun (seed, k) ->
+      let g =
+        Workload.Reverb_sherlock.generate
+          { Workload.Reverb_sherlock.default_config with scale = 0.004; seed }
+      in
+      let proto = Workload.Reverb_sherlock.kb g in
+      let base = ref [] in
+      Kb.Storage.iter
+        (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+          base := (r, x, c1, y, c2, w) :: !base)
+        (Kb.Gamma.pi proto);
+      let base = List.rev !base in
+      (* Deal the extractions round-robin into k arrival batches. *)
+      let batches = Array.make k [] in
+      List.iteri (fun i f -> batches.(i mod k) <- f :: batches.(i mod k)) base;
+      let inc_kb = Kb.Gamma.create_like proto in
+      List.iter (Kb.Gamma.add_rule inc_kb) (Kb.Gamma.rules proto);
+      let engine =
+        Probkb.Engine.create
+          ~config:(Probkb.Config.make ~inference:None ())
+          inc_kb
+      in
+      Array.iter
+        (fun b -> ignore (Probkb.Engine.incorporate engine (List.rev b)))
+        batches;
+      let oracle = Tutil.copy_gamma proto in
+      ignore (Grounding.Ground.closure oracle);
+      let view kb =
+        let acc = ref [] in
+        Kb.Storage.iter
+          (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+            acc := (r, x, c1, y, c2, Relational.Table.is_null_weight w) :: !acc)
+          (Kb.Gamma.pi kb);
+        List.sort compare !acc
+      in
+      view inc_kb = view oracle)
+
 (* Minimal substring search to avoid extra dependencies. *)
 let contains s sub =
   let n = String.length s and m = String.length sub in
@@ -302,6 +346,7 @@ let () =
             test_incremental_incorporate;
           Alcotest.test_case "incremental cascade" `Quick
             test_incremental_chain_reaction;
+          test_incorporate_batches_differential;
           Alcotest.test_case "report rendering" `Quick test_report_rendering;
         ] );
       ( "live run health",

@@ -306,6 +306,107 @@ let test_semi_naive_equivalence () =
         (Fgraph.size r2.Grounding.Ground.graph))
     [ 5; 23; 71 ]
 
+let test_semi_naive_with_constraints_worked () =
+  (* The constraint hook fires mid-closure: over a 7-node par-chain the
+     transitive anc rule gives n0 four ancestors by round 3, tripping a
+     Type I degree-3 funcon.  Semi-naive evaluation must survive that —
+     the deleted rows are filtered out of the saved delta instead of
+     falling back to naive evaluation — and land on the same fixpoint. *)
+  let build () =
+    let kb = Kb.Gamma.create () in
+    ignore
+      (Kb.Loader.load_rules kb
+         [ "1.0 anc(x:P, y:P) :- par(x, y)";
+           "1.0 anc(x:P, y:P) :- anc(x, z:P), anc(z, y)" ]);
+    for i = 0 to 6 do
+      ignore
+        (Kb.Gamma.add_fact_by_name kb ~r:"par"
+           ~x:(Printf.sprintf "n%d" i)
+           ~c1:"P"
+           ~y:(Printf.sprintf "n%d" (i + 1))
+           ~c2:"P" ~w:1.0)
+    done;
+    Kb.Gamma.add_funcon kb
+      (Kb.Funcon.make ~rel:(Kb.Gamma.relation kb "anc")
+         ~ftype:Kb.Funcon.Type_I ~degree:3);
+    kb
+  in
+  let run ~semi_naive kb =
+    Grounding.Ground.run
+      ~options:
+        {
+          Grounding.Ground.default_options with
+          semi_naive;
+          apply_constraints =
+            Some (Quality.Semantic.hook (Kb.Gamma.omega kb));
+        }
+      kb
+  in
+  let naive_kb = build () in
+  let r1 = run ~semi_naive:false naive_kb in
+  let semi_kb = build () in
+  let r2 = run ~semi_naive:true semi_kb in
+  Alcotest.(check bool) "naive converged" true r1.Grounding.Ground.converged;
+  Alcotest.(check bool) "semi converged" true r2.Grounding.Ground.converged;
+  Alcotest.(check bool)
+    "constraints fired" true
+    (r1.Grounding.Ground.removed_by_constraints > 0);
+  check_int "same removals" r1.Grounding.Ground.removed_by_constraints
+    r2.Grounding.Ground.removed_by_constraints;
+  Alcotest.(check (list (list int)))
+    "same closure"
+    (List.map
+       (fun (a, b, c, d, e) -> [ a; b; c; d; e ])
+       (closure_keys naive_kb))
+    (List.map
+       (fun (a, b, c, d, e) -> [ a; b; c; d; e ])
+       (closure_keys semi_kb));
+  check_int "same factor count"
+    (Fgraph.size r1.Grounding.Ground.graph)
+    (Fgraph.size r2.Grounding.Ground.graph)
+
+let test_semi_naive_with_constraints_differential () =
+  (* Workload KBs carry generated funcons; with Ω enforced through the
+     hook, naive and semi-naive closures must still agree. *)
+  let fired = ref false in
+  List.iter
+    (fun seed ->
+      let g =
+        Workload.Reverb_sherlock.generate
+          { Workload.Reverb_sherlock.default_config with scale = 0.008; seed }
+      in
+      let kb = Workload.Reverb_sherlock.kb g in
+      let run ~semi_naive kb =
+        Grounding.Ground.run
+          ~options:
+            {
+              Grounding.Ground.default_options with
+              semi_naive;
+              apply_constraints =
+                Some (Quality.Semantic.hook (Kb.Gamma.omega kb));
+            }
+          kb
+      in
+      let naive = Tutil.copy_gamma kb in
+      let r1 = run ~semi_naive:false naive in
+      let semi = Tutil.copy_gamma kb in
+      let r2 = run ~semi_naive:true semi in
+      if r1.Grounding.Ground.removed_by_constraints > 0 then fired := true;
+      check_int
+        (Printf.sprintf "seed %d: removals" seed)
+        r1.Grounding.Ground.removed_by_constraints
+        r2.Grounding.Ground.removed_by_constraints;
+      if closure_keys naive <> closure_keys semi then
+        Alcotest.failf "seed %d: closures differ (%d vs %d facts)" seed
+          (Kb.Storage.size (Kb.Gamma.pi naive))
+          (Kb.Storage.size (Kb.Gamma.pi semi));
+      check_int
+        (Printf.sprintf "seed %d: factor counts" seed)
+        (Fgraph.size r1.Grounding.Ground.graph)
+        (Fgraph.size r2.Grounding.Ground.graph))
+    [ 5; 23; 71 ];
+  Alcotest.(check bool) "hook fired for at least one seed" true !fired
+
 let test_pool_size_equivalence () =
   (* The whole grounding pipeline — parallel per-pattern queries, parallel
      partitioned joins, parallel distinct — must yield the same facts (same
@@ -520,6 +621,10 @@ let () =
             test_semi_naive_transitive_chain;
           Alcotest.test_case "semi-naive differential" `Slow
             test_semi_naive_equivalence;
+          Alcotest.test_case "semi-naive + constraints worked" `Quick
+            test_semi_naive_with_constraints_worked;
+          Alcotest.test_case "semi-naive + constraints differential" `Slow
+            test_semi_naive_with_constraints_differential;
           Alcotest.test_case "pool-size differential" `Quick
             test_pool_size_equivalence;
           test_monotonicity;

@@ -1,0 +1,549 @@
+(* The retraction subsystem: provenance-indexed DRed delete–rederive,
+   incremental factor maintenance, and live engine sessions.
+
+   The load-bearing property throughout is *retract-equals-rebuild*: after
+   any epoch sequence, the maintained store and factor graph must be
+   indistinguishable (up to fact ids and factor order) from a from-scratch
+   expansion over the surviving base facts. *)
+
+module Table = Relational.Table
+module Storage = Kb.Storage
+module Gamma = Kb.Gamma
+module Fgraph = Factor_graph.Fgraph
+module Dred = Incremental.Dred
+module Provenance = Incremental.Provenance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- key-based views (ids differ between maintained and rebuilt) ------ *)
+
+let key_of pi id =
+  match Storage.row_of_id pi id with
+  | None -> Alcotest.failf "fact %d not in TΠ" id
+  | Some row ->
+    let t = Storage.table pi in
+    ( Table.get t row 1, Table.get t row 2, Table.get t row 3,
+      Table.get t row 4, Table.get t row 5 )
+
+(* Sorted (key, weight-or-None) list: the KB modulo fact ids. *)
+let fact_view kb =
+  let acc = ref [] in
+  Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      let w = if Table.is_null_weight w then None else Some w in
+      acc := ((r, x, c1, y, c2), w) :: !acc)
+    (Gamma.pi kb);
+  List.sort compare !acc
+
+(* Sorted factor multiset with ids replaced by keys: the graph modulo
+   fact ids and factor order. *)
+let factor_view kb graph =
+  let pi = Gamma.pi kb in
+  let acc = ref [] in
+  Fgraph.iter
+    (fun _ (i1, i2, i3, w) ->
+      let k i = if i = Fgraph.null then None else Some (key_of pi i) in
+      acc := (key_of pi i1, k i2, k i3, w) :: !acc)
+    graph;
+  List.sort compare !acc
+
+let check_same_state msg (kb_a, graph_a) (kb_b, graph_b) =
+  check_int (msg ^ ": fact count")
+    (List.length (fact_view kb_b))
+    (List.length (fact_view kb_a));
+  check_bool (msg ^ ": facts") true (fact_view kb_b = fact_view kb_a);
+  check_int
+    (msg ^ ": factor count")
+    (Fgraph.size graph_b) (Fgraph.size graph_a);
+  check_bool
+    (msg ^ ": factors")
+    true
+    (factor_view kb_b graph_b = factor_view kb_a graph_a)
+
+(* From-scratch reference: expand the given base facts under the given
+   rules, sharing [proto]'s dictionaries so keys are comparable. *)
+let rebuild proto rules base =
+  let kb = Gamma.create_like proto in
+  List.iter (Gamma.add_rule kb) rules;
+  List.iter
+    (fun ((r, x, c1, y, c2), w) ->
+      ignore (Gamma.add_fact kb ~r ~x ~c1 ~y ~c2 ~w))
+    base;
+  let result = Grounding.Ground.run kb in
+  (kb, result.Grounding.Ground.graph)
+
+let base_facts kb =
+  let acc = ref [] in
+  Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w ->
+      if not (Table.is_null_weight w) then
+        acc := ((r, x, c1, y, c2), w) :: !acc)
+    (Gamma.pi kb);
+  List.rev !acc
+
+let expand_dred kb =
+  let result = Grounding.Ground.run kb in
+  Dred.create kb result.Grounding.Ground.graph
+
+(* --- worked example ---------------------------------------------------- *)
+
+let test_retract_worked_example () =
+  let kb, _, f2 = Tutil.ruth_gruber_kb () in
+  let rules = Gamma.rules kb in
+  let base = base_facts kb in
+  let st = expand_dred kb in
+  check_int "all 8 factors indexed" 8
+    (Provenance.synced_factors (Dred.provenance st));
+  let f2_key = key_of (Gamma.pi kb) f2 in
+  let stats = Dred.retract st [ f2 ] in
+  check_int "one fact requested" 1 stats.Dred.requested;
+  check_bool "cone is not empty" false stats.Dred.empty_cone;
+  (* born_in(Brooklyn) supports live_in/grow_up_in(Brooklyn) and both
+     located_in derivations; none survives it. *)
+  check_bool "cascade deleted" true (stats.Dred.overdeleted >= 3);
+  let reference =
+    rebuild kb rules (List.filter (fun (k, _) -> k <> f2_key) base)
+  in
+  check_same_state "retract born_in(Brooklyn)"
+    (Dred.kb st, Dred.graph st)
+    reference
+
+let test_rederive_keeps_supported_facts () =
+  (* Two independent derivations of the same head: retracting one body
+     fact must keep the head alive (DRed's rederivation step). *)
+  let kb = Gamma.create () in
+  ignore
+    (Kb.Loader.load_rules kb
+       [ "1.0 p(x:A, y:B) :- q(x, y)"; "1.0 p(x:A, y:B) :- s(x, y)" ]);
+  let add rel w =
+    Gamma.add_fact_by_name kb ~r:rel ~x:"a" ~c1:"A" ~y:"b" ~c2:"B" ~w
+  in
+  let fq = add "q" 0.9 in
+  let _fs = add "s" 0.8 in
+  let st = expand_dred kb in
+  let p = Gamma.relation kb "p" in
+  let pid =
+    Storage.find (Gamma.pi kb) ~r:p ~x:(Gamma.entity kb "a")
+      ~c1:(Gamma.cls kb "A") ~y:(Gamma.entity kb "b") ~c2:(Gamma.cls kb "B")
+    |> Option.get
+  in
+  let stats = Dred.retract st [ fq ] in
+  check_int "only q deleted" 1 stats.Dred.overdeleted;
+  check_int "p rederived from s" 1 stats.Dred.rederived;
+  check_bool "p still present" true
+    (Storage.row_of_id (Gamma.pi kb) pid <> None);
+  (* q's singleton and q→p clause factor are gone; s's factors stay. *)
+  check_int "two factors removed" 2 stats.Dred.factors_removed;
+  let reference = rebuild kb (Gamma.rules kb) (List.tl (base_facts kb)) in
+  ignore reference;
+  check_same_state "retract q(a,b)"
+    (Dred.kb st, Dred.graph st)
+    (rebuild kb (Gamma.rules kb) (base_facts kb))
+
+let test_demotion () =
+  (* A retracted *base* fact that is still derivable survives as an
+     inferred fact: id kept, singleton and extraction weight dropped. *)
+  let kb = Gamma.create () in
+  ignore (Kb.Loader.load_rules kb [ "1.0 p(x:A, y:B) :- q(x, y)" ]);
+  let fq =
+    Gamma.add_fact_by_name kb ~r:"q" ~x:"a" ~c1:"A" ~y:"b" ~c2:"B" ~w:0.9
+  in
+  let fp =
+    Gamma.add_fact_by_name kb ~r:"p" ~x:"a" ~c1:"A" ~y:"b" ~c2:"B" ~w:0.7
+  in
+  let st = expand_dred kb in
+  check_bool "p starts as base" true
+    (Provenance.is_base (Dred.provenance st) fp);
+  let stats = Dred.retract st [ fp ] in
+  check_int "nothing deleted" 0 stats.Dred.overdeleted;
+  check_int "one demotion" 1 stats.Dred.demoted;
+  check_int "singleton spliced out" 1 stats.Dred.factors_removed;
+  check_bool "p no longer base" false
+    (Provenance.is_base (Dred.provenance st) fp);
+  (match Storage.row_of_id (Gamma.pi kb) fp with
+  | Some row ->
+    check_bool "weight nulled" true
+      (Table.is_null_weight (Table.weight (Storage.table (Gamma.pi kb)) row))
+  | None -> Alcotest.fail "demoted fact must survive");
+  ignore fq;
+  let reference =
+    rebuild kb (Gamma.rules kb)
+      [ ( ( Gamma.relation kb "q", Gamma.entity kb "a", Gamma.cls kb "A",
+            Gamma.entity kb "b", Gamma.cls kb "B" ), 0.9 ) ]
+  in
+  check_same_state "demotion" (Dred.kb st, Dred.graph st) reference
+
+let test_empty_cone_fast_path () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let st = expand_dred kb in
+  (* Inferred located_in facts support nothing downstream. *)
+  let loc = Gamma.relation kb "located_in" in
+  let leaf = ref None in
+  Storage.iter
+    (fun ~id ~r ~x:_ ~c1:_ ~y:_ ~c2:_ ~w:_ -> if r = loc then leaf := Some id)
+    (Gamma.pi kb);
+  let leaf = Option.get !leaf in
+  (* Without a ban, an inferred fact whose derivations all survive is
+     simply rederived — retraction of derived facts is only permanent
+     when their keys are banned. *)
+  let stats = Dred.retract st [ leaf ] in
+  check_bool "fast path taken" true stats.Dred.empty_cone;
+  check_int "rederived on the spot" 1 stats.Dred.rederived;
+  check_int "nothing deleted" 0 stats.Dred.overdeleted;
+  let stats = Dred.retract ~ban:true st [ leaf ] in
+  check_bool "fast path taken again" true stats.Dred.empty_cone;
+  check_int "just the leaf deleted" 1 stats.Dred.overdeleted;
+  check_int "cone is the seed alone" 1 stats.Dred.cone;
+  check_bool "leaf gone" true (Storage.row_of_id (Gamma.pi kb) leaf = None)
+
+let test_banned_retraction_blocks_reingest () =
+  let kb, f1, _ = Tutil.ruth_gruber_kb () in
+  let st = expand_dred kb in
+  let key = key_of (Gamma.pi kb) f1 in
+  let stats = Dred.retract ~ban:true st [ f1 ] in
+  check_bool "deleted" true (stats.Dred.overdeleted >= 1);
+  let r, x, c1, y, c2 = key in
+  check_bool "key banned" true
+    (Storage.is_banned (Gamma.pi kb) ~r ~x ~c1 ~y ~c2);
+  let ins = Dred.ingest st [ (r, x, c1, y, c2, 0.96) ] in
+  check_int "banned key not re-inserted" 0 ins.Dred.inserted;
+  check_int "nothing derived" 0 ins.Dred.derived;
+  check_bool "still absent" true
+    (Storage.find (Gamma.pi kb) ~r ~x ~c1 ~y ~c2 = None)
+
+(* --- ingest: incremental closure + factor maintenance ----------------- *)
+
+let test_ingest_extends_factors () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let rules = Gamma.rules kb in
+  let st = expand_dred kb in
+  let f =
+    ( ( Gamma.relation kb "born_in", Gamma.entity kb "Phil",
+        Gamma.cls kb "W", Gamma.entity kb "Queens", Gamma.cls kb "P" ), 0.8 )
+  in
+  let (r, x, c1, y, c2), w = f in
+  let ins = Dred.ingest st [ (r, x, c1, y, c2, w) ] in
+  check_int "one inserted" 1 ins.Dred.inserted;
+  check_int "two consequences (P-typed rules)" 2 ins.Dred.derived;
+  check_bool "factors appended" true (ins.Dred.new_factors >= 3);
+  check_bool "closure converged" true ins.Dred.converged;
+  let reference = rebuild kb rules (base_facts kb) in
+  check_same_state "ingest Phil" (Dred.kb st, Dred.graph st) reference;
+  (* Duplicate ingest is a no-op. *)
+  let ins = Dred.ingest st [ (r, x, c1, y, c2, w) ] in
+  check_int "dup insert" 0 ins.Dred.inserted;
+  check_int "dup factors" 0 ins.Dred.new_factors
+
+let test_promotion () =
+  (* An extraction arriving for an already-inferred fact keeps the fact id
+     and gains a singleton. *)
+  let kb = Gamma.create () in
+  ignore (Kb.Loader.load_rules kb [ "1.0 p(x:A, y:B) :- q(x, y)" ]);
+  ignore
+    (Gamma.add_fact_by_name kb ~r:"q" ~x:"a" ~c1:"A" ~y:"b" ~c2:"B" ~w:0.9);
+  let st = expand_dred kb in
+  let p = Gamma.relation kb "p" in
+  let key =
+    ( p, Gamma.entity kb "a", Gamma.cls kb "A", Gamma.entity kb "b",
+      Gamma.cls kb "B" )
+  in
+  let r, x, c1, y, c2 = key in
+  let pid = Storage.find (Gamma.pi kb) ~r ~x ~c1 ~y ~c2 |> Option.get in
+  check_bool "p starts inferred" false
+    (Provenance.is_base (Dred.provenance st) pid);
+  let ins = Dred.ingest st [ (r, x, c1, y, c2, 0.6) ] in
+  check_int "promoted, not inserted" 0 ins.Dred.inserted;
+  check_int "one promotion" 1 ins.Dred.promoted;
+  check_int "one new singleton" 1 ins.Dred.new_factors;
+  check_bool "now base" true (Provenance.is_base (Dred.provenance st) pid);
+  let reference = rebuild kb (Gamma.rules kb) (base_facts kb) in
+  check_same_state "promotion" (Dred.kb st, Dred.graph st) reference
+
+(* --- rule retraction --------------------------------------------------- *)
+
+let test_retract_rules () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let live = Gamma.relation kb "live_in" in
+  let st = expand_dred kb in
+  let stats =
+    Dred.retract_rules st ~remove:(fun c -> c.Mln.Clause.head_rel = live)
+  in
+  (* Both live_in facts die; located_in survives via the born_in rule. *)
+  check_int "live_in facts deleted" 2 stats.Dred.overdeleted;
+  check_int "located_in rederived" 1 stats.Dred.rederived;
+  let kept = Gamma.rules kb in
+  check_int "two rules removed" 4 (List.length kept);
+  let reference = rebuild kb kept (base_facts kb) in
+  check_same_state "retract live_in rules" (Dred.kb st, Dred.graph st)
+    reference
+
+let test_extend_rules () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let st = expand_dred kb in
+  let new_rule =
+    (* Parse through a scratch KB sharing the dictionaries, so the clause
+       can be handed to [extend_rules] without side effects on [kb]. *)
+    let scratch = Gamma.create_like kb in
+    ignore
+      (Kb.Loader.load_rules scratch [ "0.9 visited(x:W, y:C) :- live_in(x, y)" ]);
+    List.hd (Gamma.rules scratch)
+  in
+  let ins = Dred.extend_rules st [ new_rule ] in
+  check_int "one new head" 1 ins.Dred.derived;
+  let reference = rebuild kb (Gamma.rules kb) (base_facts kb) in
+  check_same_state "extend rules" (Dred.kb st, Dred.graph st) reference;
+  (* reexpand on the now-closed store is a no-op. *)
+  let ins = Dred.reexpand st in
+  check_int "reexpand derives nothing" 0 ins.Dred.derived;
+  check_int "reexpand adds no factors" 0 ins.Dred.new_factors
+
+(* --- randomized differentials ------------------------------------------ *)
+
+(* Random epoch streams over the synthetic ReVerb-Sherlock workload:
+   whatever the interleaving of ingests and retractions, the final state
+   must equal a from-scratch expansion over the surviving base facts. *)
+
+let tiny_workload seed =
+  Workload.Reverb_sherlock.generate
+    { Workload.Reverb_sherlock.default_config with scale = 0.003; seed }
+
+let prop_retract_equals_rebuild =
+  Tutil.qcheck_case ~count:15 "retract ≡ rebuild (random subsets)"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, nkill) ->
+      let g = tiny_workload (1 + seed) in
+      let kb = Workload.Reverb_sherlock.kb g in
+      let rules = Gamma.rules kb in
+      let base = base_facts kb in
+      let st = expand_dred kb in
+      let pi = Gamma.pi kb in
+      (* Retract a pseudo-random subset of the *base* facts. *)
+      let ids = ref [] in
+      Storage.iter
+        (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+          if not (Table.is_null_weight w) then ids := id :: !ids)
+        pi;
+      let ids = Array.of_list (List.rev !ids) in
+      let rng = Tutil.rng (seed * 31 + nkill) in
+      let kill = 1 + (nkill mod 7) in
+      let victims =
+        List.init kill (fun _ -> ids.(Random.State.int rng (Array.length ids)))
+        |> List.sort_uniq compare
+      in
+      let victim_keys = List.map (key_of pi) victims in
+      ignore (Dred.retract st victims);
+      let survivors =
+        List.filter (fun (k, _) -> not (List.mem k victim_keys)) base
+      in
+      let ref_kb, ref_graph = rebuild kb rules survivors in
+      fact_view (Dred.kb st) = fact_view ref_kb
+      && factor_view (Dred.kb st) (Dred.graph st)
+         = factor_view ref_kb ref_graph)
+
+let prop_interleaved_epochs =
+  Tutil.qcheck_case ~count:10 "ingest/retract interleaving ≡ rebuild"
+    QCheck.(pair small_nat (list_of_size Gen.(1 -- 6) small_nat))
+    (fun (seed, ops) ->
+      let g = tiny_workload (50 + seed) in
+      let kb = Workload.Reverb_sherlock.kb g in
+      let rules = Gamma.rules kb in
+      let st = expand_dred kb in
+      let pi = Gamma.pi kb in
+      let rng = Workload.Rng.create (seed + 7) in
+      let trng = Tutil.rng (seed * 17 + 3) in
+      (* The oracle: which keys are currently base extractions, and with
+         what weight (first extraction wins; retraction clears). *)
+      let oracle : (int * int * int * int * int, float) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter (fun (k, w) -> Hashtbl.replace oracle k w) (base_facts kb);
+      List.iteri
+        (fun i op ->
+          if op mod 2 = 0 then begin
+            (* ingest a small batch of random facts *)
+            let batch =
+              List.init
+                (1 + (op mod 3))
+                (fun j ->
+                  let r, x, c1, y, c2 =
+                    Workload.Reverb_sherlock.random_fact g rng
+                  in
+                  (r, x, c1, y, c2, 0.5 +. (0.01 *. float (i + j))))
+            in
+            List.iter
+              (fun (r, x, c1, y, c2, w) ->
+                if not (Hashtbl.mem oracle (r, x, c1, y, c2)) then
+                  Hashtbl.replace oracle (r, x, c1, y, c2) w)
+              batch;
+            ignore (Dred.ingest st batch)
+          end
+          else begin
+            (* retract a random present base fact *)
+            let ids = ref [] in
+            Storage.iter
+              (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w ->
+                if not (Table.is_null_weight w) then ids := id :: !ids)
+              pi;
+            let ids = Array.of_list !ids in
+            if Array.length ids > 0 then begin
+              let victim = ids.(Random.State.int trng (Array.length ids)) in
+              Hashtbl.remove oracle (key_of pi victim);
+              ignore (Dred.retract st [ victim ])
+            end
+          end)
+        ops;
+      let survivors =
+        Hashtbl.fold (fun k w acc -> (k, w) :: acc) oracle []
+        |> List.sort compare
+      in
+      let ref_kb, ref_graph = rebuild kb rules survivors in
+      fact_view (Dred.kb st) = fact_view ref_kb
+      && factor_view (Dred.kb st) (Dred.graph st)
+         = factor_view ref_kb ref_graph)
+
+(* --- sessions ----------------------------------------------------------- *)
+
+let session_of_rg ?(warm_start = true) () =
+  let kb, f1, f2 = Tutil.ruth_gruber_kb () in
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        (Probkb.Config.make
+           ~inference:
+             (Some
+                (Inference.Marginal.Chromatic
+                   { Inference.Gibbs.burn_in = 20; samples = 100; seed = 11 }))
+           ~warm_start ())
+      kb
+  in
+  (Probkb.Engine.session engine, kb, f1, f2)
+
+let test_session_epochs () =
+  let s, kb, _, f2 = session_of_rg () in
+  check_int "epoch 0 after open" 0 (Probkb.Engine.Session.epoch s);
+  let st = Probkb.Engine.Session.refresh_marginals s |> Option.get in
+  check_int "refresh is an epoch" 1 st.Probkb.Engine.Session.epoch;
+  let v =
+    Probkb.Engine.Session.query s ~r:(Gamma.relation kb "born_in")
+      ~x:(Gamma.entity kb "Ruth Gruber") ~c1:(Gamma.cls kb "W")
+      ~y:(Gamma.entity kb "New York City") ~c2:(Gamma.cls kb "C")
+    |> Option.get
+  in
+  check_bool "base fact" true v.Probkb.Engine.Session.base;
+  check_bool "marginal available after refresh" true
+    (v.Probkb.Engine.Session.marginal <> None);
+  let st = Probkb.Engine.Session.retract s [ f2 ] in
+  check_bool "retraction shrank the store" true
+    (st.Probkb.Engine.Session.retracted >= 3);
+  let ledger = Probkb.Engine.Session.history s in
+  check_int "two epochs in the ledger" 2 (List.length ledger);
+  check_bool "deleted fact unknown to query" true
+    (Probkb.Engine.Session.marginal s f2 = None)
+
+let test_session_warm_start_determinism () =
+  (* The same epoch history must give bit-identical marginals at any pool
+     size; warm-started refreshes draw fallback inits from a
+     single-threaded seed stream, so this exercises exactly the
+     [?init] path of the chromatic sampler. *)
+  let run pool_size =
+    Pool.set_default_size pool_size;
+    Fun.protect
+      ~finally:(fun () -> Pool.set_default_size (Pool.env_domains ()))
+      (fun () ->
+        let s, kb, _, f2 = session_of_rg () in
+        ignore (Probkb.Engine.Session.refresh_marginals s);
+        ignore (Probkb.Engine.Session.retract s [ f2 ]);
+        let phil =
+          ( Gamma.relation kb "born_in", Gamma.entity kb "Phil",
+            Gamma.cls kb "W", Gamma.entity kb "Queens", Gamma.cls kb "P" )
+        in
+        let r, x, c1, y, c2 = phil in
+        ignore (Probkb.Engine.Session.ingest s [ (r, x, c1, y, c2, 0.8) ]);
+        ignore (Probkb.Engine.Session.refresh_marginals s);
+        let acc = ref [] in
+        Storage.iter
+          (fun ~id ~r:_ ~x:_ ~c1:_ ~y:_ ~c2:_ ~w:_ ->
+            match Probkb.Engine.Session.marginal s id with
+            | Some p -> acc := (key_of (Gamma.pi kb) id, p) :: !acc
+            | None -> ())
+          (Gamma.pi kb);
+        List.sort compare !acc)
+  in
+  let m1 = run 1 and m4 = run 4 in
+  check_int "same marginal count" (List.length m1) (List.length m4);
+  List.iter2
+    (fun (k1, p1) (k4, p4) ->
+      check_bool "same key" true (k1 = k4);
+      check_bool "bit-identical marginal" true (Float.equal p1 p4))
+    m1 m4
+
+let test_session_constraints_via_dred () =
+  (* Session ingest enforces Ω as a banned DRed retraction: the violating
+     facts *and their derived consequences* disappear. *)
+  let kb = Gamma.create () in
+  ignore (Kb.Loader.load_rules kb [ "1.0 p(x:A, y:B) :- q(x, y)" ]);
+  ignore
+    (Gamma.add_fact_by_name kb ~r:"q" ~x:"a" ~c1:"A" ~y:"b1" ~c2:"B" ~w:0.9);
+  Gamma.add_funcon kb
+    (Kb.Funcon.make ~rel:(Gamma.relation kb "q") ~ftype:Kb.Funcon.Type_I
+       ~degree:1);
+  let engine =
+    Probkb.Engine.create
+      ~config:
+        (Probkb.Config.make ~inference:None ~semantic_constraints:true ())
+      kb
+  in
+  let s = Probkb.Engine.session engine in
+  check_int "clean KB expands to q + p" 2 (Storage.size (Gamma.pi kb));
+  (* The second q(a, ·) violates the degree-1 constraint. *)
+  let st =
+    Probkb.Engine.Session.ingest s
+      [
+        ( Gamma.relation kb "q", Gamma.entity kb "a", Gamma.cls kb "A",
+          Gamma.entity kb "b2", Gamma.cls kb "B", 0.9 );
+      ]
+  in
+  check_int "violation detected" 1 st.Probkb.Engine.Session.violations;
+  (* Both q facts and both derived p facts are gone. *)
+  check_int "violating group and its cone removed" 0
+    (Storage.size (Gamma.pi kb));
+  check_int "graph emptied" 0 (Fgraph.size (Probkb.Engine.Session.graph s))
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "dred",
+        [
+          Alcotest.test_case "retract worked example" `Quick
+            test_retract_worked_example;
+          Alcotest.test_case "rederive keeps supported facts" `Quick
+            test_rederive_keeps_supported_facts;
+          Alcotest.test_case "demotion" `Quick test_demotion;
+          Alcotest.test_case "empty-cone fast path" `Quick
+            test_empty_cone_fast_path;
+          Alcotest.test_case "ban blocks re-ingest" `Quick
+            test_banned_retraction_blocks_reingest;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "ingest extends factors" `Quick
+            test_ingest_extends_factors;
+          Alcotest.test_case "promotion" `Quick test_promotion;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "retract rules" `Quick test_retract_rules;
+          Alcotest.test_case "extend rules" `Quick test_extend_rules;
+        ] );
+      ( "differential",
+        [ prop_retract_equals_rebuild; prop_interleaved_epochs ] );
+      ( "session",
+        [
+          Alcotest.test_case "epoch ledger" `Quick test_session_epochs;
+          Alcotest.test_case "warm-start pool determinism" `Quick
+            test_session_warm_start_determinism;
+          Alcotest.test_case "constraints via DRed" `Quick
+            test_session_constraints_via_dred;
+        ] );
+    ]

@@ -60,6 +60,37 @@ let test_storage_delete_preserves_ids () =
   Alcotest.(check (option int)) "row_of_id after delete" None
     (Storage.row_of_id s 0)
 
+let test_storage_batched_delete () =
+  let s = Storage.create () in
+  for i = 0 to 19 do
+    ignore (Storage.add s ~r:i ~x:0 ~c1:0 ~y:0 ~c2:0 ~w:1.0)
+  done;
+  check_int "no rebuilds yet" 0 (Storage.index_rebuilds s);
+  (* One batch of tombstones costs exactly one compaction + rebuild. *)
+  let removed = Storage.delete_ids s [ 0; 2; 4; 6; 8; 10 ] in
+  check_int "batch removed" 6 removed;
+  check_int "one rebuild for the whole batch" 1 (Storage.index_rebuilds s);
+  (* A pending tombstone hides the fact from [find] but keeps the row. *)
+  Storage.mark_deleted s 1;
+  check_int "pending" 1 (Storage.pending_deletes s);
+  Alcotest.(check (option int)) "tombstoned fact invisible to find" None
+    (Storage.find s ~r:1 ~x:0 ~c1:0 ~y:0 ~c2:0);
+  check_int "row still physical" 14 (Storage.size s);
+  check_int "still one rebuild" 1 (Storage.index_rebuilds s);
+  check_int "flush removes it" 1 (Storage.flush_deletes s);
+  check_int "second rebuild" 2 (Storage.index_rebuilds s);
+  check_int "empty flush is free" 0 (Storage.flush_deletes s);
+  check_int "no rebuild on empty flush" 2 (Storage.index_rebuilds s);
+  (* delete_where is one batch too. *)
+  let removed = Storage.delete_where s (fun t row -> Table.get t row 1 < 9) in
+  check_int "predicate batch" 3 removed;
+  check_int "one more rebuild" 3 (Storage.index_rebuilds s);
+  (* ban_id bans a live fact's key without deleting it. *)
+  Storage.ban_id s 11;
+  check_int "fact 11 still present" 10 (Storage.size s);
+  Alcotest.(check bool) "key banned" true
+    (Storage.is_banned s ~r:11 ~x:0 ~c1:0 ~y:0 ~c2:0)
+
 let test_storage_copy_independent () =
   let s = Storage.create () in
   ignore (Storage.add s ~r:1 ~x:1 ~c1:1 ~y:1 ~c2:1 ~w:1.0);
@@ -274,6 +305,8 @@ let () =
           Alcotest.test_case "merge_new" `Quick test_storage_merge_new;
           Alcotest.test_case "delete preserves ids" `Quick
             test_storage_delete_preserves_ids;
+          Alcotest.test_case "batched delete" `Quick
+            test_storage_batched_delete;
           Alcotest.test_case "copy" `Quick test_storage_copy_independent;
           test_storage_merge_qcheck;
         ] );
