@@ -92,6 +92,8 @@ type options = {
       (* incremental artifact path override *)
   mutable compare_incremental : string option;
       (* baseline BENCH_incremental.json *)
+  mutable out_local : string option; (* local artifact path override *)
+  mutable compare_local : string option; (* baseline BENCH_local.json *)
 }
 
 let options =
@@ -106,6 +108,8 @@ let options =
     compare_pipeline = None;
     out_incremental = None;
     compare_incremental = None;
+    out_local = None;
+    compare_local = None;
   }
 
 (* The parallel experiment's artifact path ([--out] overrides the
@@ -119,6 +123,9 @@ let pipeline_out () =
 (* Same for the incremental experiment ([--out-incremental]). *)
 let incremental_out () =
   Option.value options.out_incremental ~default:"BENCH_incremental.json"
+
+(* Same for the local-grounding experiment ([--out-local]). *)
+let local_out () = Option.value options.out_local ~default:"BENCH_local.json"
 
 let scale_or default =
   match options.scale with

@@ -1,0 +1,234 @@
+(* Query-driven local grounding: single-fact query latency through
+   [Engine.query_local] (backward walk + neighbourhood inference) vs the
+   full-closure route (ground every factor, compile, infer the whole
+   graph), per pool size, on an already-closed ReVerb-Sherlock [TΠ].
+
+   Both routes start from the same closed fact table — the walk's
+   documented precondition — so the comparison isolates exactly what the
+   local path avoids: materializing [TΦ] and inferring over all of it.
+   At an unbounded budget the walk's subgraph is identity-checked, factor
+   row for factor row, against a plain BFS over the materialized full
+   graph; a budget sweep then records how the latency/truncation
+   trade-off moves as the node cap tightens.
+
+   Writes BENCH_local.json with the same [stages.{stage}.seconds.{d}]
+   shape as BENCH_parallel.json, so [Compare] gates it with the same
+   implementation ("full" = one full-closure answer, "local" = all local
+   queries end to end). *)
+
+open Bench_util
+module Rng = Workload.Rng
+module Gamma = Kb.Gamma
+module Storage = Kb.Storage
+module Fgraph = Factor_graph.Fgraph
+module Local = Grounding.Local
+
+let stage_names = [ "full"; "local" ]
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+
+(* Factor rows in table order (canonical for Local results). *)
+let rows g =
+  let acc = ref [] in
+  Fgraph.iter (fun _ (i1, i2, i3, w) -> acc := (i1, i2, i3, w) :: !acc) g;
+  List.rev !acc
+
+let run () =
+  section "Local grounding — point-query latency vs the full closure";
+  let scale = scale_or 0.03 in
+  let domains = if options.quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  let n_queries = if options.quick then 100 else 300 in
+  let samples = if options.quick then 100 else 500 in
+  let g =
+    Workload.Reverb_sherlock.generate
+      { Workload.Reverb_sherlock.default_config with scale }
+  in
+  let proto = Workload.Reverb_sherlock.kb g in
+  let gibbs = { Inference.Gibbs.default_options with samples } in
+  let times = Hashtbl.create 16 in
+  let p50s = Hashtbl.create 16 in
+  let identical = ref true in
+  let sweep = ref [] in
+  let query_keys = ref [] in
+  List.iter
+    (fun d ->
+      Pool.set_default_size d;
+      (* Shared precondition of both routes: the closed fact table. *)
+      let kb = copy_kb proto in
+      ignore (Grounding.Ground.closure kb);
+      let pi = Gamma.pi kb in
+      if !query_keys = [] then begin
+        (* One deterministic query set (keys, not ids) replayed at every
+           pool size and budget. *)
+        let all = ref [] in
+        Storage.iter
+          (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> all := (r, x, c1, y, c2) :: !all)
+          pi;
+        let a = Array.of_list (List.rev !all) in
+        let rng = Rng.create 42 in
+        Rng.shuffle rng a;
+        query_keys :=
+          Array.to_list (Array.sub a 0 (min n_queries (Array.length a)))
+      end;
+      let keys = !query_keys in
+      (* Full-closure route: materialize TΦ, compile, infer everything —
+         the price of one point query without local grounding. *)
+      let prepared = Grounding.Queries.prepare (Gamma.partitions kb) in
+      let full_graph = ref None in
+      let (), full_s =
+        time (fun () ->
+            let graph = Fgraph.create () in
+            List.iter
+              (fun pat ->
+                ignore (Grounding.Queries.ground_factors prepared pat pi graph))
+              Mln.Pattern.all;
+            ignore (Grounding.Queries.singleton_factors pi graph);
+            let c = Fgraph.compile graph in
+            ignore (Inference.Chromatic.marginals ~options:gibbs c);
+            full_graph := Some graph)
+      in
+      (* Local route: one backward walk + neighbourhood solve per query. *)
+      let engine =
+        Probkb.Engine.create
+          ~config:
+            (Probkb.Config.make
+               ~inference:(Some (Inference.Marginal.Chromatic gibbs))
+               ())
+          kb
+      in
+      let lat = ref [] in
+      let (), local_s =
+        time (fun () ->
+            List.iter
+              (fun (r, x, c1, y, c2) ->
+                let _, s =
+                  time (fun () ->
+                      Probkb.Engine.query_local engine ~r ~x ~c1 ~y ~c2)
+                in
+                lat := s :: !lat)
+              keys)
+      in
+      let p50 = percentile 0.5 !lat in
+      Hashtbl.replace times ("full", d) full_s;
+      Hashtbl.replace times ("local", d) local_s;
+      Hashtbl.replace p50s d p50;
+      measured
+        "domains=%d  full closure %7.3fs | local p50 %.6fs p95 %.6fs (%.0fx)"
+        d full_s p50
+        (percentile 0.95 !lat)
+        (full_s /. Float.max 1e-9 p50);
+      if d = List.hd domains then begin
+        let graph = Option.get !full_graph in
+        (* Identity: the unbounded backward walk and a BFS of the
+           materialized graph must emit the same canonical subgraph. *)
+        let bsrc = Local.of_kb prepared pi in
+        let gsrc = Local.of_adjacency (Local.adjacency_of_graph graph) in
+        List.iter
+          (fun (r, x, c1, y, c2) ->
+            match Storage.find pi ~r ~x ~c1 ~y ~c2 with
+            | None -> identical := false
+            | Some q ->
+              let rb = Local.run bsrc ~query:q in
+              let rg = Local.run gsrc ~query:q in
+              if
+                rb.Local.truncated || rg.Local.truncated
+                || rows rb.Local.graph <> rows rg.Local.graph
+              then identical := false)
+          keys;
+        measured "unbounded walk = full-graph component on all %d queries: %b"
+          (List.length keys) !identical;
+        (* Budget sweep: how latency and truncation move with the cap. *)
+        List.iter
+          (fun cap ->
+            let budget =
+              match cap with
+              | None -> None
+              | Some max_facts -> Some (Local.budget ~max_facts ())
+            in
+            let lat = ref [] in
+            let interior = ref 0 and truncated = ref 0 in
+            List.iter
+              (fun (r, x, c1, y, c2) ->
+                let a, s =
+                  time (fun () ->
+                      Probkb.Engine.query_local ?budget engine ~r ~x ~c1 ~y
+                        ~c2)
+                in
+                lat := s :: !lat;
+                match a with
+                | Some a ->
+                  interior := !interior + a.Probkb.Engine.interior;
+                  if a.Probkb.Engine.truncated then incr truncated
+                | None -> ())
+              keys;
+            let n = List.length keys in
+            let p50 = percentile 0.5 !lat in
+            measured
+              "budget %-9s  p50 %.6fs  mean interior %5.1f  truncated %d/%d"
+              (match cap with None -> "unbounded" | Some c -> string_of_int c)
+              p50
+              (float_of_int !interior /. float_of_int n)
+              !truncated n;
+            sweep :=
+              Obs.Json.Obj
+                [
+                  ( "budget",
+                    match cap with
+                    | None -> Obs.Json.Null
+                    | Some c -> Obs.Json.Int c );
+                  ("p50_seconds", Obs.Json.Float p50);
+                  ( "mean_interior",
+                    Obs.Json.Float (float_of_int !interior /. float_of_int n)
+                  );
+                  ("truncated", Obs.Json.Int !truncated);
+                ]
+              :: !sweep)
+          [ Some 1; Some 4; Some 16; Some 64; None ]
+      end)
+    domains;
+  Pool.set_default_size (Pool.env_domains ());
+  let t stage d = Hashtbl.find times (stage, d) in
+  let oversubscribed d = d > host_cores in
+  let per_domain f = List.map (fun d -> (string_of_int d, f d)) domains in
+  let stage_json stage =
+    ( stage,
+      Obs.Json.Obj
+        [
+          ( "seconds",
+            Obs.Json.Obj (per_domain (fun d -> Obs.Json.Float (t stage d))) );
+          ( "oversubscribed",
+            Obs.Json.Obj (per_domain (fun d -> Obs.Json.Bool (oversubscribed d)))
+          );
+        ] )
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("meta", meta_json ~engine:"local");
+        ("domains", Obs.Json.List (List.map (fun d -> Obs.Json.Int d) domains));
+        ("scale", Obs.Json.Float scale);
+        ("host_cores", Obs.Json.Int host_cores);
+        ("queries", Obs.Json.Int (List.length !query_keys));
+        ("identical_results", Obs.Json.Bool !identical);
+        ( "p50_local_seconds",
+          Obs.Json.Obj
+            (per_domain (fun d -> Obs.Json.Float (Hashtbl.find p50s d))) );
+        ( "speedup_p50",
+          Obs.Json.Obj
+            (per_domain (fun d ->
+                 Obs.Json.Float
+                   (t "full" d /. Float.max 1e-9 (Hashtbl.find p50s d)))) );
+        ("budget_sweep", Obs.Json.List (List.rev !sweep));
+        ("stages", Obs.Json.Obj (List.map stage_json stage_names));
+      ]
+  in
+  let out = local_out () in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_pretty_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" out

@@ -22,6 +22,7 @@ let all_experiments =
     ("parallel", Exp_perf.parallel);
     ("pipeline", Exp_pipeline.run);
     ("incremental", Exp_incremental.run);
+    ("local", Exp_local.run);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);
@@ -66,6 +67,14 @@ let () =
         Arg.String (fun p -> options.compare_incremental <- Some p),
         "BASELINE diff the fresh incremental artifact against this \
          BENCH_incremental.json; exit non-zero on a >25% regression" );
+      ( "--out-local",
+        Arg.String (fun p -> options.out_local <- Some p),
+        "FILE write the local-grounding experiment's artifact here instead \
+         of BENCH_local.json" );
+      ( "--compare-local",
+        Arg.String (fun p -> options.compare_local <- Some p),
+        "BASELINE diff the fresh local-grounding artifact against this \
+         BENCH_local.json; exit non-zero on a >25% regression" );
     ]
   in
   Arg.parse spec
@@ -114,5 +123,8 @@ let () =
     + (match options.compare_incremental with
       | None -> 0
       | Some baseline -> gate "incremental" baseline (incremental_out ()))
+    + (match options.compare_local with
+      | None -> 0
+      | Some baseline -> gate "local" baseline (local_out ()))
   in
   if regressions > 0 then exit 1

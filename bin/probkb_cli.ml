@@ -707,6 +707,200 @@ let session_cmd =
       const session_run $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
       $ theta_arg $ iterations_arg $ samples $ verbose_arg)
 
+(* --- query --- *)
+
+(* Answer one point query.  With --local, ground only the query's
+   neighbourhood backward from the fact (no factor graph is ever
+   materialized); without it, run the full pipeline for comparison.
+   Stdout carries a single JSON document either way. *)
+
+let query_run facts rules constraints sc theta iterations samples key local
+    budget max_hops decay min_influence verbose =
+  setup_logs verbose;
+  let kb = load_kb facts rules constraints in
+  match String.split_on_char ',' key with
+  | [ r; x; c1; y; c2 ] ->
+    let r = Kb.Gamma.relation kb (String.trim r)
+    and x = Kb.Gamma.entity kb (String.trim x)
+    and c1 = Kb.Gamma.cls kb (String.trim c1)
+    and y = Kb.Gamma.entity kb (String.trim y)
+    and c2 = Kb.Gamma.cls kb (String.trim c2) in
+    let inference =
+      Some
+        (Inference.Marginal.Chromatic
+           { Inference.Gibbs.default_options with samples })
+    in
+    let engine =
+      Probkb.Engine.create
+        ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference ())
+        kb
+    in
+    let seconds_json ~ground ~infer =
+      Obs.Json.Obj
+        [
+          ("ground", Obs.Json.Float ground); ("infer", Obs.Json.Float infer);
+        ]
+    in
+    let doc =
+      if local then begin
+        (* Fact closure only — the backward walk needs the fact table
+           closed under the rules, but no factor graph. *)
+        let hook =
+          if sc then Some (Quality.Semantic.hook (Kb.Gamma.omega kb))
+          else None
+        in
+        ignore
+          (Grounding.Ground.closure
+             ~options:
+               {
+                 Grounding.Ground.default_options with
+                 max_iterations = iterations;
+                 apply_constraints = hook;
+                 obs = Probkb.Engine.trace engine;
+               }
+             kb);
+        let budget =
+          match (budget, max_hops, decay, min_influence) with
+          | None, None, 1.0, 0.0 -> None
+          | _ ->
+            Some
+              (Grounding.Local.budget ?max_facts:budget ?max_hops ~decay
+                 ~min_influence ())
+        in
+        match Probkb.Engine.query_local ?budget engine ~r ~x ~c1 ~y ~c2 with
+        | None -> Obs.Json.Obj [ ("found", Obs.Json.Bool false) ]
+        | Some a ->
+          Obs.Json.Obj
+            [
+              ("found", Obs.Json.Bool true);
+              ("id", Obs.Json.Int a.Probkb.Engine.id);
+              ("marginal", Obs.Json.Float a.Probkb.Engine.marginal);
+              ( "method",
+                Obs.Json.String
+                  (if a.Probkb.Engine.enumerated then "local-exact"
+                   else "local-gibbs") );
+              ("interior", Obs.Json.Int a.Probkb.Engine.interior);
+              ("boundary", Obs.Json.Int a.Probkb.Engine.boundary);
+              ("hops", Obs.Json.Int a.Probkb.Engine.hops);
+              ("factors", Obs.Json.Int a.Probkb.Engine.factors);
+              ("pruned_mass", Obs.Json.Float a.Probkb.Engine.pruned_mass);
+              ("truncated", Obs.Json.Bool a.Probkb.Engine.truncated);
+              ( "seconds",
+                seconds_json ~ground:a.Probkb.Engine.ground_seconds
+                  ~infer:a.Probkb.Engine.infer_seconds );
+            ]
+      end
+      else begin
+        let t0 = Relational.Stats.now () in
+        let e = Probkb.Engine.expand engine in
+        let ground_seconds = Relational.Stats.now () -. t0 in
+        let t1 = Relational.Stats.now () in
+        let marginals = Probkb.Engine.infer engine e in
+        let infer_seconds = Relational.Stats.now () -. t1 in
+        match Kb.Storage.find (Kb.Gamma.pi kb) ~r ~x ~c1 ~y ~c2 with
+        | None -> Obs.Json.Obj [ ("found", Obs.Json.Bool false) ]
+        | Some id ->
+          let marginal =
+            match Hashtbl.find_opt marginals id with
+            | Some p -> Some p
+            | None -> (
+              (* A fact outside the factor graph: its stored weight (the
+                 extraction confidence) is the best available estimate. *)
+              match Kb.Storage.row_of_id (Kb.Gamma.pi kb) id with
+              | Some row ->
+                let w =
+                  Relational.Table.weight
+                    (Kb.Storage.table (Kb.Gamma.pi kb))
+                    row
+                in
+                if Relational.Table.is_null_weight w then None else Some w
+              | None -> None)
+          in
+          Obs.Json.Obj
+            [
+              ("found", Obs.Json.Bool true);
+              ("id", Obs.Json.Int id);
+              ( "marginal",
+                match marginal with
+                | Some p -> Obs.Json.Float p
+                | None -> Obs.Json.Null );
+              ("method", Obs.Json.String "full");
+              ("factors", Obs.Json.Int e.Probkb.Engine.n_factors);
+              ("seconds", seconds_json ~ground:ground_seconds ~infer:infer_seconds);
+            ]
+      end
+    in
+    print_endline (Obs.Json.to_string doc);
+    0
+  | _ ->
+    Format.eprintf "--key must be \"relation,x,C1,y,C2\" (comma-separated)@.";
+    1
+
+let query_cmd =
+  let key =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "key" ] ~docv:"KEY"
+          ~doc:"The queried fact, as \"relation,x,C1,y,C2\" (comma-separated).")
+  in
+  let local =
+    Arg.(
+      value & flag
+      & info [ "local" ]
+          ~doc:
+            "Answer by backward local grounding: walk the rules in reverse \
+             from the queried fact and solve only its neighbourhood, \
+             instead of grounding the whole KB.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Local-grounding frontier cap: expand at most N facts (query \
+             included); facts beyond the cap are clamped at the boundary.")
+  in
+  let max_hops =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-hops" ] ~docv:"N"
+          ~doc:"Stop the backward walk after N hops from the query.")
+  in
+  let decay =
+    Arg.(
+      value & opt float 1.0
+      & info [ "decay" ] ~docv:"D"
+          ~doc:
+            "Per-hop influence decay in (0, 1]; combined with \
+             $(b,--min-influence) it prunes low-influence frontier facts.")
+  in
+  let min_influence =
+    Arg.(
+      value & opt float 0.0
+      & info [ "min-influence" ] ~docv:"I"
+          ~doc:"Stop expanding once the hop influence D^hops falls below I.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 500
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Gibbs estimation sweeps (used when the neighbourhood is too \
+             large for exact enumeration).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Answer a point query; with $(b,--local), ground only the query's \
+          neighbourhood.")
+    Term.(
+      const query_run $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
+      $ theta_arg $ iterations_arg $ samples $ key $ local $ budget
+      $ max_hops $ decay $ min_influence $ verbose_arg)
+
 (* --- demo --- *)
 
 let demo () =
@@ -753,6 +947,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            generate_cmd; expand_cmd; infer_cmd; stats_cmd; sql_cmd;
-            analyze_cmd; session_cmd; demo_cmd;
+            generate_cmd; expand_cmd; infer_cmd; query_cmd; stats_cmd;
+            sql_cmd; analyze_cmd; session_cmd; demo_cmd;
           ]))

@@ -2,10 +2,22 @@ module Gamma = Kb.Gamma
 module Storage = Kb.Storage
 module Table = Relational.Table
 
-type t = { kb : Gamma.t; config : Config.t; trace : Obs.t }
+type t = {
+  kb : Gamma.t;
+  config : Config.t;
+  trace : Obs.t;
+  mutable local_source : Grounding.Local.source option;
+      (* lazily-built backward-walk source for [query_local]; dropped
+         whenever facts or rules change under it *)
+}
 
 let create ?(config = Config.default) kb =
-  { kb; config; trace = Obs.create ~config:config.Config.obs () }
+  {
+    kb;
+    config;
+    trace = Obs.create ~config:config.Config.obs ();
+    local_source = None;
+  }
 
 let kb t = t.kb
 let config t = t.config
@@ -43,6 +55,7 @@ let constraint_hook t =
   else None
 
 let expand t =
+  t.local_source <- None;
   Obs.with_ambient t.trace @@ fun () ->
   Obs.with_span t.trace "expand" ~cat:"engine" @@ fun () ->
   let rules_used =
@@ -153,6 +166,122 @@ let run t =
   let marginals, inference = infer_full t expansion in
   let marginals_stored = store_marginals t marginals in
   { expansion; marginals_stored; inference; obs = summary t }
+
+(* ------------------------------------------------------------------ *)
+(* Query-driven local grounding (point queries without the closure's
+   full factor graph).                                                 *)
+
+type local_answer = {
+  id : int;
+  marginal : float;
+  interior : int;
+  boundary : int;
+  hops : int;
+  factors : int;
+  pruned_mass : float;
+  truncated : bool;
+  enumerated : bool;
+  ground_seconds : float;
+  infer_seconds : float;
+}
+
+let sigmoid w = 1. /. (1. +. exp (-.w))
+
+let gibbs_options t =
+  match t.config.Config.inference with
+  | Some (Inference.Marginal.Gibbs o) | Some (Inference.Marginal.Chromatic o)
+    ->
+    o
+  | _ -> Inference.Gibbs.default_options
+
+let local_source t =
+  match t.local_source with
+  | Some s -> s
+  | None ->
+    let s =
+      Grounding.Local.of_kb
+        (Grounding.Queries.prepare (Gamma.partitions t.kb))
+        (Gamma.pi t.kb)
+    in
+    t.local_source <- Some s;
+    s
+
+(* Shared solve path: local grounding walk → boundary clamp → compile →
+   exact-or-sampled inference, under one "query_local" span whose end
+   attributes carry the frontier/pruning/latency breakdown. *)
+let solve_local t ~source ~budget ~clamp id =
+  Obs.with_ambient t.trace @@ fun () ->
+  let sp = Obs.begin_span ~cat:"engine" t.trace "query_local" in
+  match
+    let t0 = Relational.Stats.now () in
+    let r = Grounding.Local.run ?budget source ~query:id in
+    let ground_seconds = Relational.Stats.now () -. t0 in
+    Inference.Neighborhood.clamp_boundary r.Grounding.Local.graph
+      ~boundary:r.Grounding.Local.boundary ~prob:clamp;
+    let t1 = Relational.Stats.now () in
+    let c = Factor_graph.Fgraph.compile r.Grounding.Local.graph in
+    let marg, method_used =
+      Inference.Neighborhood.solve ~obs:t.trace ~options:(gibbs_options t) c
+    in
+    let infer_seconds = Relational.Stats.now () -. t1 in
+    let marginal =
+      match Hashtbl.find_opt c.Factor_graph.Fgraph.var_of_id id with
+      | Some v -> marg.(v)
+      | None -> 0.5 (* no factor mentions the fact: uniform *)
+    in
+    Obs.add_time t.trace "query_local.ground_seconds" ground_seconds;
+    Obs.add_time t.trace "query_local.infer_seconds" infer_seconds;
+    {
+      id;
+      marginal;
+      interior = Array.length r.Grounding.Local.interior;
+      boundary = Array.length r.Grounding.Local.boundary;
+      hops = r.Grounding.Local.hops;
+      factors = Factor_graph.Fgraph.size r.Grounding.Local.graph;
+      pruned_mass = r.Grounding.Local.pruned_mass;
+      truncated = r.Grounding.Local.truncated;
+      enumerated = method_used = Inference.Neighborhood.Enumerated;
+      ground_seconds;
+      infer_seconds;
+    }
+  with
+  | ans ->
+    Obs.end_span t.trace sp
+      ~attrs:
+        [
+          ("interior", Obs.I ans.interior);
+          ("boundary", Obs.I ans.boundary);
+          ("hops", Obs.I ans.hops);
+          ("factors", Obs.I ans.factors);
+          ("pruned_mass", Obs.F ans.pruned_mass);
+          ("truncated", Obs.S (if ans.truncated then "true" else "false"));
+          ("ground_seconds", Obs.F ans.ground_seconds);
+          ("infer_seconds", Obs.F ans.infer_seconds);
+        ];
+    ans
+  | exception e ->
+    Obs.end_span t.trace sp ~attrs:[ ("error", Obs.S "raised") ];
+    raise e
+
+let query_local ?budget t ~r ~x ~c1 ~y ~c2 =
+  let pi = Gamma.pi t.kb in
+  match Storage.find pi ~r ~x ~c1 ~y ~c2 with
+  | None -> None
+  | Some id ->
+    (* Boundary facts are clamped to their extraction prior — before
+       [store_marginals] the weight column of a base fact still holds
+       sigmoid⁻¹-able confidence; [clamp_weight (sigmoid w) = w] restores
+       the true prior singleton exactly.  Inferred boundary facts (null
+       weight) get the uninformative 0.5. *)
+    let tbl = Storage.table pi in
+    let clamp bid =
+      match Storage.row_of_id pi bid with
+      | Some row ->
+        let w = Table.weight tbl row in
+        if Table.is_null_weight w then 0.5 else sigmoid w
+      | None -> 0.5
+    in
+    Some (solve_local t ~source:(local_source t) ~budget ~clamp id)
 
 module Session = struct
   type engine = t
@@ -409,6 +538,33 @@ module Session = struct
         }
 
   let marginal s id = Hashtbl.find_opt s.marginals id
+
+  (* Sessions already maintain the fact↔factor adjacency (the provenance
+     index), so the local walk runs over it directly — no rule-table
+     probes.  Boundary clamps prefer the last refresh's estimate, then
+     the extraction prior read off the fact's singleton factor. *)
+  let query_local ?budget s ~r ~x ~c1 ~y ~c2 =
+    let pi = Gamma.pi s.engine.kb in
+    match Storage.find pi ~r ~x ~c1 ~y ~c2 with
+    | None -> None
+    | Some id ->
+      let adj = Incremental.Dred.local_adjacency s.dred in
+      let prov = Incremental.Dred.provenance s.dred in
+      let g = graph s in
+      let clamp bid =
+        match Hashtbl.find_opt s.marginals bid with
+        | Some p -> p
+        | None -> (
+          match Incremental.Provenance.singleton_of prov bid with
+          | Some f ->
+            let _, _, _, w = Factor_graph.Fgraph.factor g f in
+            sigmoid w
+          | None -> 0.5)
+      in
+      Some
+        (solve_local s.engine
+           ~source:(Grounding.Local.of_adjacency adj)
+           ~budget ~clamp id)
 end
 
 let session t =
@@ -425,6 +581,7 @@ let session t =
   }
 
 let incorporate t facts =
+  t.local_source <- None;
   let pi = Gamma.pi t.kb in
   let delta =
     Table.create ~weighted:true ~name:"delta"

@@ -76,6 +76,44 @@ type result = {
 (** [run t] is [expand] + [infer] + [store_marginals]. *)
 val run : t -> result
 
+(** {1 Point queries: local grounding}
+
+    Answering "what is P(fact)?" does not require grounding the whole
+    knowledge base: {!query_local} grounds only the query's neighbourhood
+    backward from the queried fact ([Grounding.Local]), clamps the
+    budget-pruned boundary to prior probabilities, and solves the
+    resulting subgraph — exactly (enumeration) when every connected
+    component is small, by chromatic Gibbs otherwise. *)
+
+(** One answered point query. *)
+type local_answer = {
+  id : int;  (** the queried fact *)
+  marginal : float;  (** P(fact) over the local neighbourhood *)
+  interior : int;  (** facts fully expanded by the walk *)
+  boundary : int;  (** facts clamped at the truncation frontier *)
+  hops : int;  (** backward hops explored *)
+  factors : int;  (** factor rows in the local subgraph (clamps incl.) *)
+  pruned_mass : float;  (** influence discarded at the boundary *)
+  truncated : bool;  (** a budget limit cut the walk short *)
+  enumerated : bool;  (** solved exactly (vs chromatic Gibbs) *)
+  ground_seconds : float;
+  infer_seconds : float;
+}
+
+(** [query_local ?budget t ~r ~x ~c1 ~y ~c2] answers a point query by
+    backward local grounding against the KB's fact indexes (the fact
+    closure must have run — e.g. after {!expand} — but no factor graph is
+    needed).  Boundary facts are clamped to their extraction prior
+    (sigmoid of the weight column; uninformative 0.5 for inferred
+    facts).  [None] when the fact is unknown.  With the default unbounded
+    budget and a neighbourhood that fits the exact enumerator, the
+    marginal is bit-identical to full-closure exact inference.  Emits a
+    ["query_local"] span carrying frontier size, hops, pruned mass and
+    the grounding/inference latency split. *)
+val query_local :
+  ?budget:Grounding.Local.budget ->
+  t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> local_answer option
+
 (** {1 Live sessions}
 
     A session keeps a knowledge base expanded {e continuously}: epochs of
@@ -172,6 +210,15 @@ module Session : sig
 
   (** [marginal s id] is the fact's estimate from the last refresh. *)
   val marginal : t -> int -> float option
+
+  (** [query_local ?budget s ~r ~x ~c1 ~y ~c2] is {!val:query_local}
+      over the session's maintained provenance index (graph-walk mode —
+      no rule-table probes), clamping each boundary fact to its cached
+      marginal from the last {!refresh_marginals} when available, else
+      its extraction prior. *)
+  val query_local :
+    ?budget:Grounding.Local.budget ->
+    t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> local_answer option
 end
 
 (** [session t] expands the knowledge base (epoch 0, the batch pipeline

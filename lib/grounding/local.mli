@@ -1,0 +1,104 @@
+(** Query-driven local grounding (ProPPR-style).
+
+    Instead of paying for the full closure [TΦ], a point query grounds only
+    the proof neighbourhood of the queried fact: a breadth-first walk over
+    the fact↔factor adjacency, bounded by a PageRank-style budget, emitting
+    a small self-contained {!Factor_graph.Fgraph} subgraph plus the
+    interior/boundary variable mapping.
+
+    Two interchangeable sources drive the walk:
+
+    - {!of_adjacency} — a full factor graph is already materialized (e.g. a
+      live session's provenance index); expansion is a pure index walk.
+    - {!of_kb} — no graph exists; rule bodies are expanded backward against
+      the KB indexes using the memoized {!Queries.rule_adjacency} buckets
+      and two lazily-built partial-key indexes over [TΠ].  Requires the
+      {e fact} closure to have run (the Query 1 fixpoint — the same
+      precondition as the batch Query 2) and, like the batch
+      [singleton_factors], reads extraction priors from the weight column
+      (so run it before [store_marginals] rewrites inferred weights).
+
+    Both sources produce the same canonical factor table for the same
+    interior set — rows sorted by [(I1, I2, I3, w)] — so with an unbounded
+    budget the subgraph is exactly the query's connected component of the
+    full ground graph, factor for factor.  (Rule sets containing fully
+    duplicate rule signatures within one partition are outside this
+    identity: the batch two-atom path collapses such duplicates in its
+    J-step dedup while the walk keeps each rule row distinct.)
+
+    Budget semantics: the fact at hop [h] carries influence [decay^h]
+    (query = hop 0, influence 1).  A reached fact is {e expanded} (made
+    interior — all factors touching it enter the subgraph) only while its
+    influence is at least [min_influence], its hop at most [max_hops] and
+    the interior count below [max_facts]; next-hop candidates are admitted
+    lowest-id first, so truncation is deterministic.  Reached-but-pruned
+    facts become {e boundary} variables: they appear in interior facts'
+    factors but their own adjacency is left unexplored, so inference must
+    clamp them (see [Inference.Neighborhood]); their forgone influence is
+    summed into {!result.pruned_mass}. *)
+
+type budget = {
+  max_facts : int option;
+      (** cap on interior (expanded) facts, query included; the query
+          itself is always expanded *)
+  max_hops : int option;  (** expand facts at most this many hops out *)
+  decay : float;  (** per-hop influence decay, in (0, 1] *)
+  min_influence : float;  (** stop expanding below this influence *)
+}
+
+(** No cap, no decay: the walk covers the query's connected component. *)
+val unbounded : budget
+
+(** Smart constructor (defaults: no caps, [decay = 1.0],
+    [min_influence = 0.0]).
+    @raise Invalid_argument on out-of-range parameters. *)
+val budget :
+  ?max_facts:int ->
+  ?max_hops:int ->
+  ?decay:float ->
+  ?min_influence:float ->
+  unit ->
+  budget
+
+(** Fact↔factor adjacency of an already-materialized graph, as closures so
+    [lib/incremental]'s provenance index can back it without a dependency
+    cycle (incremental depends on grounding, not vice versa). *)
+type adjacency = {
+  iter_derivations : int -> (int -> unit) -> unit;
+      (** clause factors with the fact as head *)
+  iter_supports : int -> (int -> unit) -> unit;
+      (** clause factors with the fact in the body (each once) *)
+  singleton_of : int -> int option;  (** the fact's prior factor, if any *)
+  factor_of : int -> int * int * int * float;  (** factor row by position *)
+}
+
+(** [adjacency_of_graph g] builds the adjacency by one scan of [g] — for
+    tests and one-off use; live sessions should reuse their provenance
+    index instead. *)
+val adjacency_of_graph : Factor_graph.Fgraph.t -> adjacency
+
+type source
+
+(** [of_adjacency adj] walks a materialized graph. *)
+val of_adjacency : adjacency -> source
+
+(** [of_kb p pi] walks backward against the KB indexes.  The source is
+    reusable across queries: the rule-adjacency buckets and the two
+    partial-key [TΠ] indexes are built once (lazily) and shared. *)
+val of_kb : Queries.prepared -> Kb.Storage.t -> source
+
+type result = {
+  graph : Factor_graph.Fgraph.t;
+      (** the neighbourhood subgraph, rows in canonical [(I1, I2, I3, w)]
+          order; variables are fact ids (compile to get dense indexes) *)
+  interior : int array;  (** expanded facts, ascending; contains [query] *)
+  boundary : int array;
+      (** reached but pruned facts, ascending — clamp these *)
+  hops : int;  (** deepest hop actually expanded *)
+  pruned_mass : float;  (** summed influence of the boundary facts *)
+  truncated : bool;  (** [boundary <> [||]] *)
+}
+
+(** [run ?budget source ~query] grounds the neighbourhood of fact [query].
+    Unknown facts yield an empty graph with [interior = [| query |]]. *)
+val run : ?budget:budget -> source -> query:int -> result

@@ -28,6 +28,19 @@ let provenance t = t.prov
 
 let refresh_rules t = t.prepared <- Queries.prepare (Gamma.partitions t.kb)
 
+(* The provenance index as a local-grounding source: the fact↔factor
+   adjacency is already maintained across epochs, so a point query walks
+   it directly instead of re-deriving the neighbourhood from the rule
+   tables. *)
+let local_adjacency t =
+  Provenance.sync t.prov t.graph;
+  {
+    Grounding.Local.iter_derivations = Provenance.iter_derivations t.prov;
+    iter_supports = Provenance.iter_supports t.prov;
+    singleton_of = Provenance.singleton_of t.prov;
+    factor_of = Fgraph.factor t.graph;
+  }
+
 type retract_stats = {
   requested : int;
   cone : int;
@@ -143,12 +156,15 @@ let rederive st ~in_cone ~order ~banned =
   let alive id =
     (not (Hashtbl.mem in_cone id)) || Hashtbl.mem rederived id
   in
+  let exception Found in
   let supported id =
-    List.exists
-      (fun f ->
-        let _, i2, i3, _ = Fgraph.factor st.graph f in
-        (i2 = Fgraph.null || alive i2) && (i3 = Fgraph.null || alive i3))
-      (Provenance.derivations st.prov id)
+    try
+      Provenance.iter_derivations st.prov id (fun f ->
+          let _, i2, i3, _ = Fgraph.factor st.graph f in
+          if (i2 = Fgraph.null || alive i2) && (i3 = Fgraph.null || alive i3)
+          then raise_notrace Found);
+      false
+    with Found -> true
   in
   let queue = Queue.create () in
   List.iter (fun id -> Queue.add id queue) order;
@@ -163,12 +179,10 @@ let rederive st ~in_cone ~order ~banned =
       Hashtbl.replace rederived id ();
       (* A rescued fact may complete the last missing body atom of a
          derivation of another cone fact. *)
-      List.iter
-        (fun f ->
+      Provenance.iter_supports st.prov id (fun f ->
           let h, _, _, _ = Fgraph.factor st.graph f in
           if Hashtbl.mem in_cone h && not (Hashtbl.mem rederived h) then
             Queue.add h queue)
-        (Provenance.supports_of st.prov id)
     end
   done;
   rederived
@@ -203,8 +217,7 @@ let run_dred st ~seeds ~withdrawn ~ban =
   let in_cone = Hashtbl.create 64 in
   List.iter (fun id -> Hashtbl.replace in_cone id ()) seeds;
   let empty_cone =
-    not
-      (List.exists (fun id -> Provenance.supports_of st.prov id <> []) seeds)
+    not (List.exists (fun id -> Provenance.has_supports st.prov id) seeds)
   in
   let order =
     if empty_cone then begin

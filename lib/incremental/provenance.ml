@@ -48,6 +48,21 @@ let derivations t id =
 let supports_of t id =
   Option.value ~default:[] (Hashtbl.find_opt t.supports id)
 
+(* Allocation-free variants of {!derivations} / {!supports_of}: no [Some]
+   wrapper, no default list — the hot path of the DRed rederive fixpoint
+   and of the local grounding walk. *)
+let iter_derivations t id f =
+  match Hashtbl.find t.derives id with
+  | fs -> List.iter f fs
+  | exception Not_found -> ()
+
+let iter_supports t id f =
+  match Hashtbl.find t.supports id with
+  | fs -> List.iter f fs
+  | exception Not_found -> ()
+
+let has_supports t id = Hashtbl.mem t.supports id
+
 let singleton_of t id = Hashtbl.find_opt t.singleton id
 let is_base t id = Hashtbl.mem t.singleton id
 

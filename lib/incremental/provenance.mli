@@ -44,6 +44,19 @@ val derivations : t -> int -> int list
     (each factor once, even when [id] fills both body slots). *)
 val supports_of : t -> int -> int list
 
+(** [iter_derivations t id f] applies [f] to every clause-factor position
+    with head [id] — {!derivations} without building (or defaulting) a
+    list, for hot walk loops. *)
+val iter_derivations : t -> int -> (int -> unit) -> unit
+
+(** [iter_supports t id f] applies [f] to every clause-factor position with
+    [id] in the body; allocation-free like {!iter_derivations}. *)
+val iter_supports : t -> int -> (int -> unit) -> unit
+
+(** [has_supports t id] is [true] iff [id] appears in some clause body —
+    [supports_of t id <> []] without materializing the list. *)
+val has_supports : t -> int -> bool
+
 (** [singleton_of t id] is the position of [id]'s singleton factor. *)
 val singleton_of : t -> int -> int option
 

@@ -1,17 +1,30 @@
 (** Exact marginal inference by exhaustive enumeration.
 
     Computes the marginal distribution P(Xᵢ = 1) of equation (4) of the
-    paper exactly, by summing the unnormalized measure
-    [exp(Σᵢ Wᵢ nᵢ(x))] over all 2ⁿ worlds.  Only feasible for small ground
-    factor graphs; it exists to validate the samplers. *)
+    paper exactly.  The measure factorizes over connected components of
+    the ground factor graph, so enumeration runs per component — 2^c
+    worlds for a component of c variables — with each component
+    {e canonicalized} first (factors ordered by their [(I1, I2, I3, w)]
+    row, variables by first mention in that order).  Canonicalization
+    makes the floating-point accumulation order a function of the factor
+    multiset alone, so a locally grounded neighbourhood
+    ([Grounding.Local]) reproduces the full-closure marginals bit for
+    bit.  Feasible for small components; it exists to validate the
+    samplers and to solve local query neighbourhoods exactly. *)
 
-(** Maximum number of variables accepted (25). *)
+(** Maximum number of variables accepted per connected component (25). *)
 val max_vars : int
 
 (** [marginals c] is the exact marginal P(X = 1) per dense variable.
-    @raise Invalid_argument if the graph has more than {!max_vars}
-    variables. *)
+    @raise Invalid_argument if some connected component has more than
+    {!max_vars} variables. *)
 val marginals : Factor_graph.Fgraph.compiled -> float array
 
-(** [log_partition c] is [log Z], the log normalization constant. *)
+(** [max_component_size c] is the variable count of the largest connected
+    component — the feasibility check for {!marginals}
+    ([max_component_size c <= max_vars]). *)
+val max_component_size : Factor_graph.Fgraph.compiled -> int
+
+(** [log_partition c] is [log Z], the log normalization constant
+    (whole-graph enumeration: requires [nvars c <= max_vars]). *)
 val log_partition : Factor_graph.Fgraph.compiled -> float

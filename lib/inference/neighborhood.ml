@@ -1,0 +1,20 @@
+module Fgraph = Factor_graph.Fgraph
+
+type method_used = Enumerated | Sampled
+
+let clamp_epsilon = 1e-6
+
+let clamp_weight p =
+  let p = Float.min (1. -. clamp_epsilon) (Float.max clamp_epsilon p) in
+  log (p /. (1. -. p))
+
+let clamp_boundary g ~boundary ~prob =
+  Array.iter
+    (fun id -> Fgraph.add_singleton g ~i:id ~w:(clamp_weight (prob id)))
+    boundary
+
+let solve ?obs ?(options = Gibbs.default_options) c =
+  if Fgraph.nvars c = 0 then ([||], Enumerated)
+  else if Exact.max_component_size c <= Exact.max_vars then
+    (Exact.marginals c, Enumerated)
+  else (Chromatic.marginals ~options ?obs c, Sampled)

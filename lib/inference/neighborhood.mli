@@ -1,0 +1,44 @@
+(** Inference over locally grounded query neighbourhoods.
+
+    A [Grounding.Local] subgraph is small by construction, so marginal
+    inference picks the strongest feasible method per query: when every
+    connected component fits the exact enumerator's per-component cap the
+    marginals are computed {e exactly} (zero variance, and — thanks to the
+    canonical enumeration order of {!Exact} — bit-identical to the
+    full-closure exact marginals whenever the neighbourhood is the whole
+    component); larger neighbourhoods fall back to chromatic Gibbs
+    restricted to the subgraph.
+
+    Boundary conditions: facts the budget pruned appear in interior
+    factors but have unexplored adjacency.  {!clamp_boundary} pins each to
+    a given probability (its cached marginal or extraction prior) by
+    adding a pseudo-prior singleton factor with the log-odds weight
+    [log (p / (1 - p))] — the single-variable factor whose marginal, in
+    isolation, is exactly [p].  With an unbounded budget the boundary is
+    empty and no clamp factor is added, so identity with the full closure
+    is unaffected. *)
+
+type method_used = Enumerated | Sampled
+
+(** Probabilities are clipped to [[ε, 1 - ε]] (ε = 1e-6) before the
+    log-odds transform, keeping clamp weights finite. *)
+val clamp_epsilon : float
+
+(** [clamp_weight p] is [log (p / (1 - p))] after clipping. *)
+val clamp_weight : float -> float
+
+(** [clamp_boundary g ~boundary ~prob] adds one pseudo-prior singleton per
+    boundary fact, weighted to pin it at [prob id].  Call before
+    compiling [g]. *)
+val clamp_boundary :
+  Factor_graph.Fgraph.t -> boundary:int array -> prob:(int -> float) -> unit
+
+(** [solve ?obs ?options c] is the marginal P(X = 1) per dense variable
+    and the method used: exact enumeration when
+    [Exact.max_component_size c <= Exact.max_vars], otherwise chromatic
+    Gibbs with [options] (default {!Gibbs.default_options}). *)
+val solve :
+  ?obs:Obs.t ->
+  ?options:Gibbs.options ->
+  Factor_graph.Fgraph.compiled ->
+  float array * method_used

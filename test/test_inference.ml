@@ -59,10 +59,25 @@ let test_log_partition_independent_vars () =
   Alcotest.(check (float 1e-9)) "log Z" expect (Inference.Exact.log_partition c)
 
 let test_exact_rejects_large () =
+  (* Enumeration runs per connected component: many disconnected
+     variables are fine ... *)
   let c =
     compile_graph (fun g ->
         for i = 0 to 30 do
           Fgraph.add_singleton g ~i ~w:0.1
+        done)
+  in
+  let marg = Inference.Exact.marginals c in
+  Alcotest.(check int) "disconnected vars all solved" 31 (Array.length marg);
+  let p = 1. /. (1. +. exp (-0.1)) in
+  Array.iter
+    (fun m -> Alcotest.(check (float 1e-12)) "independent singleton" p m)
+    marg;
+  (* ... but a single component above the cap is rejected. *)
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 29 do
+          Fgraph.add_clause g ~i1:i ~i2:(i + 1) ~w:0.1 ()
         done)
   in
   match Inference.Exact.marginals c with
