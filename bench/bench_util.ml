@@ -94,6 +94,8 @@ type options = {
       (* baseline BENCH_incremental.json *)
   mutable out_local : string option; (* local artifact path override *)
   mutable compare_local : string option; (* baseline BENCH_local.json *)
+  mutable out_serve : string option; (* serve artifact path override *)
+  mutable compare_serve : string option; (* baseline BENCH_serve.json *)
 }
 
 let options =
@@ -110,6 +112,8 @@ let options =
     compare_incremental = None;
     out_local = None;
     compare_local = None;
+    out_serve = None;
+    compare_serve = None;
   }
 
 (* The parallel experiment's artifact path ([--out] overrides the
@@ -126,6 +130,9 @@ let incremental_out () =
 
 (* Same for the local-grounding experiment ([--out-local]). *)
 let local_out () = Option.value options.out_local ~default:"BENCH_local.json"
+
+(* Same for the serving experiment ([--out-serve]). *)
+let serve_out () = Option.value options.out_serve ~default:"BENCH_serve.json"
 
 let scale_or default =
   match options.scale with

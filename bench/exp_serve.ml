@@ -1,0 +1,289 @@
+(* The serving layer: reader throughput against the published epoch
+   snapshot while a live write stream commits epochs behind it.
+
+   For each reader-pool size the server is started on a loopback socket
+   over a fresh copy of the ReVerb-Sherlock KB; d client domains replay
+   a deterministic slice of point queries (budgeted [query_local] over
+   the NDJSON protocol) while one writer client streams ingest epochs.
+   Every reply records the epoch it was computed against, and afterwards
+   the whole observation log is identity-checked against a serial
+   replay: the same write stream applied to a fresh session, each
+   epoch's snapshot queried directly.  A reader racing the writer must
+   answer bit-for-bit what that epoch answers serially — snapshot
+   isolation, measured and checked.
+
+   Writes BENCH_serve.json with the same [stages.{stage}.seconds.{d}]
+   shape as the other artifacts ("serve" = wall clock of the full query
+   load at that pool size), so [Compare] gates it unchanged. *)
+
+open Bench_util
+module Rng = Workload.Rng
+module Gamma = Kb.Gamma
+module Storage = Kb.Storage
+module Dict = Relational.Dict
+module Json = Obs.Json
+module Local = Grounding.Local
+module Session = Probkb.Engine.Session
+module Snapshot = Probkb.Snapshot
+module Writer = Probkb.Engine.Writer
+module Protocol = Serve.Protocol
+module Server = Serve.Server
+
+let stage_names = [ "serve" ]
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+
+let rec take n = function
+  | [] -> ([], [])
+  | x :: rest when n > 0 ->
+    let this, after = take (n - 1) rest in
+    (x :: this, after)
+  | rest -> ([], rest)
+
+let connect addr =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let request oc ic line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  input_line ic
+
+(* A reader client: replay [keys] (index, string-key) in batches of
+   [batch] per connection, recording per-request latency and the
+   (key, epoch, marginal) triple of every reply. *)
+let reader_client addr ~batch ~budget keys =
+  let lat = ref [] and obs = ref [] and ok = ref true in
+  let t0 = Unix.gettimeofday () in
+  let rec loop = function
+    | [] -> ()
+    | keys ->
+      let this, rest = take batch keys in
+      let fd, ic, oc = connect addr in
+      List.iter
+        (fun (ki, key) ->
+          let line =
+            Json.to_string
+              (Protocol.op_to_json
+                 (Protocol.Query_local { key; budget = Some budget }))
+          in
+          let t = Unix.gettimeofday () in
+          let reply = request oc ic line in
+          lat := (Unix.gettimeofday () -. t) :: !lat;
+          match Json.of_string_opt reply with
+          | Some doc -> (
+            match (Json.member "epoch" doc, Json.member "marginal" doc) with
+            | Some (Json.Int e), Some (Json.Float m) ->
+              obs := (ki, e, m) :: !obs
+            | _ -> ok := false)
+          | None -> ok := false)
+        this;
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      loop rest
+  in
+  loop keys;
+  (!lat, !obs, !ok, Unix.gettimeofday () -. t0)
+
+(* The writer client: one ingest epoch per connection, paced so the
+   stream spans the readers' window. *)
+let writer_client addr ~pace facts =
+  List.iter
+    (fun (key, w) ->
+      let fd, ic, oc = connect addr in
+      ignore
+        (request oc ic
+           (Json.to_string (Protocol.op_to_json (Protocol.Ingest [ (key, w) ]))));
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Unix.sleepf pace)
+    facts
+
+let run () =
+  section "Serving — snapshot reads under a live write stream";
+  let scale = scale_or 0.03 in
+  let pools = if options.quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  let n_queries = if options.quick then 120 else 400 in
+  let n_writes = if options.quick then 10 else 24 in
+  let samples = if options.quick then 100 else 500 in
+  let batch = 10 in
+  let pace = 0.005 in
+  let budget = Local.budget ~max_facts:32 () in
+  let g =
+    Workload.Reverb_sherlock.generate
+      { Workload.Reverb_sherlock.default_config with scale }
+  in
+  let proto = Workload.Reverb_sherlock.kb g in
+  let gibbs = { Inference.Gibbs.default_options with samples } in
+  let config =
+    Probkb.Config.make ~inference:(Some (Inference.Marginal.Chromatic gibbs)) ()
+  in
+  (* One deterministic base-fact key set, as names (the wire speaks
+     strings): the first slice is the query replay, the next rows seed
+     the write stream (same relations, one fresh entity each, so every
+     committed epoch plumbs new factors into queried components). *)
+  let rows = ref [] in
+  Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ ->
+      rows :=
+        ( Dict.name (Gamma.relations proto) r,
+          Dict.name (Gamma.entities proto) x,
+          Dict.name (Gamma.classes proto) c1,
+          Dict.name (Gamma.entities proto) y,
+          Dict.name (Gamma.classes proto) c2 )
+        :: !rows)
+    (Gamma.pi proto);
+  let a = Array.of_list (List.rev !rows) in
+  let rng = Rng.create 42 in
+  Rng.shuffle rng a;
+  let n_queries = min n_queries (Array.length a - n_writes) in
+  let query_keys =
+    List.init n_queries (fun i -> (i, a.(i)))
+  in
+  let write_facts =
+    List.init n_writes (fun i ->
+        let r, _, c1, y, c2 = a.(n_queries + i) in
+        ((r, Printf.sprintf "srvw_%d" i, c1, y, c2), 0.8))
+  in
+  (* Serial replay: the same write stream applied to a fresh session,
+     one frozen snapshot per epoch — the oracle every concurrent
+     observation is checked against.  All copies share [proto]'s
+     dictionaries, so symbol ids line up across runs. *)
+  let snaps =
+    let s = Probkb.Engine.session (Probkb.Engine.create ~config (copy_kb proto)) in
+    let kb = Session.kb s in
+    Array.init (n_writes + 1) (fun i ->
+        if i > 0 then begin
+          let ((r, x, c1, y, c2), w) = List.nth write_facts (i - 1) in
+          ignore
+            (Session.ingest s
+               [
+                 ( Gamma.relation kb r, Gamma.entity kb x, Gamma.cls kb c1,
+                   Gamma.entity kb y, Gamma.cls kb c2, w );
+               ])
+        end;
+        Session.snapshot s)
+  in
+  let key_ids =
+    Array.map
+      (fun (r, x, c1, y, c2) ->
+        ( Gamma.relation proto r, Gamma.entity proto x, Gamma.cls proto c1,
+          Gamma.entity proto y, Gamma.cls proto c2 ))
+      (Array.sub a 0 n_queries)
+  in
+  let oracle = Hashtbl.create 1024 in
+  let oracle_marginal ki e =
+    match Hashtbl.find_opt oracle (ki, e) with
+    | Some m -> m
+    | None ->
+      let r, x, c1, y, c2 = key_ids.(ki) in
+      let m =
+        match Snapshot.query_local ~budget snaps.(e) ~r ~x ~c1 ~y ~c2 with
+        | Some answer -> answer.Snapshot.marginal
+        | None -> Float.nan
+      in
+      Hashtbl.replace oracle (ki, e) m;
+      m
+  in
+  let times = Hashtbl.create 8 in
+  let qps = Hashtbl.create 8 in
+  let p50s = Hashtbl.create 8 and p99s = Hashtbl.create 8 in
+  let identical = ref true in
+  List.iter
+    (fun d ->
+      let kb = copy_kb proto in
+      let engine = Probkb.Engine.create ~config kb in
+      let s = Probkb.Engine.session engine in
+      let writer = Writer.of_session s in
+      let srv =
+        Server.start ~pool:d ~kb ~writer
+          ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+          ()
+      in
+      let addr = Server.sockaddr srv in
+      (* Round-robin slices: reader i replays keys i, i+d, i+2d, ... *)
+      let slice i =
+        List.filteri (fun j _ -> j mod d = i) query_keys
+      in
+      let writer_dom =
+        Domain.spawn (fun () -> writer_client addr ~pace write_facts)
+      in
+      let readers =
+        List.init d (fun i ->
+            Domain.spawn (fun () ->
+                reader_client addr ~batch ~budget (slice i)))
+      in
+      let results = List.map Domain.join readers in
+      Domain.join writer_dom;
+      Server.stop srv;
+      let wall =
+        List.fold_left (fun m (_, _, _, w) -> Float.max m w) 0. results
+      in
+      let lats = List.concat_map (fun (l, _, _, _) -> l) results in
+      let observations = List.concat_map (fun (_, o, _, _) -> o) results in
+      if List.exists (fun (_, _, ok, _) -> not ok) results then
+        identical := false;
+      let epochs_seen = Hashtbl.create 16 in
+      let mismatches = ref 0 in
+      List.iter
+        (fun (ki, e, m) ->
+          Hashtbl.replace epochs_seen e ();
+          if not (e >= 0 && e <= n_writes && m = oracle_marginal ki e) then
+            incr mismatches)
+        observations;
+      if !mismatches > 0 then identical := false;
+      let p50 = percentile 0.5 lats and p99 = percentile 0.99 lats in
+      let q = float_of_int n_queries /. Float.max 1e-9 wall in
+      Hashtbl.replace times ("serve", d) wall;
+      Hashtbl.replace qps d q;
+      Hashtbl.replace p50s d p50;
+      Hashtbl.replace p99s d p99;
+      measured
+        "pool=%d  %d queries in %6.3fs  qps %6.0f  p50 %.6fs  p99 %.6fs  \
+         epochs seen %d/%d  mismatches %d"
+        d n_queries wall q p50 p99
+        (Hashtbl.length epochs_seen)
+        (n_writes + 1) !mismatches)
+    pools;
+  measured "all replies identical to serial per-epoch replay: %b" !identical;
+  let t stage d = Hashtbl.find times (stage, d) in
+  let oversubscribed d = d > host_cores in
+  let per_pool f = List.map (fun d -> (string_of_int d, f d)) pools in
+  let stage_json stage =
+    ( stage,
+      Json.Obj
+        [
+          ("seconds", Json.Obj (per_pool (fun d -> Json.Float (t stage d))));
+          ( "oversubscribed",
+            Json.Obj (per_pool (fun d -> Json.Bool (oversubscribed d))) );
+        ] )
+  in
+  let json =
+    Json.Obj
+      [
+        ("meta", meta_json ~engine:"serve");
+        ("domains", Json.List (List.map (fun d -> Json.Int d) pools));
+        ("scale", Json.Float scale);
+        ("host_cores", Json.Int host_cores);
+        ("queries", Json.Int n_queries);
+        ("writes", Json.Int n_writes);
+        ("budget", Json.Int 32);
+        ("identical_results", Json.Bool !identical);
+        ("qps", Json.Obj (per_pool (fun d -> Json.Float (Hashtbl.find qps d))));
+        ( "p50_seconds",
+          Json.Obj (per_pool (fun d -> Json.Float (Hashtbl.find p50s d))) );
+        ( "p99_seconds",
+          Json.Obj (per_pool (fun d -> Json.Float (Hashtbl.find p99s d))) );
+        ("stages", Json.Obj (List.map stage_json stage_names));
+      ]
+  in
+  let out = serve_out () in
+  let oc = open_out out in
+  output_string oc (Json.to_pretty_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" out

@@ -23,6 +23,7 @@ let all_experiments =
     ("pipeline", Exp_pipeline.run);
     ("incremental", Exp_incremental.run);
     ("local", Exp_local.run);
+    ("serve", Exp_serve.run);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);
@@ -75,6 +76,14 @@ let () =
         Arg.String (fun p -> options.compare_local <- Some p),
         "BASELINE diff the fresh local-grounding artifact against this \
          BENCH_local.json; exit non-zero on a >25% regression" );
+      ( "--out-serve",
+        Arg.String (fun p -> options.out_serve <- Some p),
+        "FILE write the serving experiment's artifact here instead of \
+         BENCH_serve.json" );
+      ( "--compare-serve",
+        Arg.String (fun p -> options.compare_serve <- Some p),
+        "BASELINE diff the fresh serving artifact against this \
+         BENCH_serve.json; exit non-zero on a >25% regression" );
     ]
   in
   Arg.parse spec
@@ -126,5 +135,8 @@ let () =
     + (match options.compare_local with
       | None -> 0
       | Some baseline -> gate "local" baseline (local_out ()))
+    + (match options.compare_serve with
+      | None -> 0
+      | Some baseline -> gate "serve" baseline (serve_out ()))
   in
   if regressions > 0 then exit 1

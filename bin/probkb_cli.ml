@@ -544,124 +544,23 @@ let analyze_cmd =
 
 (* --- session --- *)
 
-(* NDJSON op stream on stdin, one JSON result per line on stdout:
+(* NDJSON op stream on stdin, one JSON result per line on stdout.  The
+   op codec ([Serve.Protocol]) is shared with the [serve] subcommand —
+   the wire schema is defined once (see DESIGN.md §13):
 
      {"op":"ingest","facts":[["r","x","C1","y","C2",0.93], ...]}
      {"op":"retract","keys":[["r","x","C1","y","C2"], ...],"ban":true}
      {"op":"retract_rules","head":"r"}
+     {"op":"add_rules","rules":["1.4 r(x:C, y:D) :- q(x, y)"]}
      {"op":"reexpand"}
      {"op":"refresh"}
      {"op":"query","key":["r","x","C1","y","C2"]}
+     {"op":"query_local","key":[...],"budget":64}
+     {"op":"stats"}
 
    Epoch ops answer with the epoch ledger entry; query answers with the
    fact view.  Malformed input answers {"error": ...} and the stream
    continues. *)
-
-let session_key kb = function
-  | Obs.Json.List
-      [
-        Obs.Json.String r;
-        Obs.Json.String x;
-        Obs.Json.String c1;
-        Obs.Json.String y;
-        Obs.Json.String c2;
-      ] ->
-    Some
-      ( Kb.Gamma.relation kb r,
-        Kb.Gamma.entity kb x,
-        Kb.Gamma.cls kb c1,
-        Kb.Gamma.entity kb y,
-        Kb.Gamma.cls kb c2 )
-  | _ -> None
-
-let session_fact kb = function
-  | Obs.Json.List
-      (Obs.Json.String _ :: _ as parts) -> (
-    match parts with
-    | [ r; x; c1; y; c2; w ] -> (
-      match
-        (session_key kb (Obs.Json.List [ r; x; c1; y; c2 ]), Obs.Json.to_float w)
-      with
-      | Some (r, x, c1, y, c2), Some w -> Some (r, x, c1, y, c2, w)
-      | _ -> None)
-    | _ -> None)
-  | _ -> None
-
-let session_step kb s line =
-  match Obs.Json.of_string_opt line with
-  | None -> Obs.Json.Obj [ ("error", Obs.Json.String "malformed JSON") ]
-  | Some doc -> (
-    let op =
-      Option.bind (Obs.Json.member "op" doc) Obs.Json.to_string_value
-    in
-    match op with
-    | Some "ingest" ->
-      let facts =
-        Option.bind (Obs.Json.member "facts" doc) Obs.Json.to_list
-        |> Option.value ~default:[]
-        |> List.filter_map (session_fact kb)
-      in
-      Probkb.Report.epoch_to_json (Probkb.Engine.Session.ingest s facts)
-    | Some "retract" ->
-      let keys =
-        Option.bind (Obs.Json.member "keys" doc) Obs.Json.to_list
-        |> Option.value ~default:[]
-        |> List.filter_map (session_key kb)
-      in
-      let ban =
-        match Obs.Json.member "ban" doc with
-        | Some (Obs.Json.Bool b) -> b
-        | _ -> false
-      in
-      Probkb.Report.epoch_to_json
-        (Probkb.Engine.Session.retract_keys ~ban s keys)
-    | Some "retract_rules" -> (
-      match
-        Option.bind (Obs.Json.member "head" doc) Obs.Json.to_string_value
-      with
-      | None ->
-        Obs.Json.Obj
-          [ ("error", Obs.Json.String "retract_rules needs a head relation") ]
-      | Some head ->
-        let rel = Kb.Gamma.relation kb head in
-        Probkb.Report.epoch_to_json
-          (Probkb.Engine.Session.retract_rules s ~remove:(fun c ->
-               c.Mln.Clause.head_rel = rel)))
-    | Some "reexpand" ->
-      Probkb.Report.epoch_to_json (Probkb.Engine.Session.reexpand s)
-    | Some "refresh" -> (
-      match Probkb.Engine.Session.refresh_marginals s with
-      | Some st -> Probkb.Report.epoch_to_json st
-      | None ->
-        Obs.Json.Obj [ ("error", Obs.Json.String "inference disabled") ])
-    | Some "query" -> (
-      match
-        Option.bind (Obs.Json.member "key" doc) (session_key kb)
-      with
-      | None -> Obs.Json.Obj [ ("error", Obs.Json.String "query needs a key") ]
-      | Some (r, x, c1, y, c2) -> (
-        match Probkb.Engine.Session.query s ~r ~x ~c1 ~y ~c2 with
-        | None -> Obs.Json.Obj [ ("found", Obs.Json.Bool false) ]
-        | Some v ->
-          Obs.Json.Obj
-            [
-              ("found", Obs.Json.Bool true);
-              ("id", Obs.Json.Int v.Probkb.Engine.Session.id);
-              ("base", Obs.Json.Bool v.Probkb.Engine.Session.base);
-              ( "weight",
-                if Relational.Table.is_null_weight
-                     v.Probkb.Engine.Session.weight
-                then Obs.Json.Null
-                else Obs.Json.Float v.Probkb.Engine.Session.weight );
-              ( "marginal",
-                match v.Probkb.Engine.Session.marginal with
-                | Some p -> Obs.Json.Float p
-                | None -> Obs.Json.Null );
-            ]))
-    | Some other ->
-      Obs.Json.Obj
-        [ ("error", Obs.Json.String (Printf.sprintf "unknown op %S" other)) ]
-    | None -> Obs.Json.Obj [ ("error", Obs.Json.String "missing op") ])
 
 let session_run facts rules constraints sc theta iterations samples verbose =
   setup_logs verbose;
@@ -684,7 +583,7 @@ let session_run facts rules constraints sc theta iterations samples verbose =
      while true do
        let line = input_line stdin in
        if String.trim line <> "" then begin
-         print_endline (Obs.Json.to_string (session_step kb s line));
+         print_endline (Obs.Json.to_string (Serve.Protocol.step kb s line));
          flush stdout
        end
      done
@@ -706,6 +605,171 @@ let session_cmd =
     Term.(
       const session_run $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
       $ theta_arg $ iterations_arg $ samples $ verbose_arg)
+
+(* --- serve --- *)
+
+(* The concurrent front-end: expand the KB, open a session, wrap it in a
+   Writer (single mutable arm) and serve the NDJSON protocol over a
+   socket — reads answered concurrently from the published epoch
+   snapshot by a pool of reader domains, writes serialized through the
+   writer domain.  With --connect, act as a client instead: pipe NDJSON
+   stdin → server → stdout. *)
+
+let connect_addr target =
+  if String.contains target '/' then Unix.ADDR_UNIX target
+  else
+    match String.rindex_opt target ':' with
+    | Some i ->
+      let host = String.sub target 0 i in
+      let port =
+        int_of_string (String.sub target (i + 1) (String.length target - i - 1))
+      in
+      let inet =
+        if host = "" || host = "localhost" then Unix.inet_addr_loopback
+        else Unix.inet_addr_of_string host
+      in
+      Unix.ADDR_INET (inet, port)
+    | None -> Unix.ADDR_UNIX target
+
+let serve_client target =
+  let addr = connect_addr target in
+  let fd =
+    Unix.socket
+      (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd addr;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         output_string oc line;
+         output_char oc '\n';
+         flush oc;
+         print_endline (input_line ic);
+         flush stdout
+       end
+     done
+   with End_of_file -> ());
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  0
+
+let serve_run facts rules constraints sc theta iterations samples pool port
+    socket connect verbose =
+  setup_logs verbose;
+  match (connect, facts, rules) with
+  | Some target, _, _ -> serve_client target
+  | None, None, _ | None, _, None ->
+    Format.eprintf "serve: --facts and --rules are required (unless --connect)@.";
+    2
+  | None, Some facts, Some rules ->
+    let kb = load_kb facts rules constraints in
+    let inference =
+      Some
+        (Inference.Marginal.Chromatic
+           { Inference.Gibbs.default_options with samples })
+    in
+    let engine =
+      Probkb.Engine.create
+        ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference ())
+        kb
+    in
+    let s = Probkb.Engine.session engine in
+    let writer = Probkb.Engine.Writer.of_session s in
+    let addr =
+      match socket with
+      | Some path -> Unix.ADDR_UNIX path
+      | None -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    in
+    let srv =
+      Serve.Server.start ~pool ~obs:(Probkb.Engine.trace engine) ~kb ~writer
+        ~addr ()
+    in
+    (match (Serve.Server.port srv, socket) with
+    | Some p, _ ->
+      Format.eprintf "serving on 127.0.0.1:%d (pool %d): %d facts, %d factors@."
+        p pool
+        (Kb.Storage.size (Kb.Gamma.pi kb))
+        (Factor_graph.Fgraph.size (Probkb.Engine.Session.graph s))
+    | None, Some path ->
+      Format.eprintf "serving on %s (pool %d): %d facts, %d factors@." path pool
+        (Kb.Storage.size (Kb.Gamma.pi kb))
+        (Factor_graph.Fgraph.size (Probkb.Engine.Session.graph s))
+    | None, None -> ());
+    (* The handler may run on any domain under OCaml 5 — an atomic flag,
+       not a plain ref, so the main loop is guaranteed to observe it. *)
+    let stop_requested = Atomic.make false in
+    let on_signal _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    while not (Atomic.get stop_requested) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Format.eprintf "shutting down@.";
+    Serve.Server.stop srv;
+    0
+
+let serve_cmd =
+  let samples =
+    Arg.(
+      value & opt int 200
+      & info [ "samples" ] ~docv:"N" ~doc:"Gibbs estimation sweeps per refresh.")
+  in
+  let pool =
+    Arg.(
+      value & opt int 4
+      & info [ "pool" ] ~docv:"N"
+          ~doc:"Reader domains serving queries concurrently.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7474
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (loopback only); 0 picks a free port.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket instead of TCP.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"TARGET"
+          ~doc:
+            "Client mode: connect to a running server (HOST:PORT, or a \
+             Unix-socket path) and pipe NDJSON ops from stdin, one reply \
+             per line on stdout.  No KB is loaded.")
+  in
+  let facts_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "facts" ] ~docv:"FILE"
+          ~doc:"Tab-separated facts file (server mode).")
+  in
+  let rules_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "rules" ] ~docv:"FILE"
+          ~doc:"Rules file, one Horn clause per line (server mode).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the knowledge base over a socket: concurrent reads against \
+          the published epoch snapshot, writes committed behind it by a \
+          single writer domain (NDJSON protocol, one op per line).")
+    Term.(
+      const serve_run $ facts_opt $ rules_opt $ constraints_arg $ sc_arg
+      $ theta_arg $ iterations_arg $ samples $ pool $ port $ socket $ connect
+      $ verbose_arg)
 
 (* --- query --- *)
 
@@ -948,5 +1012,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; expand_cmd; infer_cmd; query_cmd; stats_cmd;
-            sql_cmd; analyze_cmd; session_cmd; demo_cmd;
+            sql_cmd; analyze_cmd; session_cmd; serve_cmd; demo_cmd;
           ]))

@@ -6,18 +6,14 @@ type t = {
   kb : Gamma.t;
   config : Config.t;
   trace : Obs.t;
-  mutable local_source : Grounding.Local.source option;
-      (* lazily-built backward-walk source for [query_local]; dropped
-         whenever facts or rules change under it *)
+  mutable read : Snapshot.t option;
+      (* lazily-built read view (backward-walk source + clamps) for
+         [query_local]; dropped whenever facts or rules change under it —
+         including session epochs committed over this engine *)
 }
 
 let create ?(config = Config.default) kb =
-  {
-    kb;
-    config;
-    trace = Obs.create ~config:config.Config.obs ();
-    local_source = None;
-  }
+  { kb; config; trace = Obs.create ~config:config.Config.obs (); read = None }
 
 let kb t = t.kb
 let config t = t.config
@@ -55,7 +51,7 @@ let constraint_hook t =
   else None
 
 let expand t =
-  t.local_source <- None;
+  t.read <- None;
   Obs.with_ambient t.trace @@ fun () ->
   Obs.with_span t.trace "expand" ~cat:"engine" @@ fun () ->
   let rules_used =
@@ -171,9 +167,10 @@ let run t =
 (* Query-driven local grounding (point queries without the closure's
    full factor graph).                                                 *)
 
-type local_answer = {
+type local_answer = Snapshot.answer = {
   id : int;
   marginal : float;
+  epoch : int;
   interior : int;
   boundary : int;
   hops : int;
@@ -194,94 +191,61 @@ let gibbs_options t =
     o
   | _ -> Inference.Gibbs.default_options
 
-let local_source t =
-  match t.local_source with
+(* The engine's read view: a live (graph-less) snapshot over the KB's
+   fact indexes.  Cached because [Local.of_kb] memoizes rule-adjacency
+   buckets and two partial-key TΠ indexes; invalidated whenever facts or
+   rules change — [expand], [incorporate], and every session epoch. *)
+let read_view t =
+  match t.read with
   | Some s -> s
   | None ->
-    let s =
+    let pi = Gamma.pi t.kb in
+    let source =
       Grounding.Local.of_kb
         (Grounding.Queries.prepare (Gamma.partitions t.kb))
         (Gamma.pi t.kb)
     in
-    t.local_source <- Some s;
-    s
-
-(* Shared solve path: local grounding walk → boundary clamp → compile →
-   exact-or-sampled inference, under one "query_local" span whose end
-   attributes carry the frontier/pruning/latency breakdown. *)
-let solve_local t ~source ~budget ~clamp id =
-  Obs.with_ambient t.trace @@ fun () ->
-  let sp = Obs.begin_span ~cat:"engine" t.trace "query_local" in
-  match
-    let t0 = Relational.Stats.now () in
-    let r = Grounding.Local.run ?budget source ~query:id in
-    let ground_seconds = Relational.Stats.now () -. t0 in
-    Inference.Neighborhood.clamp_boundary r.Grounding.Local.graph
-      ~boundary:r.Grounding.Local.boundary ~prob:clamp;
-    let t1 = Relational.Stats.now () in
-    let c = Factor_graph.Fgraph.compile r.Grounding.Local.graph in
-    let marg, method_used =
-      Inference.Neighborhood.solve ~obs:t.trace ~options:(gibbs_options t) c
+    let weight_of id =
+      match Storage.row_of_id pi id with
+      | Some row -> Some (Table.weight (Storage.table pi) row)
+      | None -> None
     in
-    let infer_seconds = Relational.Stats.now () -. t1 in
-    let marginal =
-      match Hashtbl.find_opt c.Factor_graph.Fgraph.var_of_id id with
-      | Some v -> marg.(v)
-      | None -> 0.5 (* no factor mentions the fact: uniform *)
-    in
-    Obs.add_time t.trace "query_local.ground_seconds" ground_seconds;
-    Obs.add_time t.trace "query_local.infer_seconds" infer_seconds;
-    {
-      id;
-      marginal;
-      interior = Array.length r.Grounding.Local.interior;
-      boundary = Array.length r.Grounding.Local.boundary;
-      hops = r.Grounding.Local.hops;
-      factors = Factor_graph.Fgraph.size r.Grounding.Local.graph;
-      pruned_mass = r.Grounding.Local.pruned_mass;
-      truncated = r.Grounding.Local.truncated;
-      enumerated = method_used = Inference.Neighborhood.Enumerated;
-      ground_seconds;
-      infer_seconds;
-    }
-  with
-  | ans ->
-    Obs.end_span t.trace sp
-      ~attrs:
-        [
-          ("interior", Obs.I ans.interior);
-          ("boundary", Obs.I ans.boundary);
-          ("hops", Obs.I ans.hops);
-          ("factors", Obs.I ans.factors);
-          ("pruned_mass", Obs.F ans.pruned_mass);
-          ("truncated", Obs.S (if ans.truncated then "true" else "false"));
-          ("ground_seconds", Obs.F ans.ground_seconds);
-          ("infer_seconds", Obs.F ans.infer_seconds);
-        ];
-    ans
-  | exception e ->
-    Obs.end_span t.trace sp ~attrs:[ ("error", Obs.S "raised") ];
-    raise e
-
-let query_local ?budget t ~r ~x ~c1 ~y ~c2 =
-  let pi = Gamma.pi t.kb in
-  match Storage.find pi ~r ~x ~c1 ~y ~c2 with
-  | None -> None
-  | Some id ->
     (* Boundary facts are clamped to their extraction prior — before
        [store_marginals] the weight column of a base fact still holds
        sigmoid⁻¹-able confidence; [clamp_weight (sigmoid w) = w] restores
        the true prior singleton exactly.  Inferred boundary facts (null
        weight) get the uninformative 0.5. *)
-    let tbl = Storage.table pi in
     let clamp bid =
-      match Storage.row_of_id pi bid with
-      | Some row ->
-        let w = Table.weight tbl row in
-        if Table.is_null_weight w then 0.5 else sigmoid w
-      | None -> 0.5
+      match weight_of bid with
+      | Some w when not (Table.is_null_weight w) -> sigmoid w
+      | Some _ | None -> 0.5
     in
-    Some (solve_local t ~source:(local_source t) ~budget ~clamp id)
+    let view_of id =
+      match weight_of id with
+      | None -> None
+      | Some w ->
+        Some
+          {
+            Snapshot.id;
+            base = not (Table.is_null_weight w);
+            weight = w;
+            marginal = None;
+          }
+    in
+    let s =
+      Snapshot.live ~gibbs:(gibbs_options t) ~obs:t.trace ~view_of ~source
+        ~clamp
+        ~find:(fun ~r ~x ~c1 ~y ~c2 -> Storage.find pi ~r ~x ~c1 ~y ~c2)
+        ~facts:(fun () -> Storage.size pi)
+        ~factors:(fun () -> 0)
+        ()
+    in
+    t.read <- Some s;
+    s
+
+let query_local ?budget t ~r ~x ~c1 ~y ~c2 =
+  Obs.with_ambient t.trace @@ fun () ->
+  Snapshot.query_local ?budget (read_view t) ~r ~x ~c1 ~y ~c2
 
 module Session = struct
   type engine = t
@@ -312,6 +276,9 @@ module Session = struct
         (* facts whose support changed since the last refresh *)
     mutable last_info : Inference.Chromatic.run_info option;
     mutable history : epoch_stats list;  (* newest first *)
+    mutable read : Snapshot.t option;
+        (* frozen snapshot of the current epoch, built on first demand
+           and dropped by every epoch mutation *)
   }
 
   let dred s = s.dred
@@ -334,6 +301,12 @@ module Session = struct
   let record s ~op ~(ins : Incremental.Dred.ingest_stats)
       ~(ret : Incremental.Dred.retract_stats) ~violations ~wall_seconds =
     s.epoch <- s.epoch + 1;
+    (* Every epoch mutation invalidates both read caches: the session's
+       frozen snapshot and the engine's memoized backward source (whose
+       rule-adjacency buckets would otherwise go stale after
+       [retract_rules]/[add_rules] — they are rebuilt on next demand). *)
+    s.read <- None;
+    s.engine.read <- None;
     let st =
       {
         epoch = s.epoch;
@@ -490,6 +463,9 @@ module Session = struct
       | None -> ());
       Hashtbl.reset s.touched;
       s.epoch <- s.epoch + 1;
+      (* A refresh is an epoch too: cached-marginal clamps changed, so
+         any frozen snapshot of the previous epoch is now stale. *)
+      s.read <- None;
       let st =
         {
           epoch = s.epoch;
@@ -542,29 +518,66 @@ module Session = struct
   (* Sessions already maintain the fact↔factor adjacency (the provenance
      index), so the local walk runs over it directly — no rule-table
      probes.  Boundary clamps prefer the last refresh's estimate, then
-     the extraction prior read off the fact's singleton factor. *)
-  let query_local ?budget s ~r ~x ~c1 ~y ~c2 =
+     the extraction prior read off the fact's singleton factor.  The
+     view is live (closures over the provenance index), so it is rebuilt
+     per call — construction is a handful of closures; use {!snapshot}
+     for a frozen, domain-shareable copy instead. *)
+  let live_view s =
     let pi = Gamma.pi s.engine.kb in
-    match Storage.find pi ~r ~x ~c1 ~y ~c2 with
-    | None -> None
-    | Some id ->
-      let adj = Incremental.Dred.local_adjacency s.dred in
-      let prov = Incremental.Dred.provenance s.dred in
-      let g = graph s in
-      let clamp bid =
-        match Hashtbl.find_opt s.marginals bid with
-        | Some p -> p
-        | None -> (
-          match Incremental.Provenance.singleton_of prov bid with
-          | Some f ->
-            let _, _, _, w = Factor_graph.Fgraph.factor g f in
-            sigmoid w
-          | None -> 0.5)
+    let adj = Incremental.Dred.local_adjacency s.dred in
+    let prov = Incremental.Dred.provenance s.dred in
+    let g = graph s in
+    let clamp bid =
+      match Hashtbl.find_opt s.marginals bid with
+      | Some p -> p
+      | None -> (
+        match Incremental.Provenance.singleton_of prov bid with
+        | Some f ->
+          let _, _, _, w = Factor_graph.Fgraph.factor g f in
+          sigmoid w
+        | None -> 0.5)
+    in
+    let view_of id =
+      match Storage.row_of_id pi id with
+      | None -> None
+      | Some row ->
+        Some
+          {
+            Snapshot.id;
+            base = Incremental.Provenance.is_base prov id;
+            weight = Table.weight (Storage.table pi) row;
+            marginal = Hashtbl.find_opt s.marginals id;
+          }
+    in
+    Snapshot.live ~epoch:s.epoch ~gibbs:(gibbs_options s.engine)
+      ~obs:s.engine.trace
+      ~marginal_of:(fun id -> Hashtbl.find_opt s.marginals id)
+      ~view_of
+      ~source:(Grounding.Local.of_adjacency adj)
+      ~clamp
+      ~find:(fun ~r ~x ~c1 ~y ~c2 -> Storage.find pi ~r ~x ~c1 ~y ~c2)
+      ~facts:(fun () -> Storage.size pi)
+      ~factors:(fun () -> Factor_graph.Fgraph.size g)
+      ()
+
+  (* The session's frozen snapshot: everything the read path needs,
+     copied once per epoch (cached until the next mutation), sharing
+     nothing mutable with later epochs. *)
+  let snapshot s =
+    match s.read with
+    | Some v -> v
+    | None ->
+      let v =
+        Snapshot.freeze ~epoch:s.epoch ~marginals:s.marginals
+          ~gibbs:(gibbs_options s.engine) ~obs:s.engine.trace
+          ~pi:(Gamma.pi s.engine.kb) ~graph:(graph s) ()
       in
-      Some
-        (solve_local s.engine
-           ~source:(Grounding.Local.of_adjacency adj)
-           ~budget ~clamp id)
+      s.read <- Some v;
+      v
+
+  let query_local ?budget s ~r ~x ~c1 ~y ~c2 =
+    Obs.with_ambient s.engine.trace @@ fun () ->
+    Snapshot.query_local ?budget (live_view s) ~r ~x ~c1 ~y ~c2
 end
 
 let session t =
@@ -578,10 +591,39 @@ let session t =
     touched = Hashtbl.create 64;
     last_info = None;
     history = [];
+    read = None;
   }
 
+(* ------------------------------------------------------------------ *)
+(* The Snapshot/Writer split: an immutable, domain-shareable read arm
+   and a single mutable write arm that builds the next epoch and
+   atomically publishes it (MVCC-by-epoch; see DESIGN.md §13). *)
+
+module Writer = struct
+  type t = { session : Session.t; published : Snapshot.t Atomic.t }
+
+  let of_session s = { session = s; published = Atomic.make (Session.snapshot s) }
+  let session w = w.session
+  let published w = Atomic.get w.published
+
+  let publish w =
+    let v = Session.snapshot w.session in
+    Atomic.set w.published v;
+    v
+
+  let epoch_lag w =
+    Session.epoch w.session - Snapshot.epoch (Atomic.get w.published)
+end
+
+module Snapshot = struct
+  include Snapshot
+
+  let of_engine = read_view
+  let of_session = Session.snapshot
+end
+
 let incorporate t facts =
-  t.local_source <- None;
+  t.read <- None;
   let pi = Gamma.pi t.kb in
   let delta =
     Table.create ~weighted:true ~name:"delta"

@@ -85,10 +85,13 @@ val run : t -> result
     resulting subgraph — exactly (enumeration) when every connected
     component is small, by chromatic Gibbs otherwise. *)
 
-(** One answered point query. *)
-type local_answer = {
+(** One answered point query (the {!Snapshot.answer} record re-exported;
+    [epoch] is the epoch the answer was computed against — 0 outside
+    sessions). *)
+type local_answer = Snapshot.answer = {
   id : int;  (** the queried fact *)
   marginal : float;  (** P(fact) over the local neighbourhood *)
+  epoch : int;  (** epoch the answer was computed against *)
   interior : int;  (** facts fully expanded by the walk *)
   boundary : int;  (** facts clamped at the truncation frontier *)
   hops : int;  (** backward hops explored *)
@@ -109,7 +112,12 @@ type local_answer = {
     budget and a neighbourhood that fits the exact enumerator, the
     marginal is bit-identical to full-closure exact inference.  Emits a
     ["query_local"] span carrying frontier size, hops, pruned mass and
-    the grounding/inference latency split. *)
+    the grounding/inference latency split.
+
+    @deprecated This is now a thin wrapper over
+    [Snapshot.query_local (Snapshot.of_engine t)] — the engine's cached
+    live read view.  New code (and anything that shares answers across
+    domains) should hold an {!Snapshot.t} explicitly. *)
 val query_local :
   ?budget:Grounding.Local.budget ->
   t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> local_answer option
@@ -211,14 +219,83 @@ module Session : sig
   (** [marginal s id] is the fact's estimate from the last refresh. *)
   val marginal : t -> int -> float option
 
+  (** [snapshot s] is the frozen snapshot of the session's current
+      epoch: every input of the read path — factor rows, fact↔factor
+      adjacency, key map, cached marginals — copied out of the live
+      state, sharing nothing mutable with later epochs.  Cached until
+      the next epoch mutation, so repeated calls between epochs return
+      the {e same} snapshot (what [Engine.Writer.publish] hands to
+      concurrent readers). *)
+  val snapshot : t -> Snapshot.t
+
   (** [query_local ?budget s ~r ~x ~c1 ~y ~c2] is {!val:query_local}
       over the session's maintained provenance index (graph-walk mode —
       no rule-table probes), clamping each boundary fact to its cached
       marginal from the last {!refresh_marginals} when available, else
-      its extraction prior. *)
+      its extraction prior.
+
+      @deprecated This is now a thin wrapper over [Snapshot.query_local]
+      on the session's live read view.  Concurrent readers must use
+      {!snapshot} (frozen, domain-shareable) instead — this entry point
+      reads live session state. *)
   val query_local :
     ?budget:Grounding.Local.budget ->
     t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> local_answer option
+end
+
+(** {1 The Snapshot/Writer split}
+
+    The serving layer's MVCC-by-epoch pair: an immutable, domain-shareable
+    read arm ({!Snapshot.t}) and the single mutable write arm
+    ({!Writer.t}) that commits session epochs and atomically publishes
+    each one.  See DESIGN.md §13. *)
+
+(** The [Snapshot] compilation unit re-exported, plus the constructors
+    that tie it to engines and sessions. *)
+module Snapshot : sig
+  type engine := t
+
+  include module type of struct
+    include Snapshot
+  end
+
+  (** [of_engine t] is the engine's cached live read view (graph-less
+      backward walk over the KB indexes; single-threaded — it reads live
+      storage).  Rebuilt on demand after any mutation. *)
+  val of_engine : engine -> t
+
+  (** [of_session s] is [Session.snapshot s]: the frozen,
+      domain-shareable snapshot of the session's current epoch. *)
+  val of_session : Session.t -> t
+end
+
+(** The write arm: wraps a {!Session.t} (which must no longer be mutated
+    by anyone else) and publishes frozen snapshots for concurrent
+    readers.  All mutations stay on the owning domain; readers only ever
+    touch {!Writer.published}'s result. *)
+module Writer : sig
+  type t
+
+  (** [of_session s] takes ownership of [s] and publishes its current
+      epoch. *)
+  val of_session : Session.t -> t
+
+  (** [session w] is the underlying session — mutate it only from the
+      writer's own domain, then {!publish}. *)
+  val session : t -> Session.t
+
+  (** [published w] is the most recently published snapshot (one atomic
+      load; safe from any domain). *)
+  val published : t -> Snapshot.t
+
+  (** [publish w] freezes the session's current epoch and atomically
+      replaces the published snapshot.  Superseded snapshots are
+      reclaimed by the GC once the last reader drops them. *)
+  val publish : t -> Snapshot.t
+
+  (** [epoch_lag w] is how many epochs the published snapshot trails the
+      session's current epoch (0 right after {!publish}). *)
+  val epoch_lag : t -> int
 end
 
 (** [session t] expands the knowledge base (epoch 0, the batch pipeline

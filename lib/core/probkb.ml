@@ -19,5 +19,11 @@
 
 module Config = Config
 module Engine = Engine
+
+module Snapshot = Engine.Snapshot
+(** The immutable read arm ({!Engine.Snapshot} re-exported at the top
+    level): frozen epoch snapshots shareable across domains, plus the
+    engine/session live views. *)
+
 module Report = Report
 module Obs = Obs

@@ -1,0 +1,301 @@
+module Storage = Kb.Storage
+module Table = Relational.Table
+module Fgraph = Factor_graph.Fgraph
+module Local = Grounding.Local
+
+type view = {
+  id : int;
+  base : bool;
+  weight : float;
+  marginal : float option;
+}
+
+type answer = {
+  id : int;
+  marginal : float;
+  epoch : int;
+  interior : int;
+  boundary : int;
+  hops : int;
+  factors : int;
+  pruned_mass : float;
+  truncated : bool;
+  enumerated : bool;
+  ground_seconds : float;
+  infer_seconds : float;
+}
+
+type stats = {
+  epoch : int;
+  facts : int;
+  factors : int;
+  marginals_cached : int;
+  frozen : bool;
+}
+
+type t = {
+  epoch : int;
+  frozen : bool;
+  source : Local.source;
+  clamp : int -> float;
+  find : r:int -> x:int -> c1:int -> y:int -> c2:int -> int option;
+  view_of : int -> view option;
+  marginal_of : int -> float option;
+  facts : unit -> int;
+  factors : unit -> int;
+  marginals_cached : unit -> int;
+  gibbs : Inference.Gibbs.options;
+  trace : Obs.t;
+  fingerprint : (int * (unit -> int)) option;
+      (* frozen only: hash taken at freeze time + re-hash of the copied
+         factor arrays — equality is proof no writer tore through state
+         the snapshot still references *)
+}
+
+let sigmoid w = 1. /. (1. +. exp (-.w))
+
+let debug_checks =
+  lazy
+    (match Sys.getenv_opt "PROBKB_DEBUG" with
+    | Some ("" | "0") | None -> false
+    | Some _ -> true)
+
+let epoch t = t.epoch
+let frozen t = t.frozen
+
+let stats t =
+  {
+    epoch = t.epoch;
+    facts = t.facts ();
+    factors = t.factors ();
+    marginals_cached = t.marginals_cached ();
+    frozen = t.frozen;
+  }
+
+let find t = t.find
+let view t id = t.view_of id
+let marginal t id = t.marginal_of id
+
+let verify_integrity t =
+  match t.fingerprint with
+  | None -> true
+  | Some (taken, rehash) -> rehash () = taken
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let live ?(epoch = 0) ?(gibbs = Inference.Gibbs.default_options)
+    ?(obs = Obs.null) ?(marginal_of = fun _ -> None)
+    ?(view_of = fun _ -> None) ~source ~clamp ~find ~facts ~factors () =
+  {
+    epoch;
+    frozen = false;
+    source;
+    clamp;
+    find;
+    view_of;
+    marginal_of;
+    facts;
+    factors;
+    marginals_cached = (fun () -> 0);
+    gibbs;
+    trace = obs;
+    fingerprint = None;
+  }
+
+(* FNV-1a over the copied factor arrays: cheap, deterministic, and any
+   in-place mutation of a row the snapshot references moves it. *)
+let fingerprint_of ~fi1 ~fi2 ~fi3 ~fw =
+  let h = ref 0x3f29ce484222325 in
+  let mix v =
+    h := (!h lxor v) * 0x100000001b3
+  in
+  let n = Array.length fi1 in
+  mix n;
+  for f = 0 to n - 1 do
+    mix fi1.(f);
+    mix fi2.(f);
+    mix fi3.(f);
+    mix (Int64.to_int (Int64.bits_of_float fw.(f)))
+  done;
+  !h land max_int
+
+let freeze ?(epoch = 0) ?marginals ?(gibbs = Inference.Gibbs.default_options)
+    ?(obs = Obs.null) ~pi ~graph () =
+  (* Copy the factor rows: frozen snapshots must not alias the live
+     graph ([Fgraph.retain] splices it in place under later epochs). *)
+  let n = Fgraph.size graph in
+  let fi1 = Array.make n 0
+  and fi2 = Array.make n 0
+  and fi3 = Array.make n 0
+  and fw = Array.make n 0.0 in
+  Fgraph.iter
+    (fun f (i1, i2, i3, w) ->
+      fi1.(f) <- i1;
+      fi2.(f) <- i2;
+      fi3.(f) <- i3;
+      fw.(f) <- w)
+    graph;
+  (* Fact↔factor adjacency over the copy — same shape as
+     [Local.adjacency_of_graph], so the walk behaves identically. *)
+  let derives = Hashtbl.create 256
+  and supports = Hashtbl.create 256
+  and singleton = Hashtbl.create 256 in
+  let push tbl k v =
+    Hashtbl.replace tbl k
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  for f = 0 to n - 1 do
+    let i1 = fi1.(f) and i2 = fi2.(f) and i3 = fi3.(f) in
+    if i2 = Fgraph.null && i3 = Fgraph.null then Hashtbl.replace singleton i1 f
+    else begin
+      push derives i1 f;
+      if i2 <> Fgraph.null then push supports i2 f;
+      if i3 <> Fgraph.null && i3 <> i2 then push supports i3 f
+    end
+  done;
+  let iter_of tbl id k =
+    match Hashtbl.find tbl id with
+    | fs -> List.iter k fs
+    | exception Not_found -> ()
+  in
+  let adj =
+    {
+      Local.iter_derivations = iter_of derives;
+      iter_supports = iter_of supports;
+      singleton_of = (fun id -> Hashtbl.find_opt singleton id);
+      factor_of = (fun f -> (fi1.(f), fi2.(f), fi3.(f), fw.(f)));
+    }
+  in
+  (* Key map and weight column for the facts live at snapshot time.
+     [Storage.iter] still exposes tombstoned rows while a delete batch is
+     pending, so each key is confirmed through [Storage.find]. *)
+  let keys = Hashtbl.create (max 16 (Storage.size pi)) in
+  let weights = Hashtbl.create (max 16 (Storage.size pi)) in
+  Storage.iter
+    (fun ~id ~r ~x ~c1 ~y ~c2 ~w ->
+      match Storage.find pi ~r ~x ~c1 ~y ~c2 with
+      | Some live_id when live_id = id ->
+        Hashtbl.replace keys (r, x, c1, y, c2) id;
+        if not (Table.is_null_weight w) then Hashtbl.replace weights id w
+      | Some _ | None -> ())
+    pi;
+  let marg =
+    match marginals with
+    | None -> Hashtbl.create 16
+    | Some m -> Hashtbl.copy m
+  in
+  let clamp id =
+    match Hashtbl.find_opt marg id with
+    | Some p -> p
+    | None -> (
+      match Hashtbl.find_opt singleton id with
+      | Some f -> sigmoid fw.(f)
+      | None -> 0.5)
+  in
+  let view_of id =
+    let base = Hashtbl.mem singleton id in
+    let known =
+      base || Hashtbl.mem weights id
+      || Hashtbl.mem derives id || Hashtbl.mem supports id
+    in
+    if not known then None
+    else
+      Some
+        {
+          id;
+          base;
+          weight =
+            Option.value ~default:Table.null_weight
+              (Hashtbl.find_opt weights id);
+          marginal = Hashtbl.find_opt marg id;
+        }
+  in
+  let taken = fingerprint_of ~fi1 ~fi2 ~fi3 ~fw in
+  {
+    epoch;
+    frozen = true;
+    source = Local.of_adjacency adj;
+    clamp;
+    find =
+      (fun ~r ~x ~c1 ~y ~c2 -> Hashtbl.find_opt keys (r, x, c1, y, c2));
+    view_of;
+    marginal_of = (fun id -> Hashtbl.find_opt marg id);
+    facts = (fun () -> Hashtbl.length keys);
+    factors = (fun () -> n);
+    marginals_cached = (fun () -> Hashtbl.length marg);
+    gibbs;
+    trace = obs;
+    fingerprint = Some (taken, fun () -> fingerprint_of ~fi1 ~fi2 ~fi3 ~fw);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The solve path: local grounding walk → boundary clamp → compile →
+   exact-or-sampled inference, under one "query_local" span whose end
+   attributes carry the frontier/pruning/latency breakdown.  This is
+   the one implementation behind [Engine.query_local],
+   [Session.query_local] and the serving layer. *)
+
+let answer_by_id ?budget t id =
+  if t.frozen && Lazy.force debug_checks && not (verify_integrity t) then
+    invalid_arg
+      "Snapshot.answer_by_id: torn read — frozen state mutated under the \
+       snapshot";
+  let sp = Obs.begin_span ~cat:"engine" t.trace "query_local" in
+  match
+    let t0 = Relational.Stats.now () in
+    let r = Local.run ?budget t.source ~query:id in
+    let ground_seconds = Relational.Stats.now () -. t0 in
+    Inference.Neighborhood.clamp_boundary r.Local.graph
+      ~boundary:r.Local.boundary ~prob:t.clamp;
+    let t1 = Relational.Stats.now () in
+    let c = Fgraph.compile r.Local.graph in
+    let marg, method_used =
+      Inference.Neighborhood.solve ~obs:t.trace ~options:t.gibbs c
+    in
+    let infer_seconds = Relational.Stats.now () -. t1 in
+    let marginal =
+      match Hashtbl.find_opt c.Fgraph.var_of_id id with
+      | Some v -> marg.(v)
+      | None -> 0.5 (* no factor mentions the fact: uniform *)
+    in
+    Obs.add_time t.trace "query_local.ground_seconds" ground_seconds;
+    Obs.add_time t.trace "query_local.infer_seconds" infer_seconds;
+    {
+      id;
+      marginal;
+      epoch = t.epoch;
+      interior = Array.length r.Local.interior;
+      boundary = Array.length r.Local.boundary;
+      hops = r.Local.hops;
+      factors = Fgraph.size r.Local.graph;
+      pruned_mass = r.Local.pruned_mass;
+      truncated = r.Local.truncated;
+      enumerated = method_used = Inference.Neighborhood.Enumerated;
+      ground_seconds;
+      infer_seconds;
+    }
+  with
+  | ans ->
+    Obs.end_span t.trace sp
+      ~attrs:
+        [
+          ("epoch", Obs.I t.epoch);
+          ("interior", Obs.I ans.interior);
+          ("boundary", Obs.I ans.boundary);
+          ("hops", Obs.I ans.hops);
+          ("factors", Obs.I ans.factors);
+          ("pruned_mass", Obs.F ans.pruned_mass);
+          ("truncated", Obs.S (if ans.truncated then "true" else "false"));
+          ("ground_seconds", Obs.F ans.ground_seconds);
+          ("infer_seconds", Obs.F ans.infer_seconds);
+        ];
+    ans
+  | exception e ->
+    Obs.end_span t.trace sp ~attrs:[ ("error", Obs.S "raised") ];
+    raise e
+
+let query_local ?budget t ~r ~x ~c1 ~y ~c2 =
+  match t.find ~r ~x ~c1 ~y ~c2 with
+  | None -> None
+  | Some id -> Some (answer_by_id ?budget t id)

@@ -1,0 +1,133 @@
+(** Immutable epoch snapshots — the shareable read path.
+
+    A snapshot answers point queries ({!query_local}), key lookups
+    ({!find}, {!view}) and cached-marginal reads ({!marginal}) without
+    touching any mutable engine or session state.  Two flavours exist:
+
+    - {!freeze} copies everything the read path needs — the factor rows
+      of [TΦ], the fact↔factor adjacency, the fact-key map and the cached
+      marginals — out of a live session at a given epoch.  The result
+      shares {e nothing} mutable with the writer, so it can be handed to
+      any number of reader domains while the next epoch commits behind
+      it (the serving layer's MVCC-by-epoch read arm; see DESIGN.md
+      §13).  Storage's tombstone discipline keeps fact identifiers
+      stable across deletions, which is what makes the copy cheap: ids,
+      cached marginals and keys all carry over without remapping.
+    - {!live} wraps caller-supplied closures over live state.  Nothing
+      is copied; the caller guarantees single-threaded access.  This is
+      how [Engine.query_local] / [Session.query_local] reuse the same
+      solve path without paying for a freeze per query.
+
+    Both flavours drive the identical grounding-walk → boundary-clamp →
+    compile → exact-or-Gibbs solve, so a frozen snapshot's answers are
+    bit-identical to querying the session it was frozen from.
+
+    Under [PROBKB_DEBUG], every {!query_local} on a frozen snapshot
+    re-hashes the copied factor arrays and compares against the
+    fingerprint taken at freeze time — a torn read (a writer mutating
+    state a snapshot still references) trips the check immediately. *)
+
+(** A fact as seen through a snapshot (mirrors [Engine.Session.fact_view]). *)
+type view = {
+  id : int;
+  base : bool;  (** carries extraction (singleton) support *)
+  weight : float;  (** extraction confidence; null for inferred facts *)
+  marginal : float option;  (** cached estimate, if any *)
+}
+
+(** One answered point query (re-exported as [Engine.local_answer]). *)
+type answer = {
+  id : int;  (** the queried fact *)
+  marginal : float;  (** P(fact) over the local neighbourhood *)
+  epoch : int;  (** the epoch this answer was computed against *)
+  interior : int;  (** facts fully expanded by the walk *)
+  boundary : int;  (** facts clamped at the truncation frontier *)
+  hops : int;  (** backward hops explored *)
+  factors : int;  (** factor rows in the local subgraph (clamps incl.) *)
+  pruned_mass : float;  (** influence discarded at the boundary *)
+  truncated : bool;  (** a budget limit cut the walk short *)
+  enumerated : bool;  (** solved exactly (vs chromatic Gibbs) *)
+  ground_seconds : float;
+  infer_seconds : float;
+}
+
+type stats = {
+  epoch : int;
+  facts : int;  (** live fact keys at snapshot time *)
+  factors : int;  (** factor rows ([TΦ] size; 0 in graph-less live mode) *)
+  marginals_cached : int;
+  frozen : bool;  (** [true] for {!freeze}, [false] for {!live} *)
+}
+
+type t
+
+(** [freeze ?epoch ?marginals ?gibbs ?obs ~pi ~graph ()] copies the read
+    state out of [(pi, graph)] — one O(facts + factors) pass, no
+    re-grounding and no compile.  Tombstoned-but-unflushed facts are
+    excluded (they are already invisible to [Storage.find]).
+    [marginals] (copied) clamps boundary facts in preference to
+    extraction priors.  [obs] receives the per-query spans; pass the
+    server's trace, or leave it [Obs.null]. *)
+val freeze :
+  ?epoch:int ->
+  ?marginals:(int, float) Hashtbl.t ->
+  ?gibbs:Inference.Gibbs.options ->
+  ?obs:Obs.t ->
+  pi:Kb.Storage.t ->
+  graph:Factor_graph.Fgraph.t ->
+  unit ->
+  t
+
+(** [live ...] wraps closures over live state (single-threaded use only).
+    [clamp] maps a boundary fact to its clamp probability; [find] resolves
+    a fact key; [view_of]/[marginal_of] may answer [None] when the backing
+    state does not track them.  [facts]/[factors] seed {!stats}. *)
+val live :
+  ?epoch:int ->
+  ?gibbs:Inference.Gibbs.options ->
+  ?obs:Obs.t ->
+  ?marginal_of:(int -> float option) ->
+  ?view_of:(int -> view option) ->
+  source:Grounding.Local.source ->
+  clamp:(int -> float) ->
+  find:(r:int -> x:int -> c1:int -> y:int -> c2:int -> int option) ->
+  facts:(unit -> int) ->
+  factors:(unit -> int) ->
+  unit ->
+  t
+
+val epoch : t -> int
+val frozen : t -> bool
+val stats : t -> stats
+
+(** [find t ~r ~x ~c1 ~y ~c2] is the queried fact's identifier, if the
+    fact existed (live, not tombstoned) at snapshot time. *)
+val find : t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> int option
+
+(** [view t id] is the fact as of the snapshot ([None] for unknown ids,
+    and always [None] in graph-less live mode). *)
+val view : t -> int -> view option
+
+(** [marginal t id] is the cached estimate carried by the snapshot. *)
+val marginal : t -> int -> float option
+
+(** [query_local ?budget t ~r ~x ~c1 ~y ~c2] answers a point query
+    against the snapshot: backward local-grounding walk, boundary facts
+    clamped to cached marginals (then extraction priors, then 0.5),
+    exact enumeration or chromatic Gibbs over the neighbourhood.  [None]
+    when the fact is unknown at this epoch.  Emits a ["query_local"]
+    span (with an ["epoch"] attribute) on the snapshot's trace. *)
+val query_local :
+  ?budget:Grounding.Local.budget ->
+  t -> r:int -> x:int -> c1:int -> y:int -> c2:int -> answer option
+
+(** [answer_by_id ?budget t id] is {!query_local} when the fact id is
+    already known (ids are stable across epochs). *)
+val answer_by_id : ?budget:Grounding.Local.budget -> t -> int -> answer
+
+(** [verify_integrity t] re-hashes a frozen snapshot's copied factor
+    arrays against the fingerprint taken at freeze time; [true] means no
+    writer has torn through the snapshot's state (always [true] for live
+    snapshots, which make no sharing claim).  Runs automatically per
+    query under [PROBKB_DEBUG]. *)
+val verify_integrity : t -> bool

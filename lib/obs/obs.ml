@@ -642,6 +642,8 @@ module Summary = struct
   let counter t name =
     Option.value ~default:0 (List.assoc_opt name t.counters)
 
+  let gauge t name = List.assoc_opt name t.gauges
+
   (* --- rendering ----------------------------------------------------- *)
 
   let rec pp_node ppf ~depth n =

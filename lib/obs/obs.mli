@@ -236,6 +236,10 @@ module Summary : sig
   (** [counter t name] is the counter's merged total (0 when absent). *)
   val counter : t -> string -> int
 
+  (** [gauge t name] is the gauge's merged value, e.g. the serving
+      layer's [serve.epoch_lag_max] ([None] when never set). *)
+  val gauge : t -> string -> float option
+
   val pp : Format.formatter -> t -> unit
 end
 

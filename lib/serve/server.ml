@@ -1,0 +1,317 @@
+module Json = Obs.Json
+module Writer = Probkb.Engine.Writer
+
+(* A write op in flight: the requesting reader blocks on [m]/[c] until
+   the writer domain fills [reply]. *)
+type job = {
+  rop : Protocol.resolved;
+  m : Mutex.t;
+  c : Condition.t;
+  mutable reply : Json.t option;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  bound : Unix.sockaddr;
+  writer : Writer.t;
+  kb : Kb.Gamma.t;
+  trace : Obs.t;
+  symbols : Mutex.t;  (* guards dictionary access during resolution *)
+  accept_m : Mutex.t;  (* serializes accept() across the reader pool *)
+  stop : bool Atomic.t;
+  queue_m : Mutex.t;
+  queue_c : Condition.t;
+  mutable queue : job list;  (* newest first; drained in reverse *)
+  mutable queue_depth : int;
+  conns_m : Mutex.t;
+  mutable conns : Unix.file_descr list;  (* open connections, for stop *)
+  mutable readers : unit Domain.t list;
+  mutable writer_dom : unit Domain.t option;
+  mutable stopped : bool;
+}
+
+let sockaddr t = t.bound
+
+let port t =
+  match t.bound with Unix.ADDR_INET (_, p) -> Some p | Unix.ADDR_UNIX _ -> None
+
+let writer t = t.writer
+
+(* --- write queue ------------------------------------------------- *)
+
+let enqueue t job =
+  Mutex.lock t.queue_m;
+  t.queue <- job :: t.queue;
+  t.queue_depth <- t.queue_depth + 1;
+  let depth = t.queue_depth in
+  Condition.signal t.queue_c;
+  Mutex.unlock t.queue_m;
+  Obs.gauge t.trace "serve.queue_depth" (float_of_int depth);
+  Obs.gauge_max t.trace "serve.queue_depth_max" (float_of_int depth)
+
+let dequeue t =
+  Mutex.lock t.queue_m;
+  let rec wait () =
+    if t.queue = [] && not (Atomic.get t.stop) then begin
+      Condition.wait t.queue_c t.queue_m;
+      wait ()
+    end
+  in
+  wait ();
+  match List.rev t.queue with
+  | [] ->
+    Mutex.unlock t.queue_m;
+    None (* stopping and drained *)
+  | oldest :: rest ->
+    t.queue <- List.rev rest;
+    t.queue_depth <- t.queue_depth - 1;
+    Mutex.unlock t.queue_m;
+    Some oldest
+
+let fulfil job reply =
+  Mutex.lock job.m;
+  job.reply <- Some reply;
+  Condition.signal job.c;
+  Mutex.unlock job.m
+
+let await job =
+  Mutex.lock job.m;
+  while job.reply = None do
+    Condition.wait job.c job.m
+  done;
+  let r = Option.get job.reply in
+  Mutex.unlock job.m;
+  r
+
+(* --- writer domain ----------------------------------------------- *)
+
+let writer_loop t =
+  let session = Writer.session t.writer in
+  let rec loop () =
+    match dequeue t with
+    | None -> ()
+    | Some job ->
+      Obs.gauge_max t.trace "serve.epoch_lag_max"
+        (float_of_int (Writer.epoch_lag t.writer + 1));
+      let reply =
+        try Protocol.apply session job.rop
+        with e -> Protocol.error_json (Printexc.to_string e)
+      in
+      (* Publish before replying: a client that writes then reads on one
+         connection observes its own write. *)
+      ignore (Writer.publish t.writer);
+      Obs.gauge t.trace "serve.epoch_lag"
+        (float_of_int (Writer.epoch_lag t.writer));
+      Obs.gauge t.trace "serve.epoch"
+        (float_of_int (Probkb.Snapshot.epoch (Writer.published t.writer)));
+      Obs.incr t.trace "serve.writes";
+      fulfil job reply;
+      loop ()
+  in
+  loop ()
+
+(* --- request handling -------------------------------------------- *)
+
+let handle t line =
+  Obs.incr t.trace "serve.requests";
+  let sp = Obs.begin_span ~cat:"serve" t.trace "serve.request" in
+  let finish ~op ~kind reply =
+    Obs.end_span t.trace sp
+      ~attrs:[ ("op", Obs.S op); ("kind", Obs.S kind) ];
+    reply
+  in
+  match Protocol.op_of_line line with
+  | Error m -> finish ~op:"?" ~kind:"error" (Protocol.error_json m)
+  | Ok op -> (
+    let name =
+      match op with
+      | Protocol.Ingest _ -> "ingest"
+      | Protocol.Retract _ -> "retract"
+      | Protocol.Retract_rules _ -> "retract_rules"
+      | Protocol.Add_rules _ -> "add_rules"
+      | Protocol.Reexpand -> "reexpand"
+      | Protocol.Refresh -> "refresh"
+      | Protocol.Query _ -> "query"
+      | Protocol.Query_local _ -> "query_local"
+      | Protocol.Stats -> "stats"
+    in
+    (* Resolution touches the shared dictionaries: serialize it.  Write
+       ops intern; read ops only look up — either way the lock is held
+       for symbol resolution only, never across grounding/inference. *)
+    Mutex.lock t.symbols;
+    let resolved =
+      match Protocol.resolve t.kb op with
+      | r -> r
+      | exception e ->
+        Mutex.unlock t.symbols;
+        raise e
+    in
+    Mutex.unlock t.symbols;
+    match resolved with
+    | Error m -> finish ~op:name ~kind:"error" (Protocol.error_json m)
+    | Ok rop ->
+      if Protocol.is_write op then begin
+        let job = { rop; m = Mutex.create (); c = Condition.create (); reply = None } in
+        enqueue t job;
+        finish ~op:name ~kind:"write" (await job)
+      end
+      else begin
+        Obs.incr t.trace "serve.reads";
+        finish ~op:name ~kind:"read"
+          (Protocol.answer (Writer.published t.writer) rop)
+      end)
+
+(* --- connections -------------------------------------------------- *)
+
+let track_conn t fd =
+  Mutex.lock t.conns_m;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.conns_m
+
+let untrack_conn t fd =
+  Mutex.lock t.conns_m;
+  t.conns <- List.filter (fun c -> c <> fd) t.conns;
+  Mutex.unlock t.conns_m
+
+let serve_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let reply = handle t line in
+         output_string oc (Json.to_string reply);
+         output_char oc '\n';
+         flush oc
+       end;
+       loop ()
+     in
+     loop ()
+   with
+  | End_of_file | Sys_error _ -> ()
+  | Unix.Unix_error (_, _, _) -> ());
+  untrack_conn t fd;
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+let reader_loop t =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else begin
+      let accepted =
+        Mutex.lock t.accept_m;
+        let r =
+          if Atomic.get t.stop then None
+          else
+            match Unix.accept t.fd with
+            | fd, _ -> Some fd
+            | exception Unix.Unix_error (_, _, _) -> None
+        in
+        Mutex.unlock t.accept_m;
+        r
+      in
+      match accepted with
+      | None -> if Atomic.get t.stop then () else loop ()
+      | Some fd ->
+        track_conn t fd;
+        serve_conn t fd;
+        loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle ---------------------------------------------------- *)
+
+let start ?(pool = 1) ?(backlog = 16) ?(obs = Obs.null) ~kb ~writer ~addr () =
+  if pool < 1 then invalid_arg "Server.start: pool must be >= 1";
+  (* A client closing mid-reply must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Unix.ADDR_UNIX path -> if Sys.file_exists path then Sys.remove path);
+  Unix.bind fd addr;
+  Unix.listen fd backlog;
+  let t =
+    {
+      fd;
+      bound = Unix.getsockname fd;
+      writer;
+      kb;
+      trace = obs;
+      symbols = Mutex.create ();
+      accept_m = Mutex.create ();
+      stop = Atomic.make false;
+      queue_m = Mutex.create ();
+      queue_c = Condition.create ();
+      queue = [];
+      queue_depth = 0;
+      conns_m = Mutex.create ();
+      conns = [];
+      readers = [];
+      writer_dom = None;
+      stopped = false;
+    }
+  in
+  t.writer_dom <- Some (Domain.spawn (fun () -> writer_loop t));
+  t.readers <-
+    List.init pool (fun _ -> Domain.spawn (fun () -> reader_loop t));
+  t
+
+(* Closing a listening socket does not wake a thread already blocked in
+   accept() on Linux; connecting (and immediately abandoning) a throwaway
+   client does.  accept() is serialized by [accept_m], so at most one
+   reader is parked inside it — one successful poke is enough, but poking
+   is cheap and idempotent. *)
+let poke_accept t =
+  let domain =
+    match t.bound with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  match Unix.socket domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd ->
+    (try Unix.connect fd t.bound with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stop true;
+    (* Wake the reader parked in accept(), then unblock future accepts
+       and any connection read. *)
+    poke_accept t;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ());
+    Mutex.lock t.conns_m;
+    let conns = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error (_, _, _) -> ())
+      conns;
+    Mutex.lock t.queue_m;
+    Condition.broadcast t.queue_c;
+    Mutex.unlock t.queue_m;
+    List.iter Domain.join t.readers;
+    t.readers <- [];
+    (match t.writer_dom with
+    | Some d ->
+      (* Readers are gone; wake the writer so it drains and exits. *)
+      Mutex.lock t.queue_m;
+      Condition.broadcast t.queue_c;
+      Mutex.unlock t.queue_m;
+      Domain.join d;
+      t.writer_dom <- None
+    | None -> ());
+    match t.bound with
+    | Unix.ADDR_UNIX path when Sys.file_exists path -> (
+      try Sys.remove path with Sys_error _ -> ())
+    | _ -> ()
+  end

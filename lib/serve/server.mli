@@ -1,0 +1,60 @@
+(** The network front-end: epoch-snapshot reads under live writes.
+
+    A pool of reader domains drives a shared accept loop on one listening
+    socket (TCP or Unix-domain).  Each connection speaks the NDJSON
+    protocol of {!Protocol}: one op per line, one reply document per
+    line.  Read ops ([query], [query_local], [stats]) are answered on the
+    reader's own domain against the {e currently published} frozen
+    snapshot — one atomic load, no lock shared with the writer.  Write
+    ops are enqueued to the single writer domain, which applies them to
+    the underlying session in arrival order, publishes the new epoch's
+    snapshot, and wakes the requesting reader with the ledger reply.
+
+    Consistency model: a read observes exactly one published epoch
+    (snapshot isolation; answers carry the epoch they were computed
+    against).  A write's reply is sent only after its epoch is
+    published, so a client that writes then reads on one connection sees
+    its own write.  Readers never block on writers and vice versa — the
+    only shared points are the snapshot pointer (atomic), the symbol
+    dictionaries (a mutex held during request resolution only; read ops
+    only look symbols up) and the write queue.
+
+    Telemetry on the server's trace: a ["serve.request"] span per
+    request (op + outcome attributes), ["serve.requests"] /
+    ["serve.reads"] / ["serve.writes"] counters, and
+    ["serve.queue_depth"] / ["serve.epoch_lag"] gauges (current and
+    [_max] high-water marks). *)
+
+type t
+
+(** [start ?pool ?backlog ?obs ~kb ~writer ~addr ()] binds [addr]
+    (use port 0 to let the kernel pick — see {!port}), spawns the writer
+    domain and [pool] reader domains, and returns immediately.  [kb]
+    must be the knowledge base underlying [writer]'s session.  [obs]
+    (default: no-op) receives the per-request telemetry.  SIGPIPE is
+    ignored process-wide (client disconnects surface as [EPIPE]
+    errors). *)
+val start :
+  ?pool:int ->
+  ?backlog:int ->
+  ?obs:Obs.t ->
+  kb:Kb.Gamma.t ->
+  writer:Probkb.Engine.Writer.t ->
+  addr:Unix.sockaddr ->
+  unit ->
+  t
+
+(** [sockaddr t] is the actual bound address (with the kernel-assigned
+    port resolved). *)
+val sockaddr : t -> Unix.sockaddr
+
+(** [port t] is the bound TCP port ([None] for Unix-domain sockets). *)
+val port : t -> int option
+
+(** [writer t] is the writer arm passed to {!start}. *)
+val writer : t -> Probkb.Engine.Writer.t
+
+(** [stop t] shuts down: closes the listening socket and every open
+    connection, drains the writer queue, and joins all domains.
+    Idempotent. *)
+val stop : t -> unit

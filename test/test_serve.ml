@@ -1,0 +1,467 @@
+(* The serving layer: the shared op codec, the Snapshot/Writer split,
+   and the socket server's snapshot-isolation guarantees.
+
+   The load-bearing property is the concurrency differential: answers
+   observed by reader domains racing a committing writer must be
+   bit-identical to querying each published epoch serially — a reader
+   sees exactly one epoch, never a blend. *)
+
+(* Force the torn-read fingerprint checks on for this whole binary:
+   every frozen-snapshot query below re-hashes the copied factor tables
+   and fails loudly on any aliasing with live session state. *)
+let () = Unix.putenv "PROBKB_DEBUG" "1"
+
+module Gamma = Kb.Gamma
+module Storage = Kb.Storage
+module Dict = Relational.Dict
+module Local = Grounding.Local
+module Json = Obs.Json
+module Engine = Probkb.Engine
+module Session = Probkb.Engine.Session
+module Snapshot = Probkb.Snapshot
+module Writer = Probkb.Engine.Writer
+module Protocol = Serve.Protocol
+module Server = Serve.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let sigmoid w = 1. /. (1. +. exp (-.w))
+
+let no_infer_engine kb =
+  Engine.create ~config:(Probkb.Config.make ~inference:None ()) kb
+
+(* Resolve a string key to dictionary ids (interning — test setup only). *)
+let key_ids kb (r, x, c1, y, c2) =
+  ( Gamma.relation kb r,
+    Gamma.entity kb x,
+    Gamma.cls kb c1,
+    Gamma.entity kb y,
+    Gamma.cls kb c2 )
+
+(* --- the shared codec -------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let key = ("r", "x", "C1", "y", "C2") in
+  let ops =
+    [
+      Protocol.Ingest [ (key, 0.9); (("s", "a", "C", "b", "C"), 0.5) ];
+      Protocol.Retract { keys = [ key ]; ban = true };
+      Protocol.Retract { keys = []; ban = false };
+      Protocol.Retract_rules { head = "r" };
+      Protocol.Add_rules [ "1.40 live_in(x:W, y:P) :- born_in(x, y)" ];
+      Protocol.Reexpand;
+      Protocol.Refresh;
+      Protocol.Query key;
+      Protocol.Query_local { key; budget = None };
+      Protocol.Query_local
+        {
+          key;
+          budget =
+            Some
+              (Local.budget ~max_facts:64 ~max_hops:3 ~decay:0.8
+                 ~min_influence:0.01 ());
+        };
+      Protocol.Stats;
+    ]
+  in
+  List.iter
+    (fun op ->
+      match Protocol.op_of_line (Json.to_string (Protocol.op_to_json op)) with
+      | Ok op' -> check_bool "op survives the wire round-trip" true (op = op')
+      | Error m -> Alcotest.failf "round-trip rejected: %s" m)
+    ops
+
+let test_codec_errors () =
+  let err line =
+    match Protocol.op_of_line line with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "accepted: %s" line
+  in
+  check_string "parse failure" "malformed JSON" (err "{");
+  check_string "no op member" "missing op" (err {|{"x":1}|});
+  check_string "unknown op" "unknown op \"frobnicate\""
+    (err {|{"op":"frobnicate"}|});
+  check_string "query without key" "query needs a key" (err {|{"op":"query"}|});
+  check_string "retract_rules without head" "retract_rules needs a head relation"
+    (err {|{"op":"retract_rules"}|});
+  check_string "bad budget" "Local.budget: decay must be in (0, 1]"
+    (err {|{"op":"query_local","key":["r","x","C","y","C"],"decay":0.0}|})
+
+let test_resolve_reads_never_intern () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let unknown = ("born_in", "Nobody At All", "W", "Nowhere", "P") in
+  (match Protocol.resolve kb (Protocol.Query unknown) with
+  | Ok (Protocol.RQuery None) -> ()
+  | _ -> Alcotest.fail "unknown key should resolve to RQuery None");
+  (match Protocol.resolve kb (Protocol.Query_local { key = unknown; budget = None })
+   with
+  | Ok (Protocol.RQuery_local { key = None; _ }) -> ()
+  | _ -> Alcotest.fail "unknown key should resolve to RQuery_local None");
+  check_bool "read-path resolution did not intern the entity" true
+    (Dict.find_opt (Gamma.entities kb) "Nobody At All" = None)
+
+let test_step_session_semantics () =
+  (* [step] is the session subcommand's whole interpreter: write, then
+     read your write, on one session. *)
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let s = Engine.session (no_infer_engine kb) in
+  let reply =
+    Protocol.step kb s
+      {|{"op":"ingest","facts":[["born_in","Saul Bellow","W","Montreal","C",0.7]]}|}
+  in
+  check_bool "ingest reports epoch 1" true
+    (Json.member "epoch" reply = Some (Json.Int 1));
+  let reply =
+    Protocol.step kb s
+      {|{"op":"query","key":["born_in","Saul Bellow","W","Montreal","C"]}|}
+  in
+  check_bool "the ingested fact is found" true
+    (Json.member "found" reply = Some (Json.Bool true));
+  let reply = Protocol.step kb s {|{"op":"refresh"}|} in
+  check_bool "refresh without inference answers an error" true
+    (Json.member "error" reply <> None)
+
+(* --- freeze = live ----------------------------------------------------- *)
+
+let test_freeze_equals_live () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let s = Engine.session (no_infer_engine kb) in
+  let snap = Session.snapshot s in
+  check_bool "session snapshot is frozen" true (Snapshot.frozen snap);
+  check_bool "frozen snapshot verifies" true (Snapshot.verify_integrity snap);
+  check_bool "snapshot is cached per epoch" true
+    (Session.snapshot s == snap);
+  let st = Snapshot.stats snap in
+  check_int "stats count the storage" (Storage.size (Gamma.pi kb))
+    st.Snapshot.facts;
+  Storage.iter
+    (fun ~id ~r ~x ~c1 ~y ~c2 ~w:_ ->
+      match
+        ( Session.query_local s ~r ~x ~c1 ~y ~c2,
+          Snapshot.query_local snap ~r ~x ~c1 ~y ~c2 )
+      with
+      | Some live, Some frz ->
+        check_bool
+          (Printf.sprintf "fact %d: frozen marginal = live marginal" id)
+          true
+          (live.Engine.marginal = frz.Snapshot.marginal);
+        check_int "ids agree" live.Engine.id frz.Snapshot.id;
+        check_int "answers carry the session epoch" live.Engine.epoch
+          frz.Snapshot.epoch
+      | _ -> Alcotest.failf "fact %d missing from one side" id)
+    (Gamma.pi kb)
+
+(* --- snapshot immutability --------------------------------------------- *)
+
+let test_snapshot_immutable_across_epochs () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let s = Engine.session (no_infer_engine kb) in
+  let snap0 = Session.snapshot s in
+  let keys = ref [] in
+  Storage.iter
+    (fun ~id ~r ~x ~c1 ~y ~c2 ~w:_ -> keys := (id, (r, x, c1, y, c2)) :: !keys)
+    (Gamma.pi kb);
+  let facts0 = Storage.size (Gamma.pi kb) in
+  let answer snap (r, x, c1, y, c2) =
+    match Snapshot.query_local snap ~r ~x ~c1 ~y ~c2 with
+    | Some a -> a.Snapshot.marginal
+    | None -> Alcotest.fail "key not answered"
+  in
+  let before = List.map (fun (id, k) -> (id, k, answer snap0 k)) !keys in
+  (* A second writer born in both places adds a support factor to
+     located_in(Brooklyn, NYC) — the old component's marginals move. *)
+  let f1 = key_ids kb ("born_in", "Saul Bellow", "W", "Brooklyn", "P") in
+  let f2 = key_ids kb ("born_in", "Saul Bellow", "W", "New York City", "C") in
+  let tup (r, x, c1, y, c2) w = (r, x, c1, y, c2, w) in
+  let st = Session.ingest s [ tup f1 0.8; tup f2 0.8 ] in
+  check_int "two facts ingested" 2 st.Session.inserted;
+  let snap1 = Session.snapshot s in
+  check_bool "a new epoch was published" true
+    (Snapshot.epoch snap1 > Snapshot.epoch snap0);
+  check_bool "the cache rolled over" true (snap1 != snap0);
+  (* The old snapshot answers exactly what it answered before. *)
+  check_int "old snapshot still counts the old facts" facts0
+    (Snapshot.stats snap0).Snapshot.facts;
+  List.iter
+    (fun (id, k, m) ->
+      check_bool
+        (Printf.sprintf "fact %d: old snapshot's answer is unchanged" id)
+        true
+        (answer snap0 k = m))
+    before;
+  let located =
+    key_ids kb ("located_in", "Brooklyn", "P", "New York City", "C")
+  in
+  check_bool "the new evidence moved the new epoch's marginal" true
+    (answer snap1 located <> answer snap0 located);
+  let r, x, c1, y, c2 = f1 in
+  check_bool "old snapshot cannot find the new fact" true
+    (Snapshot.find snap0 ~r ~x ~c1 ~y ~c2 = None);
+  check_bool "new snapshot finds it" true
+    (Snapshot.find snap1 ~r ~x ~c1 ~y ~c2 <> None);
+  check_bool "old snapshot still verifies after the commit" true
+    (Snapshot.verify_integrity snap0)
+
+(* --- engine cache invalidation on session rule edits ------------------- *)
+
+(* Regression: the engine's memoized backward source used to survive
+   [Session.add_rules] / [retract_rules], so point queries answered
+   against the stale rule set.  Every epoch mutation must drop it. *)
+let test_engine_sees_session_rule_edits () =
+  let kb = Gamma.create () in
+  ignore (Gamma.add_fact_by_name kb ~r:"r0" ~x:"a" ~c1:"C" ~y:"b" ~c2:"C" ~w:0.8);
+  let engine = no_infer_engine kb in
+  let s = Engine.session engine in
+  let r0, x, c1, y, c2 = key_ids kb ("r0", "a", "C", "b", "C") in
+  let marginal_of_r0 () =
+    match Engine.query_local engine ~r:r0 ~x ~c1 ~y ~c2 with
+    | Some a -> a.Engine.marginal
+    | None -> Alcotest.fail "r0(a,b) not answered"
+  in
+  (* Warm the memoized source with the rule-free KB. *)
+  check_bool "no rules: P = sigmoid(w)" true (marginal_of_r0 () = sigmoid 0.8);
+  let clauses =
+    Mln.Parse.parse_lines
+      ~intern_rel:(Gamma.relation kb)
+      ~intern_cls:(Gamma.cls kb)
+      [ "1.10 r1(x:C, y:C) :- r0(x, y)" ]
+  in
+  let st = Session.add_rules s clauses in
+  check_int "the rule derives r1(a,b)" 1 st.Session.derived;
+  let r1 = Gamma.relation kb "r1" in
+  check_bool "engine answers the newly derived fact" true
+    (Engine.query_local engine ~r:r1 ~x ~c1 ~y ~c2 <> None);
+  check_bool "the rule factor moved the base marginal" true
+    (marginal_of_r0 () <> sigmoid 0.8);
+  let st =
+    Session.retract_rules s ~remove:(fun c -> c.Mln.Clause.head_rel = r1)
+  in
+  check_int "retracting the rule retracts its derivation" 1
+    st.Session.retracted;
+  check_bool "the derived fact is gone from the engine" true
+    (Engine.query_local engine ~r:r1 ~x ~c1 ~y ~c2 = None);
+  check_bool "the base marginal is the prior again, bitwise" true
+    (marginal_of_r0 () = sigmoid 0.8)
+
+(* --- concurrency differential ------------------------------------------ *)
+
+(* K feeder relations q0..q{K-1} each imply r1; the writer ingests one
+   feeder fact per epoch, shifting the whole component's marginals.
+   Readers race the commits; afterwards, every recorded (key, epoch,
+   marginal) triple must equal the serial replay of that epoch's
+   published snapshot, bit for bit. *)
+let test_concurrent_readers_differential () =
+  let epochs = 5 and n_readers = 3 in
+  let kb = Gamma.create () in
+  let rules =
+    "1.10 r1(x:C, y:C) :- r0(x, y)"
+    :: "0.90 r2(x:C, y:C) :- r1(x, y)"
+    :: List.init epochs (fun i ->
+           Printf.sprintf "0.70 r1(x:C, y:C) :- q%d(x, y)" i)
+  in
+  ignore (Kb.Loader.load_rules kb rules);
+  ignore (Gamma.add_fact_by_name kb ~r:"r0" ~x:"a" ~c1:"C" ~y:"b" ~c2:"C" ~w:0.9);
+  (* Pre-intern everything the writer will touch: readers must not race
+     dictionary mutation (the server serializes this under a lock; here
+     we exercise the raw Snapshot/Writer layer). *)
+  let feeders =
+    List.init epochs (fun i ->
+        key_ids kb (Printf.sprintf "q%d" i, "a", "C", "b", "C"))
+  in
+  let s = Engine.session (no_infer_engine kb) in
+  let writer = Writer.of_session s in
+  let keys =
+    List.map (fun r -> key_ids kb (r, "a", "C", "b", "C")) [ "r0"; "r1"; "r2" ]
+  in
+  let snaps = Array.make (epochs + 1) (Writer.published writer) in
+  let stop = Atomic.make false in
+  let records = Array.make n_readers [] in
+  let readers =
+    List.init n_readers (fun ri ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              let snap = Writer.published writer in
+              List.iteri
+                (fun ki (r, x, c1, y, c2) ->
+                  match Snapshot.query_local snap ~r ~x ~c1 ~y ~c2 with
+                  | Some a ->
+                    acc := (ki, a.Snapshot.epoch, a.Snapshot.marginal) :: !acc
+                  | None -> Alcotest.fail "key missing from a snapshot")
+                keys
+            done;
+            records.(ri) <- !acc))
+  in
+  List.iteri
+    (fun i (r, x, c1, y, c2) ->
+      ignore (Session.ingest s [ (r, x, c1, y, c2, 0.8) ]);
+      snaps.(i + 1) <- Writer.publish writer;
+      Unix.sleepf 0.01 (* let readers observe this epoch *))
+    feeders;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  (* Serial replay: the per-epoch oracle. *)
+  let expected = Hashtbl.create 64 in
+  Array.iteri
+    (fun i snap ->
+      check_int "published snapshots are successive epochs" i
+        (Snapshot.epoch snap);
+      List.iteri
+        (fun ki (r, x, c1, y, c2) ->
+          match Snapshot.query_local snap ~r ~x ~c1 ~y ~c2 with
+          | Some a -> Hashtbl.replace expected (ki, i) a.Snapshot.marginal
+          | None -> Alcotest.fail "key missing from serial replay")
+        keys)
+    snaps;
+  let observations = ref 0 in
+  Array.iter
+    (List.iter (fun (ki, e, m) ->
+         incr observations;
+         match Hashtbl.find_opt expected (ki, e) with
+         | None -> Alcotest.failf "reader observed unpublished epoch %d" e
+         | Some m' ->
+           check_bool
+             (Printf.sprintf "key %d at epoch %d: bitwise equal to replay" ki e)
+             true (m = m')))
+    records;
+  check_bool "readers observed at least one answer" true (!observations > 0);
+  (* Marginals genuinely moved across epochs — the differential is not
+     vacuous. *)
+  check_bool "epochs have distinct answers" true
+    (Hashtbl.find expected (1, 0) <> Hashtbl.find expected (1, epochs))
+
+(* --- the socket server -------------------------------------------------- *)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let send_op oc op = send oc (Json.to_string (Protocol.op_to_json op))
+
+let test_server_end_to_end () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  let s = Engine.session (no_infer_engine kb) in
+  let facts0 = Storage.size (Gamma.pi kb) in
+  let writer = Writer.of_session s in
+  let srv =
+    Server.start ~pool:2 ~kb ~writer
+      ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+      ()
+  in
+  let addr = Server.sockaddr srv in
+  check_bool "a real port was bound" true (Server.port srv <> None);
+  let connect () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  (* Concurrent clients: each ingests its own fact and must read it back
+     on the same connection (the write reply is sent only after its
+     epoch is published). *)
+  let n_clients = 3 in
+  let results = Array.make n_clients false in
+  let clients =
+    List.init n_clients (fun ci ->
+        Domain.spawn (fun () ->
+            let fd, ic, oc = connect () in
+            let name = Printf.sprintf "client%d" ci in
+            let key = ("born_in", name, "W", "Springfield", "P") in
+            send_op oc (Protocol.Ingest [ (key, 0.7) ]);
+            let ingest_ok =
+              match Json.of_string_opt (input_line ic) with
+              | Some doc -> Json.member "epoch" doc <> None
+              | None -> false
+            in
+            send_op oc (Protocol.Query key);
+            let read_ok =
+              match Json.of_string_opt (input_line ic) with
+              | Some doc -> Json.member "found" doc = Some (Json.Bool true)
+              | None -> false
+            in
+            send oc {|{"op":"bogus"}|};
+            let err_ok =
+              match Json.of_string_opt (input_line ic) with
+              | Some doc -> Json.member "error" doc <> None
+              | None -> false
+            in
+            results.(ci) <- ingest_ok && read_ok && err_ok;
+            try Unix.close fd with Unix.Unix_error (_, _, _) -> ()))
+  in
+  List.iter Domain.join clients;
+  Array.iteri
+    (fun i ok ->
+      check_bool (Printf.sprintf "client %d read its own write" i) true ok)
+    results;
+  (* A fresh connection sees all three committed epochs, and the local
+     point query answers over the wire. *)
+  let fd, ic, oc = connect () in
+  send_op oc Protocol.Stats;
+  (match Json.of_string_opt (input_line ic) with
+  | Some doc ->
+    check_bool "stats reports the committed epochs" true
+      (Json.member "epoch" doc = Some (Json.Int n_clients));
+    check_bool "stats counts the ingested facts (and their derivations)" true
+      (match Json.member "facts" doc with
+      | Some (Json.Int n) -> n >= facts0 + n_clients
+      | _ -> false)
+  | None -> Alcotest.fail "stats reply did not parse");
+  send_op oc
+    (Protocol.Query_local
+       { key = ("born_in", "Ruth Gruber", "W", "Brooklyn", "P"); budget = None });
+  (match Json.of_string_opt (input_line ic) with
+  | Some doc ->
+    check_bool "query_local found the fact" true
+      (Json.member "found" doc = Some (Json.Bool true));
+    check_bool "the answer carries an epoch" true
+      (Json.member "epoch" doc = Some (Json.Int n_clients));
+    check_bool "the marginal is a number" true
+      (match Json.member "marginal" doc with
+      | Some (Json.Float _) -> true
+      | _ -> false)
+  | None -> Alcotest.fail "query_local reply did not parse");
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  Server.stop srv;
+  Server.stop srv (* idempotent *);
+  check_bool "the socket refuses connections after stop" true
+    (match connect () with
+    | exception Unix.Unix_error (_, _, _) -> true
+    | fd, _, _ ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      false)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "ops round-trip the wire" `Quick
+            test_codec_roundtrip;
+          Alcotest.test_case "malformed input" `Quick test_codec_errors;
+          Alcotest.test_case "read resolution never interns" `Quick
+            test_resolve_reads_never_intern;
+          Alcotest.test_case "session-mode step" `Quick
+            test_step_session_semantics;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "freeze = live, bitwise" `Quick
+            test_freeze_equals_live;
+          Alcotest.test_case "immutable across epochs" `Quick
+            test_snapshot_immutable_across_epochs;
+          Alcotest.test_case "engine sees session rule edits" `Quick
+            test_engine_sees_session_rule_edits;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "readers = serial replay" `Quick
+            test_concurrent_readers_differential;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end over a socket" `Quick
+            test_server_end_to_end;
+        ] );
+    ]
