@@ -10,7 +10,9 @@ test:
 # disabled (PROBKB_DOMAINS=1, no domains spawned) and with a 4-domain
 # pool, with the debug assertions (e.g. colouring verification) on.
 # Then the observability smoke: `--explain --metrics json` must put
-# exactly one well-formed JSON document on stdout (chatter is stderr).
+# exactly one well-formed JSON document on stdout (chatter is stderr),
+# and a live `probkb serve` must answer /metrics + /statusz scrapes,
+# keep a well-formed access log, and print its shutdown summary.
 check: build
 	PROBKB_DOMAINS=1 PROBKB_DEBUG=1 dune runtest --force
 	PROBKB_DOMAINS=4 PROBKB_DEBUG=1 dune runtest --force
@@ -28,6 +30,7 @@ check: build
 	  | python3 -c 'import json,sys; d=[json.loads(l) for l in sys.stdin]; \
 	    assert len(d)==3 and "epoch" in d[0] and "epoch" in d[1] \
 	      and d[2]=={"found":False}, d; print("session smoke ok")'
+	python3 scripts/serve_smoke.py _build/default/bin/probkb_cli.exe _smoke
 	rm -rf _smoke
 
 bench:

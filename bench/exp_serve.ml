@@ -12,6 +12,11 @@
    answer bit-for-bit what that epoch answers serially — snapshot
    isolation, measured and checked.
 
+   The server runs with telemetry on and an admin listener attached:
+   one timed mid-run GET /metrics scrape records what a live Prometheus
+   poll costs, and a final scrape checks the exposed per-op request
+   count against the client side's.
+
    Writes BENCH_serve.json with the same [stages.{stage}.seconds.{d}]
    shape as the other artifacts ("serve" = wall clock of the full query
    load at that pool size), so [Compare] gates it unchanged. *)
@@ -28,6 +33,7 @@ module Snapshot = Probkb.Snapshot
 module Writer = Probkb.Engine.Writer
 module Protocol = Serve.Protocol
 module Server = Serve.Server
+module Admin = Serve.Admin
 
 let stage_names = [ "serve" ]
 
@@ -53,6 +59,42 @@ let request oc ic line =
   output_char oc '\n';
   flush oc;
   input_line ic
+
+(* A one-shot HTTP/1.0 GET against the admin listener (what a
+   Prometheus poll does), returning the raw response. *)
+let http_get addr path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc ("GET " ^ path ^ " HTTP/1.0\r\nHost: bench\r\n\r\n");
+      flush oc;
+      let ic = Unix.in_channel_of_descr fd in
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf)
+
+(* The value of an exposition line ["<series> <value>"], parsed as an
+   int ([-1] when the series is absent). *)
+let scraped_int text series =
+  let value = ref (-1) in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let prefix = series ^ " " in
+         let np = String.length prefix in
+         if String.length line > np && String.sub line 0 np = prefix then
+           match
+             int_of_string_opt (String.sub line np (String.length line - np))
+           with
+           | Some v -> value := v
+           | None -> ());
+  !value
 
 (* A reader client: replay [keys] (index, string-key) in batches of
    [batch] per connection, recording per-request latency and the
@@ -192,19 +234,43 @@ let run () =
   let times = Hashtbl.create 8 in
   let qps = Hashtbl.create 8 in
   let p50s = Hashtbl.create 8 and p99s = Hashtbl.create 8 in
+  let scrapes = Hashtbl.create 8 in
   let identical = ref true in
+  let scrape_consistent = ref true in
   List.iter
     (fun d ->
       let kb = copy_kb proto in
-      let engine = Probkb.Engine.create ~config kb in
+      (* Telemetry on: the measured wall clock includes histogram
+         recording per request, and the admin listener is scraped live —
+         the serving numbers are what an observable deployment pays. *)
+      let engine =
+        Probkb.Engine.create
+          ~config:
+            (Probkb.Config.make ~inference:(Some (Inference.Marginal.Chromatic gibbs))
+               ~obs:(Obs.Config.make ~enabled:true ~retain_spans:1024 ())
+               ())
+          kb
+      in
       let s = Probkb.Engine.session engine in
       let writer = Writer.of_session s in
       let srv =
-        Server.start ~pool:d ~kb ~writer
+        Server.start ~pool:d ~obs:(Probkb.Engine.trace engine) ~kb ~writer
           ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
           ()
       in
       let addr = Server.sockaddr srv in
+      let admin =
+        Admin.start
+          ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+          ~routes:
+            [
+              ( "/metrics",
+                Admin.route ~content_type:"text/plain; version=0.0.4"
+                  (fun () -> Server.metrics_text srv) );
+            ]
+          ()
+      in
+      let admin_addr = Admin.sockaddr admin in
       (* Round-robin slices: reader i replays keys i, i+d, i+2d, ... *)
       let slice i =
         List.filteri (fun j _ -> j mod d = i) query_keys
@@ -217,8 +283,25 @@ let run () =
             Domain.spawn (fun () ->
                 reader_client addr ~batch ~budget (slice i)))
       in
+      (* One timed mid-run scrape: the cost of a Prometheus poll while
+         readers and the writer are hot (merges every domain's buffers). *)
+      let scrape_t0 = Unix.gettimeofday () in
+      ignore (http_get admin_addr "/metrics");
+      let scrape_s = Unix.gettimeofday () -. scrape_t0 in
       let results = List.map Domain.join readers in
       Domain.join writer_dom;
+      (* Final scrape, after every reply has been received: the scraped
+         per-op request count must equal the client-side count (requests
+         record their telemetry before the reply is written). *)
+      let final = http_get admin_addr "/metrics" in
+      let counted =
+        scraped_int final "serve_request_seconds_count{op=\"query_local\"}"
+      in
+      if counted <> n_queries then begin
+        scrape_consistent := false;
+        note "pool=%d scrape mismatch: scraped %d, sent %d" d counted n_queries
+      end;
+      Admin.stop admin;
       Server.stop srv;
       let wall =
         List.fold_left (fun m (_, _, _, w) -> Float.max m w) 0. results
@@ -242,14 +325,16 @@ let run () =
       Hashtbl.replace qps d q;
       Hashtbl.replace p50s d p50;
       Hashtbl.replace p99s d p99;
+      Hashtbl.replace scrapes d scrape_s;
       measured
         "pool=%d  %d queries in %6.3fs  qps %6.0f  p50 %.6fs  p99 %.6fs  \
-         epochs seen %d/%d  mismatches %d"
+         epochs seen %d/%d  mismatches %d  scrape %.6fs"
         d n_queries wall q p50 p99
         (Hashtbl.length epochs_seen)
-        (n_writes + 1) !mismatches)
+        (n_writes + 1) !mismatches scrape_s)
     pools;
   measured "all replies identical to serial per-epoch replay: %b" !identical;
+  measured "scraped request counts match the client side: %b" !scrape_consistent;
   let t stage d = Hashtbl.find times (stage, d) in
   let oversubscribed d = d > host_cores in
   let per_pool f = List.map (fun d -> (string_of_int d, f d)) pools in
@@ -273,6 +358,9 @@ let run () =
         ("writes", Json.Int n_writes);
         ("budget", Json.Int 32);
         ("identical_results", Json.Bool !identical);
+        ("scrape_consistent", Json.Bool !scrape_consistent);
+        ( "scrape_seconds",
+          Json.Obj (per_pool (fun d -> Json.Float (Hashtbl.find scrapes d))) );
         ("qps", Json.Obj (per_pool (fun d -> Json.Float (Hashtbl.find qps d))));
         ( "p50_seconds",
           Json.Obj (per_pool (fun d -> Json.Float (Hashtbl.find p50s d))) );

@@ -657,7 +657,7 @@ let serve_client target =
   0
 
 let serve_run facts rules constraints sc theta iterations samples pool port
-    socket connect verbose =
+    socket connect admin_port access_log slow_ms metrics verbose =
   setup_logs verbose;
   match (connect, facts, rules) with
   | Some target, _, _ -> serve_client target
@@ -671,9 +671,15 @@ let serve_run facts rules constraints sc theta iterations samples pool port
         (Inference.Marginal.Chromatic
            { Inference.Gibbs.default_options with samples })
     in
+    (* The serving trace is always on: request histograms and counters
+       are the server's runtime surface (/metrics, /statusz, the metrics
+       op).  Span history is capped per domain — the cumulative metrics
+       are unaffected, only explain-style span aggregation forgets old
+       requests. *)
+    let obs = Probkb.Obs.Config.make ~enabled:true ~retain_spans:4096 () in
     let engine =
       Probkb.Engine.create
-        ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference ())
+        ~config:(config ~obs ~sc ~theta ~mpp:false ~iterations ~inference ())
         kb
     in
     let s = Probkb.Engine.session engine in
@@ -683,9 +689,11 @@ let serve_run facts rules constraints sc theta iterations samples pool port
       | Some path -> Unix.ADDR_UNIX path
       | None -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
     in
+    let access_oc = Option.map open_out access_log in
     let srv =
-      Serve.Server.start ~pool ~obs:(Probkb.Engine.trace engine) ~kb ~writer
-        ~addr ()
+      Serve.Server.start ~pool ~obs:(Probkb.Engine.trace engine)
+        ?access_log:(Option.map Serve.Server.ndjson_sink access_oc)
+        ?slow_ms ~kb ~writer ~addr ()
     in
     (match (Serve.Server.port srv, socket) with
     | Some p, _ ->
@@ -698,6 +706,31 @@ let serve_run facts rules constraints sc theta iterations samples pool port
         (Kb.Storage.size (Kb.Gamma.pi kb))
         (Factor_graph.Fgraph.size (Probkb.Engine.Session.graph s))
     | None, None -> ());
+    let admin =
+      match admin_port with
+      | None -> None
+      | Some p ->
+        let a =
+          Serve.Admin.start
+            ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+            ~routes:
+              [
+                ( "/metrics",
+                  Serve.Admin.route ~content_type:"text/plain; version=0.0.4"
+                    (fun () -> Serve.Server.metrics_text srv) );
+                ( "/statusz",
+                  Serve.Admin.route ~content_type:"application/json" (fun () ->
+                      Obs.Json.to_string (Serve.Server.status_json srv) ^ "\n")
+                );
+              ]
+            ()
+        in
+        (match Serve.Admin.port a with
+        | Some ap ->
+          Format.eprintf "admin on 127.0.0.1:%d (/metrics, /statusz)@." ap
+        | None -> ());
+        Some a
+    in
     (* The handler may run on any domain under OCaml 5 — an atomic flag,
        not a plain ref, so the main loop is guaranteed to observe it. *)
     let stop_requested = Atomic.make false in
@@ -708,7 +741,24 @@ let serve_run facts rules constraints sc theta iterations samples pool port
       try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done;
     Format.eprintf "shutting down@.";
+    Option.iter Serve.Admin.stop admin;
     Serve.Server.stop srv;
+    (* Shutdown summary: the final merged telemetry, after every domain
+       has been joined (so nothing is still recording). *)
+    let summary = Obs.Summary.of_trace (Probkb.Engine.trace engine) in
+    (match metrics with
+    | Some Mjson -> print_endline (Obs.Json.to_string (Obs.Summary.to_json summary))
+    | Some Mtext | None ->
+      Format.eprintf
+        "served %d requests (%d reads, %d writes), final epoch %d@."
+        (Obs.Summary.counter summary "serve.requests")
+        (Obs.Summary.counter summary "serve.reads")
+        (Obs.Summary.counter summary "serve.writes")
+        (match Obs.Summary.gauge summary "serve.epoch" with
+        | Some e -> int_of_float e
+        | None -> 0);
+      Format.eprintf "%a@." Obs.Summary.pp summary);
+    Option.iter close_out access_oc;
     0
 
 let serve_cmd =
@@ -760,16 +810,49 @@ let serve_cmd =
       & info [ "rules" ] ~docv:"FILE"
           ~doc:"Rules file, one Horn clause per line (server mode).")
   in
+  let admin_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Expose GET /metrics (Prometheus text) and GET /statusz (JSON) \
+             on this loopback TCP port; 0 picks a free port (printed on \
+             stderr).")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one NDJSON record per request: \
+             {ts, id, op, kind, seconds, epoch, slow}.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold in milliseconds: slower requests are \
+             counted, marked in the access log, and logged with their full \
+             span subtree (grounding hops, boundary, pruned mass).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the knowledge base over a socket: concurrent reads against \
           the published epoch snapshot, writes committed behind it by a \
-          single writer domain (NDJSON protocol, one op per line).")
+          single writer domain (NDJSON protocol, one op per line).  \
+          Telemetry: $(b,--admin-port) for HTTP scraping, the in-band \
+          $(b,metrics) op, $(b,--access-log)/$(b,--slow-ms) for structured \
+          request logs, and a shutdown summary on SIGINT/SIGTERM (to stderr, \
+          or as JSON on stdout with $(b,--metrics) json).")
     Term.(
       const serve_run $ facts_opt $ rules_opt $ constraints_arg $ sc_arg
       $ theta_arg $ iterations_arg $ samples $ pool $ port $ socket $ connect
-      $ verbose_arg)
+      $ admin_port $ access_log $ slow_ms $ metrics_arg $ verbose_arg)
 
 (* --- query --- *)
 

@@ -324,6 +324,9 @@ module Session = struct
       }
     in
     s.history <- st :: s.history;
+    (* Epoch-duration distribution: under the serving layer this is the
+       writer arm's per-epoch cost, the other half of epoch lag. *)
+    Obs.observe s.engine.trace "session.epoch_seconds" wall_seconds;
     Obs.snapshot s.engine.trace ~stage:"session" ~point:"epoch" ~step:st.epoch
       ~perf:[ ("wall_seconds", Obs.F wall_seconds) ]
       [
@@ -483,6 +486,7 @@ module Session = struct
         }
       in
       s.history <- st :: s.history;
+      Obs.observe s.engine.trace "refresh.seconds" st.wall_seconds;
       Some st
 
   type fact_view = {

@@ -261,6 +261,14 @@ let answer_by_id ?budget t id =
     in
     Obs.add_time t.trace "query_local.ground_seconds" ground_seconds;
     Obs.add_time t.trace "query_local.infer_seconds" infer_seconds;
+    (* Latency and frontier-size distributions — ProPPR-style budgeted
+       inference costs vary wildly per query, which totals hide. *)
+    Obs.observe t.trace "query_local.seconds"
+      (ground_seconds +. infer_seconds);
+    Obs.observe t.trace "query_local.ground_seconds_dist" ground_seconds;
+    Obs.observe t.trace "query_local.infer_seconds_dist" infer_seconds;
+    Obs.observe t.trace "query_local.factors_dist"
+      (float_of_int (Fgraph.size r.Local.graph));
     {
       id;
       marginal;

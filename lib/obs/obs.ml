@@ -3,15 +3,147 @@ module Json = Json
 let now = Unix.gettimeofday
 
 module Config = struct
-  type t = { enabled : bool }
+  type t = { enabled : bool; retain_spans : int option }
 
-  let disabled = { enabled = false }
-  let enabled = { enabled = true }
+  let disabled = { enabled = false; retain_spans = None }
+  let enabled = { enabled = true; retain_spans = None }
   let default = disabled
-  let make ?(enabled = false) () = { enabled }
+  let make ?(enabled = false) ?retain_spans () = { enabled; retain_spans }
 end
 
 type value = I of int | F of float | S of string
+
+(* --- histograms ------------------------------------------------------
+
+   A fixed log-bucketed histogram: 40 finite buckets whose upper bounds
+   double from 1e-6 (1µs up to ~5.5e5 in the recorded unit) plus one
+   overflow bucket.  Counts and the sum are integers — the sum is kept in
+   micro-units — so merging per-domain histograms is integer addition and
+   therefore independent of merge order: the merged result is
+   bit-identical for every pool size, unlike a float sum. *)
+
+module Hist = struct
+  let lo = 1e-6
+  let finite_buckets = 40
+  let n_buckets = finite_buckets + 1
+
+  (* Upper bound of finite bucket [i]; bucket 0 holds v <= 1e-6, the
+     overflow bucket everything above [bound (finite_buckets - 1)]. *)
+  let bound i = lo *. Float.pow 2. (float_of_int i)
+
+  type t = {
+    mutable count : int;
+    mutable sum_micro : int;  (* sum in 1e-6 units, rounded per sample *)
+    buckets : int array;  (* length n_buckets; last is overflow *)
+  }
+
+  let create () = { count = 0; sum_micro = 0; buckets = Array.make n_buckets 0 }
+  let copy h = { h with buckets = Array.copy h.buckets }
+
+  let micro v =
+    if Float.is_finite v then int_of_float (Float.round (v *. 1e6)) else 0
+
+  let bucket_of v =
+    if v <= lo then 0 (* NaN falls through every comparison to overflow *)
+    else begin
+      (* Start from a log2 estimate (may be off by one either way from
+         float rounding), then walk up to the first bound >= v. *)
+      let est = int_of_float (Float.ceil (Float.log (v /. lo) /. Float.log 2.)) in
+      let i = ref (max 0 (min finite_buckets (est - 2))) in
+      while !i < finite_buckets && v > bound !i do incr i done;
+      !i
+    end
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.sum_micro <- h.sum_micro + micro v;
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1
+
+  let merge_into dst src =
+    dst.count <- dst.count + src.count;
+    dst.sum_micro <- dst.sum_micro + src.sum_micro;
+    Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets
+
+  let count h = h.count
+  let sum_micro h = h.sum_micro
+  let sum h = float_of_int h.sum_micro /. 1e6
+  let buckets h = Array.copy h.buckets
+  let equal a b = a.count = b.count && a.sum_micro = b.sum_micro
+                  && a.buckets = b.buckets
+
+  (* Rank-interpolated quantile over the bucket bounds; the overflow
+     bucket clamps to the last finite bound (there is no upper edge). *)
+  let quantile h q =
+    if h.count = 0 then Float.nan
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = q *. float_of_int h.count in
+      let rec go i cum =
+        if i >= n_buckets then bound (finite_buckets - 1)
+        else begin
+          let here = h.buckets.(i) in
+          let cum' = cum + here in
+          if here > 0 && float_of_int cum' >= rank then
+            if i >= finite_buckets then bound (finite_buckets - 1)
+            else begin
+              let lower = if i = 0 then 0. else bound (i - 1) in
+              let frac = (rank -. float_of_int cum) /. float_of_int here in
+              lower +. (Float.max 0. frac *. (bound i -. lower))
+            end
+          else go (i + 1) cum'
+        end
+      in
+      go 0 0
+    end
+
+  (* Upper bound of the highest occupied bucket (an upper estimate of the
+     maximum observation); nan when empty. *)
+  let max_value h =
+    let rec go i =
+      if i < 0 then Float.nan
+      else if h.buckets.(i) > 0 then bound (min i (finite_buckets - 1))
+      else go (i - 1)
+    in
+    go (n_buckets - 1)
+
+  (* Sparse encoding: only occupied buckets, keyed by index. *)
+  let to_json h =
+    let bs = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.buckets.(i) > 0 then
+        bs := (string_of_int i, Json.Int h.buckets.(i)) :: !bs
+    done;
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum_micro", Json.Int h.sum_micro);
+        ("buckets", Json.Obj !bs);
+      ]
+
+  let decode_error what = failwith ("Obs.Hist.of_json: malformed " ^ what)
+
+  let of_json j =
+    let int k =
+      match Option.bind (Json.member k j) Json.to_int with
+      | Some v -> v
+      | None -> decode_error k
+    in
+    let h = create () in
+    h.count <- int "count";
+    h.sum_micro <- int "sum_micro";
+    (match Json.member "buckets" j with
+    | Some (Json.Obj kvs) ->
+      List.iter
+        (fun (k, v) ->
+          match (int_of_string_opt k, Json.to_int v) with
+          | Some i, Some c when i >= 0 && i < n_buckets -> h.buckets.(i) <- c
+          | _ -> decode_error "buckets")
+        kvs
+    | None -> ()
+    | Some _ -> decode_error "buckets");
+    h
+end
 
 let json_of_value = function
   | I i -> Json.Int i
@@ -159,10 +291,12 @@ type span = {
 type buffer = {
   dom_id : int;
   mutable closed : span list; (* newest first *)
+  mutable n_closed : int;
   mutable stack : span list; (* open spans on this domain *)
   counters : (string, int ref) Hashtbl.t;
   timers : (string, float ref) Hashtbl.t;
   gauges : (string, (int * float) ref) Hashtbl.t; (* write seq, value *)
+  hists : (string, Hist.t) Hashtbl.t;
   mutable seq : int;
 }
 
@@ -170,6 +304,11 @@ type registry = { reg_mutex : Mutex.t; mutable all : buffer list }
 
 type t = {
   enabled : bool;
+  (* Closed spans kept per domain: [None] is unbounded (batch pipelines
+     summarize everything); a long-running server bounds it so the span
+     history does not grow without limit.  Counters, timers, gauges and
+     histograms are cumulative and unaffected. *)
+  retain_spans : int option;
   t_start : float;
   next_id : int Atomic.t;
   gauge_seq : int Atomic.t;
@@ -196,14 +335,16 @@ let fresh_buffer dom_id =
   {
     dom_id;
     closed = [];
+    n_closed = 0;
     stack = [];
     counters = Hashtbl.create 16;
     timers = Hashtbl.create 16;
     gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
     seq = 0;
   }
 
-let make_trace enabled =
+let make_trace ?retain_spans enabled =
   let registry = { reg_mutex = Mutex.create (); all = [] } in
   let key =
     Domain.DLS.new_key (fun () ->
@@ -215,6 +356,7 @@ let make_trace enabled =
   in
   {
     enabled;
+    retain_spans;
     t_start = now ();
     next_id = Atomic.make 1;
     gauge_seq = Atomic.make 0;
@@ -226,7 +368,9 @@ let make_trace enabled =
     snapshot_seq = Atomic.make 0;
   }
 
-let create ?(config = Config.default) () = make_trace config.Config.enabled
+let create ?(config = Config.default) () =
+  make_trace ?retain_spans:config.Config.retain_spans config.Config.enabled
+
 let null = make_trace false
 let enabled t = t.enabled
 
@@ -325,6 +469,18 @@ let end_span ?(attrs = []) t sp =
     in
     b.stack <- pop b.stack;
     b.closed <- s :: b.closed;
+    b.n_closed <- b.n_closed + 1;
+    (* Amortized truncation: let the list grow to twice the cap, then
+       keep the newest [cap] (one O(cap) pass per cap closures). *)
+    (match t.retain_spans with
+    | Some cap when b.n_closed > 2 * cap ->
+      let rec take n acc = function
+        | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+        | _ -> List.rev acc
+      in
+      b.closed <- take cap [] b.closed;
+      b.n_closed <- cap
+    | _ -> ());
     if b.dom_id = t.creator_dom then Atomic.set t.ambient_parent s.parent
 
 let with_span ?cat ?(attrs = []) t name f =
@@ -339,6 +495,77 @@ let with_span ?cat ?(attrs = []) t name f =
       end_span ~attrs:(("error", S (Printexc.to_string e)) :: attrs) t sp;
       raise e
   end
+
+(* --- recorded span subtrees ------------------------------------------
+
+   A materialized copy of a closed span and its same-domain descendants,
+   for structured logging (the serving layer's slow-query log).  Only
+   spans closed on the domain that ran the root are collected — work
+   fanned out through the pool is summarized by the request's own
+   duration, not expanded. *)
+
+module Rec_span = struct
+  type t = {
+    name : string;
+    cat : string;
+    seconds : float;
+    attrs : (string * value) list;
+    children : t list;
+  }
+
+  let rec to_json r =
+    Json.Obj
+      ([ ("name", Json.String r.name); ("seconds", Json.Float r.seconds) ]
+      @ (if r.cat = "" then [] else [ ("cat", Json.String r.cat) ])
+      @ (if r.attrs = [] then []
+         else
+           [
+             ( "attrs",
+               Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) r.attrs)
+             );
+           ])
+      @
+      if r.children = [] then []
+      else [ ("children", Json.List (List.map to_json r.children)) ])
+end
+
+(* Span ids are allocated at [begin_span] from one global counter, so on
+   a single domain ids increase with begin time; every span begun and
+   closed while [root] was open on this domain is a descendant (the stack
+   parenting rule).  In the newest-first closed list those descendants
+   form the contiguous block right behind [root]'s own entry.  Call this
+   promptly after [end_span], on the same domain, before retention
+   truncation can drop the block. *)
+let subtree t sp =
+  match sp with
+  | No_span -> None
+  | Sp root ->
+    let b = Domain.DLS.get t.key in
+    let rec find = function
+      | s :: rest when s.id = root.id -> Some rest
+      | s :: rest when s.id > root.id -> find rest
+      | _ -> None
+    in
+    (match find b.closed with
+    | None -> None
+    | Some behind ->
+      let rec take acc = function
+        | s :: rest when s.id > root.id -> take (s :: acc) rest
+        | _ -> acc
+      in
+      let desc = take [] behind in
+      let children_of pid = List.filter (fun s -> s.parent = pid) desc in
+      let seconds s = if Float.is_nan s.t1 then 0. else s.t1 -. s.t0 in
+      let rec build s =
+        {
+          Rec_span.name = s.name;
+          cat = s.cat;
+          seconds = seconds s;
+          attrs = List.rev s.attrs;
+          children = List.map build (children_of s.id);
+        }
+      in
+      Some (build root))
 
 (* --- counters / timers / gauges --- *)
 
@@ -379,6 +606,17 @@ let gauge_max t name v =
     | None ->
       Hashtbl.replace b.gauges name
         (ref (Atomic.fetch_and_add t.gauge_seq 1, v))
+  end
+
+let observe t name v =
+  if t.enabled then begin
+    let b = Domain.DLS.get t.key in
+    match Hashtbl.find_opt b.hists name with
+    | Some h -> Hist.observe h v
+    | None ->
+      let h = Hist.create () in
+      Hist.observe h v;
+      Hashtbl.replace b.hists name h
   end
 
 let timed t name f =
@@ -445,10 +683,18 @@ module Summary = struct
     counters : (string * int) list;
     timers : (string * float) list;
     gauges : (string * float) list;
+    hists : (string * Hist.t) list;
   }
 
   let empty =
-    { total_seconds = 0.; spans = []; counters = []; timers = []; gauges = [] }
+    {
+      total_seconds = 0.;
+      spans = [];
+      counters = [];
+      timers = [];
+      gauges = [];
+      hists = [];
+    }
 
   (* Aggregation node under construction. *)
   type agg = {
@@ -538,10 +784,25 @@ module Summary = struct
         Hashtbl.fold (fun k (_, v) acc -> (k, v) :: acc) merged []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
+      let hists =
+        (* Integer merge: element-wise sums are independent of buffer
+           order, so the merged histogram is bit-identical at any pool
+           size. *)
+        let merged = Hashtbl.create 8 in
+        List.iter
+          (fun (k, h) ->
+            match Hashtbl.find_opt merged k with
+            | Some m -> Hist.merge_into m h
+            | None -> Hashtbl.replace merged k (Hist.copy h))
+          (sorted_list (fun b ->
+               Hashtbl.fold (fun k h acc -> (k, h) :: acc) b.hists []));
+        Hashtbl.fold (fun k h acc -> (k, h) :: acc) merged []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
       let total_seconds =
         List.fold_left (fun acc n -> acc +. n.seconds) 0. tree.children
       in
-      { total_seconds; spans = tree.children; counters; timers; gauges }
+      { total_seconds; spans = tree.children; counters; timers; gauges; hists }
     end
 
   (* --- JSON ---------------------------------------------------------- *)
@@ -568,6 +829,8 @@ module Summary = struct
           Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.timers) );
         ( "gauges",
           Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.gauges) );
+        ( "hists",
+          Json.Obj (List.map (fun (k, h) -> (k, Hist.to_json h)) t.hists) );
       ]
 
   let decode_error what = failwith ("Obs.Summary.of_json: malformed " ^ what)
@@ -622,6 +885,10 @@ module Summary = struct
       counters = assoc_of_json "counters" Json.to_int (Json.member "counters" j);
       timers = assoc_of_json "timers" Json.to_float (Json.member "timers" j);
       gauges = assoc_of_json "gauges" Json.to_float (Json.member "gauges" j);
+      hists =
+        assoc_of_json "hists"
+          (fun j -> try Some (Hist.of_json j) with Failure _ -> None)
+          (Json.member "hists" j);
     }
 
   let of_json_string s = of_json (Json.of_string s)
@@ -643,6 +910,7 @@ module Summary = struct
     Option.value ~default:0 (List.assoc_opt name t.counters)
 
   let gauge t name = List.assoc_opt name t.gauges
+  let hist t name = List.assoc_opt name t.hists
 
   (* --- rendering ----------------------------------------------------- *)
 
@@ -677,6 +945,14 @@ module Summary = struct
       List.iter
         (fun (k, v) -> Format.fprintf ppf "  %-34s %12.3f@," k v)
         t.gauges
+    end;
+    if t.hists <> [] then begin
+      Format.fprintf ppf "histograms:@,";
+      List.iter
+        (fun (k, h) ->
+          Format.fprintf ppf "  %-34s %8dx p50=%.4g p99=%.4g@," k
+            (Hist.count h) (Hist.quantile h 0.5) (Hist.quantile h 0.99))
+        t.hists
     end;
     Format.fprintf ppf "@]"
 end

@@ -48,18 +48,82 @@ module Json : sig
 end
 
 module Config : sig
-  type t = { enabled : bool }
+  type t = {
+    enabled : bool;
+    retain_spans : int option;
+        (** per-domain cap on retained closed spans ([None] = unbounded).
+            Long-running processes (the serving layer) set a cap so span
+            history does not grow without limit; counters, timers, gauges
+            and histograms are cumulative and unaffected. *)
+  }
 
   val default : t
   (** disabled *)
 
   val disabled : t
   val enabled : t
-  val make : ?enabled:bool -> unit -> t
+  val make : ?enabled:bool -> ?retain_spans:int -> unit -> t
 end
 
 (** Attribute values attached to spans. *)
 type value = I of int | F of float | S of string
+
+(** {2 Histograms}
+
+    Fixed log-bucketed histograms: 40 finite buckets whose upper bounds
+    double from [1e-6] (microseconds to ~6.4 days when recording
+    seconds), plus one overflow bucket.  All state is integral — the sum
+    is kept in rounded micro-units — so merging per-domain histograms is
+    commutative integer addition and the merged result is bit-identical
+    for every pool size. *)
+
+module Hist : sig
+  type t
+
+  val finite_buckets : int
+  (** number of finite buckets (40) *)
+
+  val n_buckets : int
+  (** [finite_buckets + 1]: the last bucket is the overflow bucket *)
+
+  (** [bound i] is the upper bound of finite bucket [i]
+      ([1e-6 * 2. ** i]); bucket [0] holds observations [<= 1e-6], the
+      overflow bucket everything above [bound (finite_buckets - 1)]. *)
+  val bound : int -> float
+
+  val create : unit -> t
+  val copy : t -> t
+
+  (** [observe h v] records one observation ([NaN] lands in the overflow
+      bucket; non-finite values contribute 0 to the sum). *)
+  val observe : t -> float -> unit
+
+  (** [merge_into dst src] adds [src]'s counts and sum into [dst]. *)
+  val merge_into : t -> t -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+  (** sum of observations, from the micro-unit accumulator *)
+
+  val sum_micro : t -> int
+  val buckets : t -> int array
+
+  (** [quantile h q] is the rank-interpolated [q]-quantile estimate over
+      the bucket bounds: [nan] when empty; observations in the overflow
+      bucket clamp to the last finite bound. *)
+  val quantile : t -> float -> float
+
+  (** [max_value h] is the upper bound of the highest occupied bucket
+      ([nan] when empty). *)
+  val max_value : t -> float
+
+  val equal : t -> t -> bool
+  val to_json : t -> Json.t
+
+  (** @raise Failure on JSON that does not encode a histogram. *)
+  val of_json : Json.t -> t
+end
 
 (** {2 Live-run snapshots}
 
@@ -176,7 +240,33 @@ val with_span :
   (unit -> 'a) ->
   'a
 
-(** {2 Counters, timers, gauges} *)
+(** {2 Recorded span subtrees}
+
+    Materialized copies of closed spans for structured logging — the
+    serving layer's slow-query log dumps the full [serve.request]
+    subtree (grounding hops, boundary sizes, pruned mass) as JSON. *)
+
+module Rec_span : sig
+  type t = {
+    name : string;
+    cat : string;
+    seconds : float;
+    attrs : (string * value) list;
+    children : t list;
+  }
+
+  val to_json : t -> Json.t
+end
+
+(** [subtree t sp] is the just-ended span [sp] with its same-domain
+    descendants, oldest first.  Call it on the domain that ran the span,
+    immediately after [end_span] (before {!Config.retain_spans}
+    truncation can drop the descendants).  [None] on a disabled trace or
+    when the span is no longer retained.  Spans fanned out to other pool
+    domains are not expanded. *)
+val subtree : t -> sp -> Rec_span.t option
+
+(** {2 Counters, timers, gauges, histograms} *)
 
 val add : t -> string -> int -> unit
 val incr : t -> string -> unit
@@ -187,6 +277,10 @@ val gauge : t -> string -> float -> unit
 
 (** [gauge_max t name v] keeps the maximum over all writes. *)
 val gauge_max : t -> string -> float -> unit
+
+(** [observe t name v] records one observation into histogram [name] on
+    the calling domain's buffer (race-free, like counters). *)
+val observe : t -> string -> float -> unit
 
 (** [timed t name f] accumulates [f]'s duration into timer [name]. *)
 val timed : t -> string -> (unit -> 'a) -> 'a
@@ -213,6 +307,7 @@ module Summary : sig
     counters : (string * int) list;  (** sorted by name *)
     timers : (string * float) list;
     gauges : (string * float) list;
+    hists : (string * Hist.t) list;  (** merged per-domain histograms *)
   }
 
   val empty : t
@@ -239,6 +334,10 @@ module Summary : sig
   (** [gauge t name] is the gauge's merged value, e.g. the serving
       layer's [serve.epoch_lag_max] ([None] when never set). *)
   val gauge : t -> string -> float option
+
+  (** [hist t name] is the merged histogram ([None] when never
+      observed). *)
+  val hist : t -> string -> Hist.t option
 
   val pp : Format.formatter -> t -> unit
 end

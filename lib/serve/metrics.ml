@@ -1,0 +1,189 @@
+(* Prometheus text exposition of an [Obs.Summary].
+
+   The mapping is mechanical: counters become [<name>_total] counter
+   families, timers become [<name>_seconds_total] (they accumulate
+   seconds), gauges keep their name, histograms expand to the
+   [_bucket]/[_sum]/[_count] triple with cumulative [le] bounds.  Metric
+   names containing the [|k=v,...] label convention (e.g.
+   ["serve.request_seconds|op=query_local"]) split into one family with
+   labelled series; series of one family share a single [# TYPE] line. *)
+
+module Hist = Obs.Hist
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+let mangle name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || c = '_' || c = ':'
+        || (i > 0 && c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+(* Label values: escape backslash, double quote, newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* ["base|k=v,k2=v2"] -> [("base", [k, v; k2, v2])]; no '|' -> no
+   labels.  A malformed label chunk (no '=') is kept as an opaque
+   ["label"] value rather than dropped. *)
+let split_labels name =
+  match String.index_opt name '|' with
+  | None -> (name, [])
+  | Some i ->
+    let base = String.sub name 0 i in
+    let rest = String.sub name (i + 1) (String.length name - i - 1) in
+    let labels =
+      String.split_on_char ',' rest
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun chunk ->
+             match String.index_opt chunk '=' with
+             | Some j ->
+               ( String.sub chunk 0 j,
+                 String.sub chunk (j + 1) (String.length chunk - j - 1) )
+             | None -> ("label", chunk))
+    in
+    (base, labels)
+
+let fmt_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=%S" (mangle k) (escape_label v))
+           labels)
+    ^ "}"
+
+(* Shortest float form that round-trips through Prometheus parsers well
+   enough for bounds and values. *)
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let counter_family base =
+  let base = mangle base in
+  if ends_with ~suffix:"_total" base then base else base ^ "_total"
+
+let timer_family base =
+  let base = mangle base in
+  let base = if ends_with ~suffix:"_seconds" base then base
+             else base ^ "_seconds" in
+  base ^ "_total"
+
+(* One exposition family: every labelled series sharing a base name and
+   type, emitted under one [# TYPE] header. *)
+type series = { labels : (string * string) list; body : Buffer.t -> unit }
+type family = { typ : string; mutable series : series list (* newest first *) }
+
+let render (s : Obs.Summary.t) =
+  let families : (string, family) Hashtbl.t = Hashtbl.create 32 in
+  let order : string list ref = ref [] in
+  let add fam typ labels body =
+    match Hashtbl.find_opt families fam with
+    | Some f -> f.series <- { labels; body } :: f.series
+    | None ->
+      Hashtbl.replace families fam { typ; series = [ { labels; body } ] };
+      order := fam :: !order
+  in
+  let simple fam v =
+   fun buf labels ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" fam (fmt_labels labels) v)
+  in
+  List.iter
+    (fun (name, v) ->
+      let base, labels = split_labels name in
+      let fam = counter_family base in
+      add fam "counter" labels (fun buf ->
+          simple fam (string_of_int v) buf labels))
+    s.Obs.Summary.counters;
+  List.iter
+    (fun (name, v) ->
+      let base, labels = split_labels name in
+      let fam = timer_family base in
+      add fam "counter" labels (fun buf -> simple fam (fmt_float v) buf labels))
+    s.Obs.Summary.timers;
+  List.iter
+    (fun (name, v) ->
+      let base, labels = split_labels name in
+      let fam = mangle base in
+      add fam "gauge" labels (fun buf -> simple fam (fmt_float v) buf labels))
+    s.Obs.Summary.gauges;
+  List.iter
+    (fun (name, h) ->
+      let base, labels = split_labels name in
+      let fam = mangle base in
+      add fam "histogram" labels (fun buf ->
+          let buckets = Hist.buckets h in
+          let cum = ref 0 in
+          (* Occupied buckets only (cumulative values stay correct and
+             the text stays small); the [+Inf] bucket is always last. *)
+          Array.iteri
+            (fun i c ->
+              if c > 0 then begin
+                cum := !cum + c;
+                let le =
+                  if i >= Hist.finite_buckets then None
+                  else Some (fmt_float (Hist.bound i))
+                in
+                match le with
+                | Some le ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" fam
+                       (fmt_labels (labels @ [ ("le", le) ]))
+                       !cum)
+                | None -> ()
+              end)
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" fam
+               (fmt_labels (labels @ [ ("le", "+Inf") ]))
+               (Hist.count h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" fam (fmt_labels labels)
+               (fmt_float (Hist.sum h)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" fam (fmt_labels labels)
+               (Hist.count h))))
+    s.Obs.Summary.hists;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      let f = Hashtbl.find families fam in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam f.typ);
+      List.iter (fun series -> series.body buf) (List.rev f.series))
+    (List.rev !order);
+  Buffer.contents buf
+
+(* Convenience JSON view of one histogram for /statusz. *)
+let hist_json h =
+  Obs.Json.Obj
+    [
+      ("count", Obs.Json.Int (Hist.count h));
+      ("sum", Obs.Json.Float (Hist.sum h));
+      ("p50", Obs.Json.Float (Hist.quantile h 0.5));
+      ("p90", Obs.Json.Float (Hist.quantile h 0.9));
+      ("p99", Obs.Json.Float (Hist.quantile h 0.99));
+      ("max", Obs.Json.Float (Hist.max_value h));
+    ]

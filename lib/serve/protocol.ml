@@ -19,12 +19,13 @@ type op =
   | Query of key
   | Query_local of { key : key; budget : Local.budget option }
   | Stats
+  | Metrics
 
 let is_write = function
   | Ingest _ | Retract _ | Retract_rules _ | Add_rules _ | Reexpand | Refresh
     ->
     true
-  | Query _ | Query_local _ | Stats -> false
+  | Query _ | Query_local _ | Stats | Metrics -> false
 
 let error_json msg = Json.Obj [ ("error", Json.String msg) ]
 
@@ -100,6 +101,7 @@ let op_of_json doc =
       | Error m -> Error m
       | Ok budget -> Ok (Query_local { key; budget })))
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some other -> Error (Printf.sprintf "unknown op %S" other)
 
 let op_of_line line =
@@ -173,6 +175,7 @@ let op_to_json = function
              else [ ("min_influence", Json.Float b.Local.min_influence) ]);
           ])
   | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Metrics -> Json.Obj [ ("op", Json.String "metrics") ]
 
 (* ------------------------------------------------------------------ *)
 (* Symbol resolution *)
@@ -190,6 +193,7 @@ type resolved =
       budget : Local.budget option;
     }
   | RStats
+  | RMetrics
 
 let intern_key kb (r, x, c1, y, c2) =
   ( Gamma.relation kb r,
@@ -239,6 +243,7 @@ let resolve kb = function
   | Query_local { key; budget } ->
     Ok (RQuery_local { key = lookup_key kb key; budget })
   | Stats -> Ok RStats
+  | Metrics -> Ok RMetrics
 
 (* ------------------------------------------------------------------ *)
 (* Reply documents *)
@@ -294,10 +299,16 @@ let stats_json (st : Snapshot.stats) =
       ("frozen", Json.Bool st.Snapshot.frozen);
     ]
 
+(* The [metrics] reply: the trace's merged summary (histograms
+   included).  Counters and histograms are cumulative, so scraping is
+   read-only; span aggregation reflects whatever the trace retained. *)
+let metrics_json obs =
+  Json.Obj [ ("metrics", Obs.Summary.to_json (Obs.Summary.of_trace obs)) ]
+
 (* ------------------------------------------------------------------ *)
 (* Interpreters *)
 
-let apply s = function
+let apply ?(obs = Obs.null) s = function
   | RIngest facts -> Probkb.Report.epoch_to_json (Session.ingest s facts)
   | RRetract { keys; ban } ->
     Probkb.Report.epoch_to_json (Session.retract_keys ~ban s keys)
@@ -331,8 +342,9 @@ let apply s = function
     | None -> not_found
     | Some a -> answer_json a)
   | RStats -> stats_json (Snapshot.stats (Session.snapshot s))
+  | RMetrics -> metrics_json obs
 
-let answer snap = function
+let answer ?(obs = Obs.null) snap = function
   | RIngest _ | RRetract _ | RRetract_rules _ | RAdd_rules _ | RReexpand
   | RRefresh ->
     error_json "snapshot is read-only"
@@ -357,11 +369,12 @@ let answer snap = function
     | None -> not_found
     | Some a -> answer_json a)
   | RStats -> stats_json (Snapshot.stats snap)
+  | RMetrics -> metrics_json obs
 
-let step kb s line =
+let step ?obs kb s line =
   match op_of_line line with
   | Error m -> error_json m
   | Ok op -> (
     match resolve kb op with
     | Error m -> error_json m
-    | Ok rop -> apply s rop)
+    | Ok rop -> apply ?obs s rop)

@@ -15,6 +15,7 @@
     {"op":"query_local","key":[...],"budget":64,"max_hops":3,
      "decay":0.8,"min_influence":0.01}
     {"op":"stats"}
+    {"op":"metrics"}
     v}
 
     Epoch ops answer with the epoch ledger entry
@@ -44,6 +45,9 @@ type op =
   | Query of key
   | Query_local of { key : key; budget : Grounding.Local.budget option }
   | Stats
+  | Metrics
+      (** in-band telemetry scrape: answers
+          [{"metrics": Obs.Summary JSON}] of the serving trace *)
 
 (** Write ops mutate the session (and must be serialized through the
     writer arm); read ops can be answered from a snapshot. *)
@@ -78,6 +82,7 @@ type resolved =
       budget : Grounding.Local.budget option;
     }
   | RStats
+  | RMetrics
 
 (** [resolve kb op] resolves symbols against [kb]'s dictionaries.
     Write ops intern new symbols (call only under the server's symbol
@@ -85,18 +90,23 @@ type resolved =
     unparsable rule text. *)
 val resolve : Kb.Gamma.t -> op -> (resolved, string) result
 
-(** [apply s rop] executes any resolved op against the live session —
-    the single-threaded interpreter behind the [session] subcommand and
-    the server's writer arm.  Returns the reply document. *)
-val apply : Probkb.Engine.Session.t -> resolved -> Obs.Json.t
+(** [apply ?obs s rop] executes any resolved op against the live
+    session — the single-threaded interpreter behind the [session]
+    subcommand and the server's writer arm.  Returns the reply document.
+    [obs] (default {!Obs.null}) is the trace the [metrics] op
+    summarizes. *)
+val apply :
+  ?obs:Obs.t -> Probkb.Engine.Session.t -> resolved -> Obs.Json.t
 
-(** [answer snap rop] answers a {e read} op from an immutable snapshot
-    (safe from any domain); write ops answer [{"error": ...}]. *)
-val answer : Probkb.Snapshot.t -> resolved -> Obs.Json.t
+(** [answer ?obs snap rop] answers a {e read} op from an immutable
+    snapshot (safe from any domain); write ops answer
+    [{"error": ...}]. *)
+val answer : ?obs:Obs.t -> Probkb.Snapshot.t -> resolved -> Obs.Json.t
 
 (** [error_json msg] is [{"error": msg}]. *)
 val error_json : string -> Obs.Json.t
 
-(** [step kb s line] is parse → resolve → {!apply}: one full
+(** [step ?obs kb s line] is parse → resolve → {!apply}: one full
     session-mode step, errors rendered as reply documents. *)
-val step : Kb.Gamma.t -> Probkb.Engine.Session.t -> string -> Obs.Json.t
+val step :
+  ?obs:Obs.t -> Kb.Gamma.t -> Probkb.Engine.Session.t -> string -> Obs.Json.t

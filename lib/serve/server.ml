@@ -16,6 +16,10 @@ type t = {
   writer : Writer.t;
   kb : Kb.Gamma.t;
   trace : Obs.t;
+  started : float;  (* wall clock at start, for /statusz uptime *)
+  req_ids : int Atomic.t;  (* request ids, unique across connections *)
+  access : (Json.t -> unit) option;  (* structured access-log sink *)
+  slow_s : float option;  (* slow-query threshold, seconds *)
   symbols : Mutex.t;  (* guards dictionary access during resolution *)
   accept_m : Mutex.t;  (* serializes accept() across the reader pool *)
   stop : bool Atomic.t;
@@ -36,6 +40,18 @@ let port t =
   match t.bound with Unix.ADDR_INET (_, p) -> Some p | Unix.ADDR_UNIX _ -> None
 
 let writer t = t.writer
+let trace t = t.trace
+
+(* [ndjson_sink oc] serializes concurrent access-log records (reader
+   domains log independently) onto one NDJSON channel. *)
+let ndjson_sink oc =
+  let m = Mutex.create () in
+  fun (j : Json.t) ->
+    Mutex.lock m;
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock m
 
 (* --- write queue ------------------------------------------------- *)
 
@@ -91,15 +107,22 @@ let writer_loop t =
     match dequeue t with
     | None -> ()
     | Some job ->
-      Obs.gauge_max t.trace "serve.epoch_lag_max"
-        (float_of_int (Writer.epoch_lag t.writer + 1));
+      let lag_in = Writer.epoch_lag t.writer + 1 in
+      Obs.gauge_max t.trace "serve.epoch_lag_max" (float_of_int lag_in);
+      (* The gauge alone goes stale between writes; the distribution
+         keeps every observed lag scrapeable (satellite: epoch lag as
+         both current value and histogram). *)
+      Obs.observe t.trace "serve.epoch_lag_dist" (float_of_int lag_in);
+      let t0 = Unix.gettimeofday () in
       let reply =
-        try Protocol.apply session job.rop
+        try Protocol.apply ~obs:t.trace session job.rop
         with e -> Protocol.error_json (Printexc.to_string e)
       in
       (* Publish before replying: a client that writes then reads on one
          connection observes its own write. *)
       ignore (Writer.publish t.writer);
+      Obs.observe t.trace "serve.apply_seconds"
+        (Unix.gettimeofday () -. t0);
       Obs.gauge t.trace "serve.epoch_lag"
         (float_of_int (Writer.epoch_lag t.writer));
       Obs.gauge t.trace "serve.epoch"
@@ -112,29 +135,67 @@ let writer_loop t =
 
 (* --- request handling -------------------------------------------- *)
 
+let op_name = function
+  | Protocol.Ingest _ -> "ingest"
+  | Protocol.Retract _ -> "retract"
+  | Protocol.Retract_rules _ -> "retract_rules"
+  | Protocol.Add_rules _ -> "add_rules"
+  | Protocol.Reexpand -> "reexpand"
+  | Protocol.Refresh -> "refresh"
+  | Protocol.Query _ -> "query"
+  | Protocol.Query_local _ -> "query_local"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+
 let handle t line =
   Obs.incr t.trace "serve.requests";
+  let req_id = Atomic.fetch_and_add t.req_ids 1 in
+  let t0 = Unix.gettimeofday () in
   let sp = Obs.begin_span ~cat:"serve" t.trace "serve.request" in
+  Obs.set_attr sp "req_id" (Obs.I req_id);
   let finish ~op ~kind reply =
+    let dt = Unix.gettimeofday () -. t0 in
     Obs.end_span t.trace sp
       ~attrs:[ ("op", Obs.S op); ("kind", Obs.S kind) ];
+    (* Overall and per-op latency distributions; the [|op=...] label
+       convention renders as one Prometheus family with [op] labels. *)
+    Obs.observe t.trace "serve.request_seconds" dt;
+    Obs.observe t.trace ("serve.request_seconds|op=" ^ op) dt;
+    let slow = match t.slow_s with Some th -> dt >= th | None -> false in
+    if slow then Obs.incr t.trace "serve.slow_requests";
+    (match t.access with
+    | None -> ()
+    | Some log ->
+      (* One structured record per request.  Slow requests also carry
+         the full span subtree — for query_local that is the grounding
+         walk with hops/boundary/pruned_mass attributes. *)
+      let spans =
+        if slow then
+          match Obs.subtree t.trace sp with
+          | Some r -> [ ("spans", Obs.Rec_span.to_json r) ]
+          | None -> []
+        else []
+      in
+      log
+        (Json.Obj
+           ([
+              ("ts", Json.Float t0);
+              ("id", Json.Int req_id);
+              ("op", Json.String op);
+              ("kind", Json.String kind);
+              ("seconds", Json.Float dt);
+              ( "epoch",
+                Json.Int (Probkb.Snapshot.epoch (Writer.published t.writer))
+              );
+              ("slow", Json.Bool slow);
+            ]
+           @ spans)));
     reply
   in
   match Protocol.op_of_line line with
   | Error m -> finish ~op:"?" ~kind:"error" (Protocol.error_json m)
   | Ok op -> (
-    let name =
-      match op with
-      | Protocol.Ingest _ -> "ingest"
-      | Protocol.Retract _ -> "retract"
-      | Protocol.Retract_rules _ -> "retract_rules"
-      | Protocol.Add_rules _ -> "add_rules"
-      | Protocol.Reexpand -> "reexpand"
-      | Protocol.Refresh -> "refresh"
-      | Protocol.Query _ -> "query"
-      | Protocol.Query_local _ -> "query_local"
-      | Protocol.Stats -> "stats"
-    in
+    let name = op_name op in
     (* Resolution touches the shared dictionaries: serialize it.  Write
        ops intern; read ops only look up — either way the lock is held
        for symbol resolution only, never across grounding/inference. *)
@@ -158,8 +219,56 @@ let handle t line =
       else begin
         Obs.incr t.trace "serve.reads";
         finish ~op:name ~kind:"read"
-          (Protocol.answer (Writer.published t.writer) rop)
+          (Protocol.answer ~obs:t.trace (Writer.published t.writer) rop)
       end)
+
+(* --- telemetry views ---------------------------------------------- *)
+
+let json_of_value = function
+  | Obs.I i -> Json.Int i
+  | Obs.F f -> Json.Float f
+  | Obs.S s -> Json.String s
+
+(* The /statusz document: liveness figures plus per-op request-latency
+   digests.  Scraping merges the per-domain buffers read-only; counters
+   and histograms are cumulative, so concurrent recording at worst lags
+   a scrape by the requests still in flight. *)
+let status_json t =
+  let s = Obs.Summary.of_trace t.trace in
+  let snap = Writer.published t.writer in
+  let per_op =
+    List.filter_map
+      (fun (name, h) ->
+        match Metrics.split_labels name with
+        | "serve.request_seconds", [ ("op", op) ] ->
+          Some (op, Metrics.hist_json h)
+        | _ -> None)
+      s.Obs.Summary.hists
+  in
+  let all =
+    match Obs.Summary.hist s "serve.request_seconds" with
+    | Some h when Obs.Hist.count h > 0 -> [ ("all", Metrics.hist_json h) ]
+    | _ -> []
+  in
+  Json.Obj
+    [
+      ("uptime_seconds", Json.Float (Unix.gettimeofday () -. t.started));
+      ("epoch", Json.Int (Probkb.Snapshot.epoch snap));
+      ("epoch_lag", Json.Int (Writer.epoch_lag t.writer));
+      ("queue_depth", Json.Int t.queue_depth);
+      ("requests", Json.Int (Obs.Summary.counter s "serve.requests"));
+      ("reads", Json.Int (Obs.Summary.counter s "serve.reads"));
+      ("writes", Json.Int (Obs.Summary.counter s "serve.writes"));
+      ( "slow_requests",
+        Json.Int (Obs.Summary.counter s "serve.slow_requests") );
+      ( "mem",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, json_of_value v)) (Obs.mem_stats ()))
+      );
+      ("request_seconds", Json.Obj (all @ per_op));
+    ]
+
+let metrics_text t = Metrics.render (Obs.Summary.of_trace t.trace)
 
 (* --- connections -------------------------------------------------- *)
 
@@ -222,7 +331,8 @@ let reader_loop t =
 
 (* --- lifecycle ---------------------------------------------------- *)
 
-let start ?(pool = 1) ?(backlog = 16) ?(obs = Obs.null) ~kb ~writer ~addr () =
+let start ?(pool = 1) ?(backlog = 16) ?(obs = Obs.null) ?access_log ?slow_ms
+    ~kb ~writer ~addr () =
   if pool < 1 then invalid_arg "Server.start: pool must be >= 1";
   (* A client closing mid-reply must surface as EPIPE, not kill the
      process. *)
@@ -244,6 +354,10 @@ let start ?(pool = 1) ?(backlog = 16) ?(obs = Obs.null) ~kb ~writer ~addr () =
       writer;
       kb;
       trace = obs;
+      started = Unix.gettimeofday ();
+      req_ids = Atomic.make 0;
+      access = access_log;
+      slow_s = Option.map (fun ms -> ms /. 1000.) slow_ms;
       symbols = Mutex.create ();
       accept_m = Mutex.create ();
       stop = Atomic.make false;
@@ -258,6 +372,12 @@ let start ?(pool = 1) ?(backlog = 16) ?(obs = Obs.null) ~kb ~writer ~addr () =
       stopped = false;
     }
   in
+  (* Seed the liveness gauges so a scrape before the first write sees
+     them (the writer only updates them per applied epoch). *)
+  Obs.gauge obs "serve.epoch_lag"
+    (float_of_int (Writer.epoch_lag writer));
+  Obs.gauge obs "serve.epoch"
+    (float_of_int (Probkb.Snapshot.epoch (Writer.published writer)));
   t.writer_dom <- Some (Domain.spawn (fun () -> writer_loop t));
   t.readers <-
     List.init pool (fun _ -> Domain.spawn (fun () -> reader_loop t));

@@ -20,29 +20,58 @@
     only look symbols up) and the write queue.
 
     Telemetry on the server's trace: a ["serve.request"] span per
-    request (op + outcome attributes), ["serve.requests"] /
-    ["serve.reads"] / ["serve.writes"] counters, and
-    ["serve.queue_depth"] / ["serve.epoch_lag"] gauges (current and
-    [_max] high-water marks). *)
+    request (op + outcome + [req_id] attributes), ["serve.requests"] /
+    ["serve.reads"] / ["serve.writes"] / ["serve.slow_requests"]
+    counters, ["serve.queue_depth"] / ["serve.epoch_lag"] gauges
+    (current and [_max] high-water marks), and histograms:
+    ["serve.request_seconds"] (plus one ["|op=..."]-labelled series per
+    op), ["serve.apply_seconds"], ["serve.epoch_lag_dist"].  {!metrics_text}
+    renders it all as Prometheus text, {!status_json} as the /statusz
+    document; wire both to {!Admin} for HTTP scraping, or scrape in-band
+    with the [metrics] protocol op. *)
 
 type t
 
-(** [start ?pool ?backlog ?obs ~kb ~writer ~addr ()] binds [addr]
-    (use port 0 to let the kernel pick — see {!port}), spawns the writer
-    domain and [pool] reader domains, and returns immediately.  [kb]
-    must be the knowledge base underlying [writer]'s session.  [obs]
-    (default: no-op) receives the per-request telemetry.  SIGPIPE is
-    ignored process-wide (client disconnects surface as [EPIPE]
-    errors). *)
+(** [start ?pool ?backlog ?obs ?access_log ?slow_ms ~kb ~writer ~addr ()]
+    binds [addr] (use port 0 to let the kernel pick — see {!port}),
+    spawns the writer domain and [pool] reader domains, and returns
+    immediately.  [kb] must be the knowledge base underlying [writer]'s
+    session.  [obs] (default: no-op) receives the per-request telemetry.
+    [access_log] (see {!ndjson_sink}) receives one structured record per
+    request: [{ts, id, op, kind, seconds, epoch, slow}].  A request
+    slower than [slow_ms] milliseconds is marked [slow] and its record
+    carries the full [serve.request] span subtree under ["spans"] (for
+    [query_local]: the grounding walk with hops / boundary / pruned-mass
+    attributes).  SIGPIPE is ignored process-wide (client disconnects
+    surface as [EPIPE] errors). *)
 val start :
   ?pool:int ->
   ?backlog:int ->
   ?obs:Obs.t ->
+  ?access_log:(Obs.Json.t -> unit) ->
+  ?slow_ms:float ->
   kb:Kb.Gamma.t ->
   writer:Probkb.Engine.Writer.t ->
   addr:Unix.sockaddr ->
   unit ->
   t
+
+(** [ndjson_sink oc] is an access-log sink writing one JSON document per
+    line, mutex-serialized across reader domains, flushed per record. *)
+val ndjson_sink : out_channel -> Obs.Json.t -> unit
+
+(** [trace t] is the trace passed to {!start} ({!Obs.null} if none). *)
+val trace : t -> Obs.t
+
+(** [status_json t] is the /statusz document: uptime, epoch, epoch lag,
+    queue depth, request/read/write/slow counters, memory figures
+    ({!Obs.mem_stats}), and per-op request-latency digests
+    (count/sum/p50/p90/p99/max). *)
+val status_json : t -> Obs.Json.t
+
+(** [metrics_text t] is the Prometheus text exposition of the server's
+    merged telemetry (see {!Metrics}). *)
+val metrics_text : t -> string
 
 (** [sockaddr t] is the actual bound address (with the kernel-assigned
     port resolved). *)

@@ -159,6 +159,119 @@ let test_nonfinite_json () =
   in
   check_bool "error explains the encoding" true (contains msg "non-finite")
 
+(* --- histograms --- *)
+
+module Hist = Obs.Hist
+
+let record_hist_at d values =
+  with_pool_size d (fun () ->
+      let obs = Obs.create ~config:Obs.Config.enabled () in
+      let pool = Pool.get_default () in
+      let values = Array.of_list values in
+      (* Dynamic scheduling: which domain records which observation
+         differs run to run and pool size to pool size — the merged
+         result must not. *)
+      Pool.parallel_for pool ~n:(Array.length values) (fun i ->
+          Obs.observe obs "h" values.(i));
+      Summary.of_trace obs)
+
+let test_hist_pool_determinism =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"hist merged across pool sizes 1 vs 4 is bit-identical"
+       QCheck.(small_list (map Float.abs float))
+       (fun values ->
+         let s1 = record_hist_at 1 values and s4 = record_hist_at 4 values in
+         let j s = Obs.Json.to_string (Summary.to_json s) in
+         (match (Summary.hist s1 "h", Summary.hist s4 "h") with
+         | Some h1, Some h4 ->
+           Hist.equal h1 h4
+           && Hist.count h1 = List.length values
+           && Hist.sum_micro h1 = Hist.sum_micro h4
+           && Hist.buckets h1 = Hist.buckets h4
+         | None, None -> values = []
+         | _ -> false)
+         && j s1 = j s4))
+
+let test_hist_json_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"hist JSON round-trip"
+       QCheck.(small_list (map Float.abs float))
+       (fun values ->
+         let h = Hist.create () in
+         List.iter (Hist.observe h) values;
+         let h' = Hist.of_json (Hist.to_json h) in
+         Hist.equal h h'))
+
+let test_hist_summary_roundtrip () =
+  let obs = Obs.create ~config:Obs.Config.enabled () in
+  Obs.observe obs "lat" 0.003;
+  Obs.observe obs "lat" 0.04;
+  Obs.observe obs "lat|op=q" 1e9;
+  let s = Summary.of_trace obs in
+  let s' = Summary.of_json_string (Obs.Json.to_string (Summary.to_json s)) in
+  check_bool "summary with hists round-trips" true (s = s');
+  check_bool "hist accessor finds the series" true
+    (match Summary.hist s "lat" with
+    | Some h -> Hist.count h = 2
+    | None -> false)
+
+let test_hist_quantile_edges () =
+  let feq a b = Float.abs (a -. b) <= 1e-12 *. Float.max 1. (Float.abs b) in
+  (* Empty: no rank to interpolate. *)
+  let h = Hist.create () in
+  check_bool "empty quantile is nan" true (Float.is_nan (Hist.quantile h 0.5));
+  check_bool "empty max is nan" true (Float.is_nan (Hist.max_value h));
+  (* Single occupied bucket: every quantile interpolates inside it. *)
+  let h = Hist.create () in
+  for _ = 1 to 5 do
+    Hist.observe h 0.01
+  done;
+  let lower, upper =
+    let i = ref 0 in
+    while Hist.bound !i < 0.01 do
+      incr i
+    done;
+    ((if !i = 0 then 0. else Hist.bound (!i - 1)), Hist.bound !i)
+  in
+  List.iter
+    (fun q ->
+      let v = Hist.quantile h q in
+      check_bool "quantile inside the occupied bucket" true
+        (v >= lower && v <= upper))
+    [ 0.; 0.25; 0.5; 0.99; 1. ];
+  check_bool "q=1 reaches the bucket's upper bound" true
+    (feq (Hist.quantile h 1.) upper);
+  (* Sub-resolution values land in bucket 0, whose lower edge is 0. *)
+  let h = Hist.create () in
+  Hist.observe h 1e-9;
+  check_bool "tiny value quantile within bucket 0" true
+    (Hist.quantile h 0.5 <= Hist.bound 0);
+  (* Overflow bucket: quantiles and max clamp to the last finite bound. *)
+  let h = Hist.create () in
+  Hist.observe h 1e9;
+  let last = Hist.bound (Hist.finite_buckets - 1) in
+  check_bool "overflow quantile clamps" true (feq (Hist.quantile h 0.99) last);
+  check_bool "overflow max clamps" true (feq (Hist.max_value h) last);
+  check_bool "overflow counted" true (Hist.count h = 1);
+  (* Exact bucket bounds are inclusive upper edges. *)
+  let h = Hist.create () in
+  Hist.observe h (Hist.bound 7);
+  let b = Hist.buckets h in
+  check_int "observation on a bound lands in that bucket" 1 b.(7)
+
+let test_hist_merge_into () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.observe a) [ 0.001; 0.002 ];
+  List.iter (Hist.observe b) [ 0.004; 1e9 ];
+  Hist.merge_into a b;
+  check_int "merged count" 4 (Hist.count a);
+  check_bool "merged sum" true
+    (Float.abs (Hist.sum a -. (0.007 +. 1e9)) < 1e-5 *. 1e9);
+  let expect = Hist.create () in
+  List.iter (Hist.observe expect) [ 0.001; 0.002; 0.004; 1e9 ];
+  check_bool "merge equals direct observation" true (Hist.equal a expect)
+
 (* --- snapshots --- *)
 
 let collect_snapshots ?(config = Probkb.Config.make ~inference:None ()) kb =
@@ -297,6 +410,16 @@ let () =
             test_summary_json_roundtrip;
           Alcotest.test_case "malformed input" `Quick test_malformed_json;
           Alcotest.test_case "non-finite floats" `Quick test_nonfinite_json;
+        ] );
+      ( "hist",
+        [
+          test_hist_pool_determinism;
+          test_hist_json_roundtrip;
+          Alcotest.test_case "summary with hists round-trips" `Quick
+            test_hist_summary_roundtrip;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_hist_quantile_edges;
+          Alcotest.test_case "merge_into" `Quick test_hist_merge_into;
         ] );
       ( "snapshots",
         [

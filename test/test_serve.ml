@@ -64,6 +64,7 @@ let test_codec_roundtrip () =
                  ~min_influence:0.01 ());
         };
       Protocol.Stats;
+      Protocol.Metrics;
     ]
   in
   List.iter
@@ -432,6 +433,252 @@ let test_server_end_to_end () =
       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
       false)
 
+(* --- telemetry: admin HTTP, metrics op, access/slow logs ---------------- *)
+
+module Summary = Obs.Summary
+module Admin = Serve.Admin
+module Metrics = Serve.Metrics
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* A one-shot HTTP/1.0 request against the admin listener; returns the
+   raw response text (status line, headers, body). *)
+let http_request addr request =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc request;
+      flush oc;
+      let ic = Unix.in_channel_of_descr fd in
+      let buf = Buffer.create 1024 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf)
+
+let http_get addr path =
+  http_request addr ("GET " ^ path ^ " HTTP/1.0\r\nHost: t\r\n\r\n")
+
+let http_status resp = Scanf.sscanf resp "HTTP/1.0 %d" Fun.id
+
+let http_body resp =
+  let rec find i =
+    if i + 4 > String.length resp then String.length resp
+    else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub resp i (String.length resp - i)
+
+let test_admin_http () =
+  let hits = Atomic.make 0 in
+  let admin =
+    Admin.start
+      ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+      ~routes:
+        [
+          ( "/metrics",
+            Admin.route ~content_type:"text/plain; version=0.0.4" (fun () ->
+                Atomic.incr hits;
+                Printf.sprintf "up %d\n" (Atomic.get hits)) );
+          ( "/boom",
+            Admin.route ~content_type:"text/plain" (fun () ->
+                failwith "handler exploded") );
+        ]
+      ()
+  in
+  let addr = Admin.sockaddr admin in
+  check_bool "a real port was bound" true (Admin.port admin <> None);
+  let resp = http_get addr "/metrics" in
+  check_int "GET known route is 200" 200 (http_status resp);
+  check_bool "content-type header present" true
+    (contains resp "Content-Type: text/plain; version=0.0.4");
+  check_string "body is the handler's rendering" "up 1\n" (http_body resp);
+  (* The body is re-evaluated per request. *)
+  check_string "second scrape re-renders" "up 2\n"
+    (http_body (http_get addr "/metrics"));
+  check_string "query strings are stripped" "up 3\n"
+    (http_body (http_get addr "/metrics?refresh=1"));
+  check_int "unknown path is 404" 404 (http_status (http_get addr "/nope"));
+  check_int "non-GET is 405" 405
+    (http_status
+       (http_request addr "POST /metrics HTTP/1.0\r\nHost: t\r\n\r\n"));
+  check_int "raising handler is 500" 500 (http_status (http_get addr "/boom"));
+  check_int "malformed request line is 400" 400
+    (http_status (http_request addr "nonsense\r\n\r\n"));
+  Admin.stop admin;
+  Admin.stop admin (* idempotent *);
+  check_bool "refuses connections after stop" true
+    (match http_get addr "/metrics" with
+    | exception Unix.Unix_error (_, _, _) -> true
+    | "" -> true (* accepted then reset before a response *)
+    | _ -> false)
+
+(* One server, obs enabled, slow threshold 0 (every request is "slow"):
+   drives the full telemetry path — metrics protocol op, Prometheus
+   exposition, /statusz, access log with span subtrees — and checks the
+   scraped request count against the client-side count. *)
+let test_server_telemetry () =
+  let kb, _, _ = Tutil.ruth_gruber_kb () in
+  (* One trace shared by the engine and the server (as the CLI wires it):
+     the query_local spans recorded inside snapshot answers nest under
+     the server's serve.request spans. *)
+  let engine =
+    Engine.create
+      ~config:(Probkb.Config.make ~inference:None ~obs:Obs.Config.enabled ())
+      kb
+  in
+  let s = Engine.session engine in
+  let writer = Writer.of_session s in
+  let obs = Engine.trace engine in
+  let log_path = Filename.temp_file "probkb_access" ".ndjson" in
+  let log_oc = open_out log_path in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      let srv =
+        Server.start ~pool:2 ~obs
+          ~access_log:(Server.ndjson_sink log_oc)
+          ~slow_ms:0. ~kb ~writer
+          ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+          ()
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Server.sockaddr srv);
+      let ic = Unix.in_channel_of_descr fd
+      and oc = Unix.out_channel_of_descr fd in
+      let roundtrip op =
+        send_op oc op;
+        match Json.of_string_opt (input_line ic) with
+        | Some doc -> doc
+        | None ->
+          Alcotest.failf "reply to %s did not parse"
+            (Json.to_string (Protocol.op_to_json op))
+      in
+      let key = ("born_in", "Ruth Gruber", "W", "Brooklyn", "P") in
+      ignore
+        (roundtrip
+           (Protocol.Ingest [ (("born_in", "X", "W", "Springfield", "P"), 0.7) ]));
+      ignore (roundtrip (Protocol.Query key));
+      ignore (roundtrip (Protocol.Query_local { key; budget = None }));
+      ignore (roundtrip (Protocol.Stats));
+      (* The in-band scrape: the metrics op answers the merged summary,
+         including the requests that preceded it. *)
+      let mreply = roundtrip Protocol.Metrics in
+      (match Json.member "metrics" mreply with
+      | Some m ->
+        let sum = Summary.of_json_string (Json.to_string m) in
+        check_bool "in-band summary counts the prior requests" true
+          (Summary.counter sum "serve.requests" >= 4);
+        check_bool "in-band summary carries request histograms" true
+          (Summary.hist sum "serve.request_seconds" <> None)
+      | None -> Alcotest.fail "metrics reply has no metrics member");
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      (* Client-side count: 5 ops, all replied to — and telemetry is
+         recorded before each reply is written, so the scrape agrees. *)
+      let n_ops = 5 in
+      let sum = Summary.of_trace (Server.trace srv) in
+      check_int "scraped request count = client-side count" n_ops
+        (Summary.counter sum "serve.requests");
+      check_bool "every request is in the latency histogram" true
+        (match Summary.hist sum "serve.request_seconds" with
+        | Some h -> Obs.Hist.count h = n_ops
+        | None -> false);
+      check_bool "per-op series recorded" true
+        (match Summary.hist sum "serve.request_seconds|op=query_local" with
+        | Some h -> Obs.Hist.count h = 1
+        | None -> false);
+      (* Prometheus exposition. *)
+      let text = Server.metrics_text srv in
+      List.iter
+        (fun needle ->
+          check_bool (Printf.sprintf "exposition contains %S" needle) true
+            (contains text needle))
+        [
+          "# TYPE serve_requests_total counter";
+          Printf.sprintf "serve_requests_total %d" n_ops;
+          "# TYPE serve_request_seconds histogram";
+          "serve_request_seconds_bucket{op=\"query_local\",le=\"+Inf\"} 1";
+          "serve_request_seconds_count{op=\"query_local\"} 1";
+          "# TYPE serve_epoch_lag gauge";
+          "serve_epoch_lag 0";
+          "serve_epoch_lag_dist_count 1";
+          "serve_apply_seconds_count 1";
+        ];
+      (* /statusz. *)
+      let st = Server.status_json srv in
+      check_bool "statusz epoch is the committed epoch" true
+        (Json.member "epoch" st = Some (Json.Int 1));
+      check_bool "statusz counts requests" true
+        (Json.member "requests" st = Some (Json.Int n_ops));
+      check_bool "statusz counts the slow requests" true
+        (Json.member "slow_requests" st = Some (Json.Int n_ops));
+      check_bool "statusz has memory figures" true
+        (match Json.member "mem" st with Some (Json.Obj _) -> true | _ -> false);
+      check_bool "statusz has per-op latency digests" true
+        (match Json.member "request_seconds" st with
+        | Some (Json.Obj kv) ->
+          List.mem_assoc "all" kv && List.mem_assoc "query_local" kv
+        | _ -> false);
+      Server.stop srv;
+      close_out log_oc;
+      (* The access log: one record per request, unique ids, and — with
+         slow_ms 0 — span subtrees on every record; the query_local one
+         carries the grounding walk's attributes. *)
+      let ic = open_in log_path in
+      let records = ref [] in
+      (try
+         while true do
+           records := Json.of_string (input_line ic) :: !records
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let records = List.rev !records in
+      check_int "one access record per request" n_ops (List.length records);
+      let ids =
+        List.filter_map
+          (fun r ->
+            match Json.member "id" r with Some (Json.Int i) -> Some i | _ -> None)
+          records
+      in
+      check_int "every record has an id" n_ops (List.length ids);
+      check_bool "ids are unique" true
+        (List.sort_uniq compare ids = List.sort compare ids
+        && List.length (List.sort_uniq compare ids) = n_ops);
+      List.iter
+        (fun r ->
+          check_bool "record marked slow at threshold 0" true
+            (Json.member "slow" r = Some (Json.Bool true));
+          check_bool "slow record carries spans" true
+            (Json.member "spans" r <> None))
+        records;
+      let ql =
+        List.find_opt
+          (fun r -> Json.member "op" r = Some (Json.String "query_local"))
+          records
+      in
+      match ql with
+      | None -> Alcotest.fail "no access record for query_local"
+      | Some r -> (
+        match Json.member "spans" r with
+        | Some spans ->
+          let text = Json.to_string spans in
+          List.iter
+            (fun needle ->
+              check_bool
+                (Printf.sprintf "slow-query subtree carries %S" needle)
+                true (contains text needle))
+            [ "serve.request"; "query_local"; "hops"; "boundary"; "pruned_mass" ]
+        | None -> Alcotest.fail "query_local record has no spans"))
+
 let () =
   Alcotest.run "serve"
     [
@@ -463,5 +710,11 @@ let () =
         [
           Alcotest.test_case "end to end over a socket" `Quick
             test_server_end_to_end;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "admin HTTP listener" `Quick test_admin_http;
+          Alcotest.test_case "metrics, statusz and access logs" `Quick
+            test_server_telemetry;
         ] );
     ]
