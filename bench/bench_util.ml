@@ -96,6 +96,8 @@ type options = {
   mutable compare_local : string option; (* baseline BENCH_local.json *)
   mutable out_serve : string option; (* serve artifact path override *)
   mutable compare_serve : string option; (* baseline BENCH_serve.json *)
+  mutable out_hybrid : string option; (* hybrid artifact path override *)
+  mutable compare_hybrid : string option; (* baseline BENCH_hybrid.json *)
 }
 
 let options =
@@ -114,6 +116,8 @@ let options =
     compare_local = None;
     out_serve = None;
     compare_serve = None;
+    out_hybrid = None;
+    compare_hybrid = None;
   }
 
 (* The parallel experiment's artifact path ([--out] overrides the
@@ -133,6 +137,10 @@ let local_out () = Option.value options.out_local ~default:"BENCH_local.json"
 
 (* Same for the serving experiment ([--out-serve]). *)
 let serve_out () = Option.value options.out_serve ~default:"BENCH_serve.json"
+
+(* Same for the hybrid-inference experiment ([--out-hybrid]). *)
+let hybrid_out () =
+  Option.value options.out_hybrid ~default:"BENCH_hybrid.json"
 
 let scale_or default =
   match options.scale with

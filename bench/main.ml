@@ -24,6 +24,7 @@ let all_experiments =
     ("incremental", Exp_incremental.run);
     ("local", Exp_local.run);
     ("serve", Exp_serve.run);
+    ("hybrid", Exp_hybrid.run);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);
@@ -84,6 +85,14 @@ let () =
         Arg.String (fun p -> options.compare_serve <- Some p),
         "BASELINE diff the fresh serving artifact against this \
          BENCH_serve.json; exit non-zero on a >25% regression" );
+      ( "--out-hybrid",
+        Arg.String (fun p -> options.out_hybrid <- Some p),
+        "FILE write the hybrid-inference experiment's artifact here instead \
+         of BENCH_hybrid.json" );
+      ( "--compare-hybrid",
+        Arg.String (fun p -> options.compare_hybrid <- Some p),
+        "BASELINE diff the fresh hybrid-inference artifact against this \
+         BENCH_hybrid.json; exit non-zero on a >25% regression" );
     ]
   in
   Arg.parse spec
@@ -138,5 +147,8 @@ let () =
     + (match options.compare_serve with
       | None -> 0
       | Some baseline -> gate "serve" baseline (serve_out ()))
+    + (match options.compare_hybrid with
+      | None -> 0
+      | Some baseline -> gate "hybrid" baseline (hybrid_out ()))
   in
   if regressions > 0 then exit 1

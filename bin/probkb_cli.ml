@@ -74,15 +74,46 @@ let iterations_arg =
     value & opt int 15
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Grounding iteration budget.")
 
-let config ?(obs = Probkb.Obs.Config.default) ?target_r_hat ?min_ess ~sc
-    ~theta ~mpp ~iterations ~inference () =
+let config ?(obs = Probkb.Obs.Config.default) ?target_r_hat ?min_ess
+    ?(hybrid = false) ?exact_max_vars ?max_width ~sc ~theta ~mpp ~iterations
+    ~inference () =
   Probkb.Config.make
     ~engine:
       (if mpp then
          Probkb.Config.Mpp { cluster = Mpp.Cluster.default; views = true }
        else Probkb.Config.Single_node)
     ~semantic_constraints:sc ~rule_theta:theta ~max_iterations:iterations
-    ~inference ~obs ?target_r_hat ?min_ess ()
+    ~inference ~obs ?target_r_hat ?min_ess ~hybrid ?exact_max_vars ?max_width
+    ()
+
+(* --- hybrid-dispatch arguments (infer / query / session / serve) --- *)
+
+let hybrid_arg =
+  Arg.(
+    value & flag
+    & info [ "hybrid" ]
+        ~doc:
+          "Per-component hybrid inference: enumerate or junction-tree-solve \
+           low-treewidth components exactly, sample only the high-treewidth \
+           cores with chromatic Gibbs.")
+
+let max_width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-width" ] ~docv:"W"
+        ~doc:
+          "Induced-width bound for junction-tree variable elimination in \
+           the per-component dispatcher (default 12).")
+
+let exact_max_vars_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "exact-max-vars" ] ~docv:"N"
+        ~doc:
+          "Per-component variable cap for exact enumeration (default 25, \
+           max 30).")
 
 (* --- observability arguments (expand / infer) --- *)
 
@@ -326,7 +357,7 @@ let expand_cmd =
 (* --- infer --- *)
 
 let infer facts rules constraints sc theta iterations top samples target_r_hat
-    min_ess trace metrics progress snapshots =
+    min_ess hybrid max_width exact_max_vars trace metrics progress snapshots =
   let kb = load_kb facts rules constraints in
   let inference =
     Some
@@ -336,8 +367,9 @@ let infer facts rules constraints sc theta iterations top samples target_r_hat
   let engine =
     Probkb.Engine.create
       ~config:
-        (config ~obs:(obs_config ~trace ~metrics) ?target_r_hat ?min_ess ~sc
-           ~theta ~mpp:false ~iterations ~inference ())
+        (config ~obs:(obs_config ~trace ~metrics) ?target_r_hat ?min_ess
+           ~hybrid ?exact_max_vars ?max_width ~sc ~theta ~mpp:false
+           ~iterations ~inference ())
       kb
   in
   let detach = install_snapshots engine ~progress ~snapshots in
@@ -438,7 +470,8 @@ let infer_cmd =
     Term.(
       const infer $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
       $ theta_arg $ iterations_arg $ top $ samples $ target_r_hat $ min_ess
-      $ trace_arg $ metrics_arg $ progress_arg $ snapshots_arg)
+      $ hybrid_arg $ max_width_arg $ exact_max_vars_arg $ trace_arg
+      $ metrics_arg $ progress_arg $ snapshots_arg)
 
 (* --- stats --- *)
 
@@ -562,7 +595,8 @@ let analyze_cmd =
    fact view.  Malformed input answers {"error": ...} and the stream
    continues. *)
 
-let session_run facts rules constraints sc theta iterations samples verbose =
+let session_run facts rules constraints sc theta iterations samples hybrid
+    max_width exact_max_vars verbose =
   setup_logs verbose;
   let kb = load_kb facts rules constraints in
   let inference =
@@ -572,7 +606,9 @@ let session_run facts rules constraints sc theta iterations samples verbose =
   in
   let engine =
     Probkb.Engine.create
-      ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference ())
+      ~config:
+        (config ~hybrid ?exact_max_vars ?max_width ~sc ~theta ~mpp:false
+           ~iterations ~inference ())
       kb
   in
   let s = Probkb.Engine.session engine in
@@ -604,7 +640,8 @@ let session_cmd =
           document per op on stdout.")
     Term.(
       const session_run $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
-      $ theta_arg $ iterations_arg $ samples $ verbose_arg)
+      $ theta_arg $ iterations_arg $ samples $ hybrid_arg $ max_width_arg
+      $ exact_max_vars_arg $ verbose_arg)
 
 (* --- serve --- *)
 
@@ -656,8 +693,9 @@ let serve_client target =
   (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
   0
 
-let serve_run facts rules constraints sc theta iterations samples pool port
-    socket connect admin_port access_log slow_ms metrics verbose =
+let serve_run facts rules constraints sc theta iterations samples hybrid
+    max_width exact_max_vars pool port socket connect admin_port access_log
+    slow_ms metrics verbose =
   setup_logs verbose;
   match (connect, facts, rules) with
   | Some target, _, _ -> serve_client target
@@ -679,7 +717,9 @@ let serve_run facts rules constraints sc theta iterations samples pool port
     let obs = Probkb.Obs.Config.make ~enabled:true ~retain_spans:4096 () in
     let engine =
       Probkb.Engine.create
-        ~config:(config ~obs ~sc ~theta ~mpp:false ~iterations ~inference ())
+        ~config:
+          (config ~obs ~hybrid ?exact_max_vars ?max_width ~sc ~theta
+             ~mpp:false ~iterations ~inference ())
         kb
     in
     let s = Probkb.Engine.session engine in
@@ -851,8 +891,9 @@ let serve_cmd =
           or as JSON on stdout with $(b,--metrics) json).")
     Term.(
       const serve_run $ facts_opt $ rules_opt $ constraints_arg $ sc_arg
-      $ theta_arg $ iterations_arg $ samples $ pool $ port $ socket $ connect
-      $ admin_port $ access_log $ slow_ms $ metrics_arg $ verbose_arg)
+      $ theta_arg $ iterations_arg $ samples $ hybrid_arg $ max_width_arg
+      $ exact_max_vars_arg $ pool $ port $ socket $ connect $ admin_port
+      $ access_log $ slow_ms $ metrics_arg $ verbose_arg)
 
 (* --- query --- *)
 
@@ -861,8 +902,9 @@ let serve_cmd =
    materialized); without it, run the full pipeline for comparison.
    Stdout carries a single JSON document either way. *)
 
-let query_run facts rules constraints sc theta iterations samples key local
-    budget max_hops decay min_influence verbose =
+let query_run facts rules constraints sc theta iterations samples hybrid
+    max_width exact_max_vars key local budget max_hops decay min_influence
+    verbose =
   setup_logs verbose;
   let kb = load_kb facts rules constraints in
   match String.split_on_char ',' key with
@@ -879,7 +921,9 @@ let query_run facts rules constraints sc theta iterations samples key local
     in
     let engine =
       Probkb.Engine.create
-        ~config:(config ~sc ~theta ~mpp:false ~iterations ~inference ())
+        ~config:
+          (config ~hybrid ?exact_max_vars ?max_width ~sc ~theta ~mpp:false
+             ~iterations ~inference ())
         kb
     in
     let seconds_json ~ground ~infer =
@@ -1045,8 +1089,9 @@ let query_cmd =
           neighbourhood.")
     Term.(
       const query_run $ facts_arg $ rules_arg $ constraints_arg $ sc_arg
-      $ theta_arg $ iterations_arg $ samples $ key $ local $ budget
-      $ max_hops $ decay $ min_influence $ verbose_arg)
+      $ theta_arg $ iterations_arg $ samples $ hybrid_arg $ max_width_arg
+      $ exact_max_vars_arg $ key $ local $ budget $ max_hops $ decay
+      $ min_influence $ verbose_arg)
 
 (* --- demo --- *)
 

@@ -11,7 +11,14 @@ type t = {
   min_ess : float option;
   checkpoint_sweeps : int;
   warm_start : bool;
+  exact_max_vars : int;
+  max_width : int;
 }
+
+(* The enumerator allocates nothing per world but loops over [2^k]
+   assignments; past 30 the shift itself would overflow long before the
+   loop ever finished. *)
+let max_exact_max_vars = 30
 
 let make ?(engine = Single_node) ?(semantic_constraints = false)
     ?(rule_theta = 1.0) ?(max_iterations = 15)
@@ -19,8 +26,33 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
       Some (Inference.Marginal.Gibbs Inference.Gibbs.default_options))
     ?(obs = Obs.Config.default) ?target_r_hat ?min_ess
     ?(checkpoint_sweeps = Inference.Chromatic.default_checkpoint)
-    ?(warm_start = true) () =
+    ?(warm_start = true) ?(exact_max_vars = Inference.Exact.max_vars)
+    ?(max_width = Inference.Jtree.default_max_width) ?(hybrid = false) () =
   if checkpoint_sweeps < 1 then invalid_arg "Config.make: checkpoint_sweeps < 1";
+  if exact_max_vars < 0 || exact_max_vars > max_exact_max_vars then
+    invalid_arg
+      (Printf.sprintf "Config.make: exact_max_vars must be in [0, %d]"
+         max_exact_max_vars);
+  if max_width < 0 then invalid_arg "Config.make: max_width < 0";
+  (* [~hybrid:true] upgrades the batch inference method to the
+     per-component dispatcher, reusing the sampler options already
+     chosen for the residual cores.  [Exact] and [Bp] are left alone —
+     they are explicit requests for one specific engine. *)
+  let inference =
+    if not hybrid then inference
+    else
+      Option.map
+        (fun m ->
+          match m with
+          | Inference.Marginal.Gibbs o | Inference.Marginal.Chromatic o ->
+            Inference.Marginal.Hybrid
+              { Inference.Hybrid.exact_max_vars; max_width; gibbs = o }
+          | Inference.Marginal.Hybrid o ->
+            Inference.Marginal.Hybrid
+              { o with Inference.Hybrid.exact_max_vars; max_width }
+          | (Inference.Marginal.Exact | Inference.Marginal.Bp _) as m -> m)
+        inference
+  in
   {
     engine;
     quality = { semantic_constraints; rule_theta };
@@ -31,6 +63,8 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
     min_ess;
     checkpoint_sweeps;
     warm_start;
+    exact_max_vars;
+    max_width;
   }
 
 let default = make ()
@@ -41,6 +75,8 @@ let with_max_iterations max_iterations c = { c with max_iterations }
 let with_inference inference c = { c with inference }
 let with_obs obs c = { c with obs }
 let with_warm_start warm_start c = { c with warm_start }
+let with_exact_max_vars exact_max_vars c = { c with exact_max_vars }
+let with_max_width max_width c = { c with max_width }
 
 let with_early_stop ?target_r_hat ?min_ess c =
   { c with target_r_hat; min_ess }

@@ -52,12 +52,29 @@ type t = {
           variables the epoch's updates did not touch, re-randomizing only
           the touched cone (default [true]; [false] re-initializes every
           variable from the seed stream) *)
+  exact_max_vars : int;
+      (** per-component enumeration cap for exact inference — threaded
+          through [Neighborhood]'s dispatch on the local-query paths and
+          into the hybrid method built by [make ~hybrid:true] (default
+          {!Inference.Exact.max_vars}) *)
+  max_width : int;
+      (** induced-width bound for junction-tree variable elimination in
+          the per-component dispatcher (default
+          {!Inference.Jtree.default_max_width}) *)
 }
 
 (** [make ()] is the default configuration: single node, no quality
     control, 15 iterations, Gibbs inference, observability off, no early
     stop.  Each labelled argument overrides one knob.
-    @raise Invalid_argument when [checkpoint_sweeps < 1]. *)
+
+    [~hybrid:true] upgrades the batch inference method to the
+    per-component dispatcher ({!Inference.Hybrid}): a [Gibbs]/[Chromatic]
+    method contributes its sampler options to the residual cores; an
+    explicit [Exact] or [Bp] method is left alone.  [exact_max_vars] and
+    [max_width] parameterize both the hybrid method and the local-query
+    dispatch.
+    @raise Invalid_argument when [checkpoint_sweeps < 1],
+    [exact_max_vars] is outside [[0, 30]], or [max_width < 0]. *)
 val make :
   ?engine:engine ->
   ?semantic_constraints:bool ->
@@ -69,6 +86,9 @@ val make :
   ?min_ess:float ->
   ?checkpoint_sweeps:int ->
   ?warm_start:bool ->
+  ?exact_max_vars:int ->
+  ?max_width:int ->
+  ?hybrid:bool ->
   unit ->
   t
 
@@ -84,6 +104,8 @@ val with_max_iterations : int -> t -> t
 val with_inference : Inference.Marginal.method_ option -> t -> t
 val with_obs : Obs.Config.t -> t -> t
 val with_warm_start : bool -> t -> t
+val with_exact_max_vars : int -> t -> t
+val with_max_width : int -> t -> t
 
 (** [with_early_stop ?target_r_hat ?min_ess c] replaces both early-stop
     criteria (absent arguments clear them). *)

@@ -125,10 +125,13 @@ let infer_full t e =
   | Some m ->
     Obs.with_ambient t.trace @@ fun () ->
     Obs.with_span t.trace "infer" ~cat:"engine" @@ fun () ->
-    Inference.Marginal.infer_full ~obs:t.trace
-      ~checkpoint:t.config.Config.checkpoint_sweeps
-      ?early_stop:(Config.early_stop_criteria t.config)
-      e.graph m
+    let marg, info =
+      Inference.Marginal.infer_full ~obs:t.trace
+        ~checkpoint:t.config.Config.checkpoint_sweeps
+        ?early_stop:(Config.early_stop_criteria t.config)
+        e.graph m
+    in
+    (marg, Some info)
 
 let infer t e = fst (infer_full t e)
 
@@ -151,7 +154,7 @@ let store_marginals t marginals =
 type result = {
   expansion : expansion;
   marginals_stored : int;
-  inference : Inference.Chromatic.run_info option;
+  inference : Inference.Marginal.solve_info option;
   obs : Obs.Summary.t;
 }
 
@@ -189,6 +192,7 @@ let gibbs_options t =
   | Some (Inference.Marginal.Gibbs o) | Some (Inference.Marginal.Chromatic o)
     ->
     o
+  | Some (Inference.Marginal.Hybrid o) -> o.Inference.Hybrid.gibbs
   | _ -> Inference.Gibbs.default_options
 
 (* The engine's read view: a live (graph-less) snapshot over the KB's
@@ -233,7 +237,9 @@ let read_view t =
           }
     in
     let s =
-      Snapshot.live ~gibbs:(gibbs_options t) ~obs:t.trace ~view_of ~source
+      Snapshot.live ~gibbs:(gibbs_options t)
+        ~exact_max_vars:t.config.Config.exact_max_vars
+        ~max_width:t.config.Config.max_width ~obs:t.trace ~view_of ~source
         ~clamp
         ~find:(fun ~r ~x ~c1 ~y ~c2 -> Storage.find pi ~r ~x ~c1 ~y ~c2)
         ~facts:(fun () -> Storage.size pi)
@@ -275,6 +281,12 @@ module Session = struct
     touched : (int, unit) Hashtbl.t;
         (* facts whose support changed since the last refresh *)
     mutable last_info : Inference.Chromatic.run_info option;
+        (* Chromatic chain state for warm starts (assignment indexes the
+           full compiled graph, which is why Hybrid's embedded sampler —
+           whose assignment indexes the residual subgraph — never lands
+           here) *)
+    mutable last_solve : Inference.Marginal.solve_info option;
+        (* report of the last refresh, whatever the method *)
     mutable history : epoch_stats list;  (* newest first *)
     mutable read : Snapshot.t option;
         (* frozen snapshot of the current epoch, built on first demand
@@ -287,7 +299,7 @@ module Session = struct
   let graph s = Incremental.Dred.graph s.dred
   let epoch s = s.epoch
   let history s = List.rev s.history
-  let last_run s = s.last_info
+  let last_run s = s.last_solve
 
   let touch s ids = List.iter (fun id -> Hashtbl.replace s.touched id ()) ids
 
@@ -422,7 +434,7 @@ module Session = struct
       Obs.with_span s.engine.trace "refresh_marginals" ~cat:"engine"
       @@ fun () ->
       let c = Factor_graph.Fgraph.compile (graph s) in
-      let marg, info =
+      let marg, solve =
         match m with
         | Inference.Marginal.Chromatic options ->
           (* Warm start: untouched variables resume from the previous
@@ -443,7 +455,7 @@ module Session = struct
               ?early_stop:(Config.early_stop_criteria s.engine.config)
               ~init c
           in
-          (marg, Some info)
+          (marg, Inference.Marginal.Chromatic_run info)
         | m ->
           Inference.Marginal.infer_compiled_full ~obs:s.engine.trace
             ~checkpoint:s.engine.config.Config.checkpoint_sweeps
@@ -455,15 +467,19 @@ module Session = struct
         (fun v p ->
           Hashtbl.replace s.marginals c.Factor_graph.Fgraph.var_ids.(v) p)
         marg;
-      (match info with
-      | Some i ->
+      (* Only a whole-graph Chromatic run produces chain state the next
+         epoch's warm start can resume from; Hybrid's sampler covers just
+         the residual subgraph, so its assignment stays out of [s.state]. *)
+      (match solve with
+      | Inference.Marginal.Chromatic_run i ->
         Hashtbl.reset s.state;
         Array.iteri
           (fun v b ->
             Hashtbl.replace s.state c.Factor_graph.Fgraph.var_ids.(v) b)
           i.Inference.Chromatic.assignment;
-        s.last_info <- info
-      | None -> ());
+        s.last_info <- Some i
+      | _ -> ());
+      s.last_solve <- Some solve;
       Hashtbl.reset s.touched;
       s.epoch <- s.epoch + 1;
       (* A refresh is an epoch too: cached-marginal clamps changed, so
@@ -554,7 +570,8 @@ module Session = struct
           }
     in
     Snapshot.live ~epoch:s.epoch ~gibbs:(gibbs_options s.engine)
-      ~obs:s.engine.trace
+      ~exact_max_vars:s.engine.config.Config.exact_max_vars
+      ~max_width:s.engine.config.Config.max_width ~obs:s.engine.trace
       ~marginal_of:(fun id -> Hashtbl.find_opt s.marginals id)
       ~view_of
       ~source:(Grounding.Local.of_adjacency adj)
@@ -573,7 +590,9 @@ module Session = struct
     | None ->
       let v =
         Snapshot.freeze ~epoch:s.epoch ~marginals:s.marginals
-          ~gibbs:(gibbs_options s.engine) ~obs:s.engine.trace
+          ~gibbs:(gibbs_options s.engine)
+          ~exact_max_vars:s.engine.config.Config.exact_max_vars
+          ~max_width:s.engine.config.Config.max_width ~obs:s.engine.trace
           ~pi:(Gamma.pi s.engine.kb) ~graph:(graph s) ()
       in
       s.read <- Some v;
@@ -594,6 +613,7 @@ let session t =
     marginals = Hashtbl.create 256;
     touched = Hashtbl.create 64;
     last_info = None;
+    last_solve = None;
     history = [];
     read = None;
   }

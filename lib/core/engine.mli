@@ -52,13 +52,13 @@ val expand : t -> expansion
     disabled). *)
 val infer : t -> expansion -> (int, float) Hashtbl.t
 
-(** [infer_full t e] is {!infer} plus the sampler's run report (sweeps
-    executed, early-stop sweep, final online diagnostics) when the
-    configured method is Chromatic.  The config's [target_r_hat] /
-    [min_ess] criteria and [checkpoint_sweeps] cadence are applied
-    here. *)
+(** [infer_full t e] is {!infer} plus the per-method solve report —
+    sweeps and online diagnostics for samplers, component/width/solver
+    breakdown for the hybrid dispatcher ([None] only when inference is
+    disabled).  The config's [target_r_hat] / [min_ess] criteria and
+    [checkpoint_sweeps] cadence are applied here. *)
 val infer_full :
-  t -> expansion -> (int, float) Hashtbl.t * Inference.Chromatic.run_info option
+  t -> expansion -> (int, float) Hashtbl.t * Inference.Marginal.solve_info option
 
 (** [store_marginals t marginals] writes each probability into the weight
     column of the corresponding (inferred) fact.  Returns how many facts
@@ -68,8 +68,8 @@ val store_marginals : t -> (int, float) Hashtbl.t -> int
 type result = {
   expansion : expansion;
   marginals_stored : int;
-  inference : Inference.Chromatic.run_info option;
-      (** sampler run report (Chromatic method only) *)
+  inference : Inference.Marginal.solve_info option;
+      (** per-method solve report ([None] when inference is disabled) *)
   obs : Obs.Summary.t;  (** trace snapshot over the whole pipeline *)
 }
 
@@ -170,9 +170,10 @@ module Session : sig
       when the trace has a sink installed. *)
   val history : t -> epoch_stats list
 
-  (** [last_run s] is the sampler report of the most recent
-      {!refresh_marginals} (Chromatic method only). *)
-  val last_run : t -> Inference.Chromatic.run_info option
+  (** [last_run s] is the solve report of the most recent
+      {!refresh_marginals}, whatever the configured method ([None] until
+      the first refresh). *)
+  val last_run : t -> Inference.Marginal.solve_info option
 
   (** [ingest s facts] inserts extractions [(r, x, c1, y, c2, w)] and
       derives their consequences incrementally.  When the config enables

@@ -19,11 +19,14 @@ val pp_trajectory :
 
 val trajectory_to_json : Grounding.Ground.trajectory_point list -> Json.t
 
-(** [pp_inference ppf i] prints the sampler run report: sweeps executed,
-    early-stop sweep, final R̂ / ESS. *)
-val pp_inference : Format.formatter -> Inference.Chromatic.run_info -> unit
+(** [pp_inference ppf i] prints the per-method solve report: sweeps /
+    early-stop sweep / final R̂ and ESS for samplers, component counts
+    for exact runs, and the per-solver breakdown (fraction settled
+    exactly, junction-tree width, residual sampler line) for hybrid
+    runs. *)
+val pp_inference : Format.formatter -> Inference.Marginal.solve_info -> unit
 
-val inference_to_json : Inference.Chromatic.run_info -> Json.t
+val inference_to_json : Inference.Marginal.solve_info -> Json.t
 
 (** [pp_result ppf r] is {!pp_expansion} plus the inference stage. *)
 val pp_result : Format.formatter -> Engine.result -> unit

@@ -45,6 +45,8 @@ type t = {
   factors : unit -> int;
   marginals_cached : unit -> int;
   gibbs : Inference.Gibbs.options;
+  exact_max_vars : int;  (* enumeration cap for neighbourhood dispatch *)
+  max_width : int;  (* induced-width bound for variable elimination *)
   trace : Obs.t;
   fingerprint : (int * (unit -> int)) option;
       (* frozen only: hash taken at freeze time + re-hash of the copied
@@ -85,8 +87,10 @@ let verify_integrity t =
 (* Construction *)
 
 let live ?(epoch = 0) ?(gibbs = Inference.Gibbs.default_options)
-    ?(obs = Obs.null) ?(marginal_of = fun _ -> None)
-    ?(view_of = fun _ -> None) ~source ~clamp ~find ~facts ~factors () =
+    ?(exact_max_vars = Inference.Exact.max_vars)
+    ?(max_width = Inference.Jtree.default_max_width) ?(obs = Obs.null)
+    ?(marginal_of = fun _ -> None) ?(view_of = fun _ -> None) ~source ~clamp
+    ~find ~facts ~factors () =
   {
     epoch;
     frozen = false;
@@ -99,6 +103,8 @@ let live ?(epoch = 0) ?(gibbs = Inference.Gibbs.default_options)
     factors;
     marginals_cached = (fun () -> 0);
     gibbs;
+    exact_max_vars;
+    max_width;
     trace = obs;
     fingerprint = None;
   }
@@ -121,7 +127,9 @@ let fingerprint_of ~fi1 ~fi2 ~fi3 ~fw =
   !h land max_int
 
 let freeze ?(epoch = 0) ?marginals ?(gibbs = Inference.Gibbs.default_options)
-    ?(obs = Obs.null) ~pi ~graph () =
+    ?(exact_max_vars = Inference.Exact.max_vars)
+    ?(max_width = Inference.Jtree.default_max_width) ?(obs = Obs.null) ~pi
+    ~graph () =
   (* Copy the factor rows: frozen snapshots must not alias the live
      graph ([Fgraph.retain] splices it in place under later epochs). *)
   let n = Fgraph.size graph in
@@ -225,6 +233,8 @@ let freeze ?(epoch = 0) ?marginals ?(gibbs = Inference.Gibbs.default_options)
     factors = (fun () -> n);
     marginals_cached = (fun () -> Hashtbl.length marg);
     gibbs;
+    exact_max_vars;
+    max_width;
     trace = obs;
     fingerprint = Some (taken, fun () -> fingerprint_of ~fi1 ~fi2 ~fi3 ~fw);
   }
@@ -251,7 +261,8 @@ let answer_by_id ?budget t id =
     let t1 = Relational.Stats.now () in
     let c = Fgraph.compile r.Local.graph in
     let marg, method_used =
-      Inference.Neighborhood.solve ~obs:t.trace ~options:t.gibbs c
+      Inference.Neighborhood.solve ~obs:t.trace ~options:t.gibbs
+        ~exact_max_vars:t.exact_max_vars ~max_width:t.max_width c
     in
     let infer_seconds = Relational.Stats.now () -. t1 in
     let marginal =

@@ -19,8 +19,9 @@
       solve path without paying for a freeze per query.
 
     Both flavours drive the identical grounding-walk → boundary-clamp →
-    compile → exact-or-Gibbs solve, so a frozen snapshot's answers are
-    bit-identical to querying the session it was frozen from.
+    compile → per-component hybrid solve ([Inference.Neighborhood]), so
+    a frozen snapshot's answers are bit-identical to querying the
+    session it was frozen from.
 
     Under [PROBKB_DEBUG], every {!query_local} on a frozen snapshot
     re-hashes the copied factor arrays and compares against the
@@ -61,17 +62,22 @@ type stats = {
 
 type t
 
-(** [freeze ?epoch ?marginals ?gibbs ?obs ~pi ~graph ()] copies the read
-    state out of [(pi, graph)] — one O(facts + factors) pass, no
-    re-grounding and no compile.  Tombstoned-but-unflushed facts are
-    excluded (they are already invisible to [Storage.find]).
-    [marginals] (copied) clamps boundary facts in preference to
-    extraction priors.  [obs] receives the per-query spans; pass the
-    server's trace, or leave it [Obs.null]. *)
+(** [freeze ?epoch ?marginals ?gibbs ?exact_max_vars ?max_width ?obs ~pi
+    ~graph ()] copies the read state out of [(pi, graph)] — one
+    O(facts + factors) pass, no re-grounding and no compile.
+    Tombstoned-but-unflushed facts are excluded (they are already
+    invisible to [Storage.find]).  [marginals] (copied) clamps boundary
+    facts in preference to extraction priors.  [exact_max_vars] /
+    [max_width] are the neighbourhood dispatch knobs (defaults
+    {!Inference.Exact.max_vars} / {!Inference.Jtree.default_max_width});
+    [obs] receives the per-query spans; pass the server's trace, or
+    leave it [Obs.null]. *)
 val freeze :
   ?epoch:int ->
   ?marginals:(int, float) Hashtbl.t ->
   ?gibbs:Inference.Gibbs.options ->
+  ?exact_max_vars:int ->
+  ?max_width:int ->
   ?obs:Obs.t ->
   pi:Kb.Storage.t ->
   graph:Factor_graph.Fgraph.t ->
@@ -81,10 +87,13 @@ val freeze :
 (** [live ...] wraps closures over live state (single-threaded use only).
     [clamp] maps a boundary fact to its clamp probability; [find] resolves
     a fact key; [view_of]/[marginal_of] may answer [None] when the backing
-    state does not track them.  [facts]/[factors] seed {!stats}. *)
+    state does not track them.  [facts]/[factors] seed {!stats};
+    [exact_max_vars]/[max_width] as for {!freeze}. *)
 val live :
   ?epoch:int ->
   ?gibbs:Inference.Gibbs.options ->
+  ?exact_max_vars:int ->
+  ?max_width:int ->
   ?obs:Obs.t ->
   ?marginal_of:(int -> float option) ->
   ?view_of:(int -> view option) ->
@@ -113,8 +122,10 @@ val marginal : t -> int -> float option
 
 (** [query_local ?budget t ~r ~x ~c1 ~y ~c2] answers a point query
     against the snapshot: backward local-grounding walk, boundary facts
-    clamped to cached marginals (then extraction priors, then 0.5),
-    exact enumeration or chromatic Gibbs over the neighbourhood.  [None]
+    clamped to cached marginals (then extraction priors, then 0.5), then
+    the per-component dispatch of [Inference.Neighborhood.solve] —
+    enumeration or variable elimination where exact inference fits,
+    chromatic Gibbs on the rest.  [None]
     when the fact is unknown at this epoch.  Emits a ["query_local"]
     span (with an ["epoch"] attribute) on the snapshot's trace. *)
 val query_local :

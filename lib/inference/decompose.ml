@@ -1,0 +1,170 @@
+module Fgraph = Factor_graph.Fgraph
+
+type component = {
+  root : int;
+  factors : int array;
+  vars : int array;
+  head : int array;
+  body1 : int array;
+  body2 : int array;
+  weight : float array;
+  singleton : bool array;
+}
+
+let nvars comp = Array.length comp.vars
+let nfactors comp = Array.length comp.factors
+
+(* Union-find over dense variables; two variables share a component when
+   some factor mentions both. *)
+let roots c =
+  let n = Fgraph.nvars c in
+  let parent = Array.init n Fun.id in
+  let rec find v =
+    if parent.(v) = v then v
+    else begin
+      let r = find parent.(v) in
+      parent.(v) <- r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- find (min ra rb)
+  in
+  let m = Array.length c.Fgraph.head in
+  for f = 0 to m - 1 do
+    let h = c.Fgraph.head.(f) in
+    if c.Fgraph.body1.(f) >= 0 then union h c.Fgraph.body1.(f);
+    if c.Fgraph.body2.(f) >= 0 then union h c.Fgraph.body2.(f)
+  done;
+  find
+
+let groups c =
+  let find = roots c in
+  let m = Array.length c.Fgraph.head in
+  (* Factor lists per root, in factor order (re-sorted canonically later). *)
+  let groups = Hashtbl.create 16 in
+  for f = m - 1 downto 0 do
+    let root = find c.Fgraph.head.(f) in
+    Hashtbl.replace groups root
+      (f :: Option.value ~default:[] (Hashtbl.find_opt groups root))
+  done;
+  groups
+
+let factor_key c f =
+  let id v = if v < 0 then Fgraph.null else c.Fgraph.var_ids.(v) in
+  ( id c.Fgraph.head.(f),
+    id c.Fgraph.body1.(f),
+    id c.Fgraph.body2.(f),
+    c.Fgraph.fweight.(f) )
+
+let cmp_key (a1, a2, a3, aw) (b1, b2, b3, bw) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare a3 b3 in
+      if c <> 0 then c else Float.compare aw bw
+
+(* Canonicalize one root's factor list: sort by the fact-id row
+   [(I1, I2, I3, w)] and number the variables by first mention (head
+   before body) in that order — the numbering [Fgraph.compile] would
+   assign to the canonically ordered subgraph.  Downstream solvers then
+   visit the same values in the same order regardless of how the graph
+   was assembled, which is what keeps a locally grounded neighbourhood
+   bit-identical to the full closure (see {!Exact}). *)
+let canonicalize c root fs =
+  let fs =
+    List.sort (fun a b -> cmp_key (factor_key c a) (factor_key c b)) fs
+  in
+  let lvar = Hashtbl.create 16 in
+  let globals = ref [] in
+  let intern v =
+    if v < 0 then -1
+    else
+      match Hashtbl.find_opt lvar v with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length lvar in
+        Hashtbl.add lvar v i;
+        globals := v :: !globals;
+        i
+  in
+  let m = List.length fs in
+  let factors = Array.make m 0
+  and lh = Array.make m 0
+  and lb1 = Array.make m (-1)
+  and lb2 = Array.make m (-1)
+  and lw = Array.make m 0.
+  and lsing = Array.make m false in
+  List.iteri
+    (fun i f ->
+      factors.(i) <- f;
+      lh.(i) <- intern c.Fgraph.head.(f);
+      lb1.(i) <- intern c.Fgraph.body1.(f);
+      lb2.(i) <- intern c.Fgraph.body2.(f);
+      lw.(i) <- c.Fgraph.fweight.(f);
+      lsing.(i) <- c.Fgraph.singleton.(f))
+    fs;
+  {
+    root;
+    factors;
+    vars = Array.of_list (List.rev !globals);
+    head = lh;
+    body1 = lb1;
+    body2 = lb2;
+    weight = lw;
+    singleton = lsing;
+  }
+
+let components c =
+  let groups = groups c in
+  let roots = Hashtbl.fold (fun root _ acc -> root :: acc) groups [] in
+  let roots = List.sort compare roots in
+  Array.of_list
+    (List.map (fun root -> canonicalize c root (Hashtbl.find groups root)) roots)
+
+let max_size c =
+  if Fgraph.nvars c = 0 then 0
+  else
+    (* Count variables per root with a seen-set walk over each group's
+       factors: every variable is mentioned by at least one factor
+       ([Fgraph.compile] interns them from factors), and the canonical
+       sort is irrelevant to the count, so skip it. *)
+    let groups = groups c in
+    let sizes = Hashtbl.create 16 in
+    let largest = ref 0 in
+    Hashtbl.iter
+      (fun _root fs ->
+        Hashtbl.reset sizes;
+        List.iter
+          (fun f ->
+            let mark v = if v >= 0 then Hashtbl.replace sizes v () in
+            mark c.Fgraph.head.(f);
+            mark c.Fgraph.body1.(f);
+            mark c.Fgraph.body2.(f))
+          fs;
+        largest := max !largest (Hashtbl.length sizes))
+      groups;
+    !largest
+
+(* Local log-weight of one assignment: the sum of satisfied factors'
+   weights, visiting factors in canonical order — shared by the exact
+   enumerator and by tests. *)
+let sum_weights comp a =
+  let total = ref 0. in
+  for f = 0 to Array.length comp.head - 1 do
+    let sat =
+      if comp.singleton.(f) then a.(comp.head.(f))
+      else
+        let body_true =
+          (comp.body1.(f) < 0 || a.(comp.body1.(f)))
+          && (comp.body2.(f) < 0 || a.(comp.body2.(f)))
+        in
+        (not body_true) || a.(comp.head.(f))
+    in
+    if sat then total := !total +. comp.weight.(f)
+  done;
+  !total

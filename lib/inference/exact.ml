@@ -23,152 +23,25 @@ let fold_worlds c k =
     k assignment
   done
 
-(* --- connected components --------------------------------------------
-
-   The measure factorizes over connected components of the factor graph,
+(* The measure factorizes over connected components of the factor graph,
    so marginals are computed per component: 2^c worlds for each component
-   of c variables instead of 2^n for the whole graph, and the {!max_vars}
-   cap applies per component.
+   of c variables instead of 2^n for the whole graph, and the variable
+   cap applies per component.  {!Decompose} owns the component finding
+   and the canonical factor/variable ordering that keeps the enumeration
+   bit-reproducible across graph assemblies (see its documentation). *)
 
-   Within a component everything is *canonicalized* before enumeration:
-   factors are ordered by their fact-id row [(I1, I2, I3, w)] and
-   variables by first mention in that order.  Floating-point accumulation
-   then visits the same values in the same order regardless of how the
-   graph was assembled — which is what lets a locally grounded
-   neighbourhood ([Grounding.Local], whose subgraph table is emitted in
-   exactly that canonical order) reproduce the full-closure marginals
-   bit for bit. *)
+let max_component_size = Decompose.max_size
 
-let components c =
-  let n = Fgraph.nvars c in
-  let parent = Array.init n Fun.id in
-  let rec find v =
-    if parent.(v) = v then v
-    else begin
-      let r = find parent.(v) in
-      parent.(v) <- r;
-      r
-    end
-  in
-  let union a b =
-    let ra = find a and rb = find b in
-    if ra <> rb then parent.(max ra rb) <- find (min ra rb)
-  in
-  let m = Array.length c.Fgraph.head in
-  for f = 0 to m - 1 do
-    let h = c.Fgraph.head.(f) in
-    if c.Fgraph.body1.(f) >= 0 then union h c.Fgraph.body1.(f);
-    if c.Fgraph.body2.(f) >= 0 then union h c.Fgraph.body2.(f)
-  done;
-  (* Factor lists per root, in factor order (re-sorted canonically later). *)
-  let groups = Hashtbl.create 16 in
-  for f = m - 1 downto 0 do
-    let root = find c.Fgraph.head.(f) in
-    Hashtbl.replace groups root
-      (f :: Option.value ~default:[] (Hashtbl.find_opt groups root))
-  done;
-  groups
-
-let max_component_size c =
-  let n = Fgraph.nvars c in
-  if n = 0 then 0
-  else begin
-    let groups = components c in
-    let sizes = Hashtbl.create 16 in
-    (* Count variables per root: every variable is mentioned by at least
-       one factor (compile interns them from factors), so walking each
-       group's factors with a seen-set counts exactly the member vars. *)
-    let largest = ref 0 in
-    Hashtbl.iter
-      (fun _root fs ->
-        Hashtbl.reset sizes;
-        List.iter
-          (fun f ->
-            let mark v = if v >= 0 then Hashtbl.replace sizes v () in
-            mark c.Fgraph.head.(f);
-            mark c.Fgraph.body1.(f);
-            mark c.Fgraph.body2.(f))
-          fs;
-        largest := max !largest (Hashtbl.length sizes))
-      groups;
-    !largest
-  end
-
-let factor_key c f =
-  let id v = if v < 0 then Fgraph.null else c.Fgraph.var_ids.(v) in
-  ( id c.Fgraph.head.(f),
-    id c.Fgraph.body1.(f),
-    id c.Fgraph.body2.(f),
-    c.Fgraph.fweight.(f) )
-
-let cmp_key (a1, a2, a3, aw) (b1, b2, b3, bw) =
-  let c = Int.compare a1 b1 in
-  if c <> 0 then c
-  else
-    let c = Int.compare a2 b2 in
-    if c <> 0 then c
-    else
-      let c = Int.compare a3 b3 in
-      if c <> 0 then c else Float.compare aw bw
-
-(* Enumerate one component's 2^k worlds; scatter P(X=1) into [marg]. *)
-let solve_component c fs marg =
-  let fs =
-    List.sort (fun a b -> cmp_key (factor_key c a) (factor_key c b)) fs
-  in
-  (* Local variable numbering: first mention, head before body, in
-     canonical factor order — the numbering [Fgraph.compile] would assign
-     to the canonically ordered subgraph. *)
-  let lvar = Hashtbl.create 16 in
-  let globals = ref [] in
-  let intern v =
-    if v < 0 then -1
-    else
-      match Hashtbl.find_opt lvar v with
-      | Some i -> i
-      | None ->
-        let i = Hashtbl.length lvar in
-        Hashtbl.add lvar v i;
-        globals := v :: !globals;
-        i
-  in
-  let m = List.length fs in
-  let lh = Array.make m 0
-  and lb1 = Array.make m (-1)
-  and lb2 = Array.make m (-1)
-  and lw = Array.make m 0.
-  and lsing = Array.make m false in
-  List.iteri
-    (fun i f ->
-      lh.(i) <- intern c.Fgraph.head.(f);
-      lb1.(i) <- intern c.Fgraph.body1.(f);
-      lb2.(i) <- intern c.Fgraph.body2.(f);
-      lw.(i) <- c.Fgraph.fweight.(f);
-      lsing.(i) <- c.Fgraph.singleton.(f))
-    fs;
-  let globals = Array.of_list (List.rev !globals) in
-  let k = Array.length globals in
+(* Enumerate one canonical component's 2^k worlds; P(X=1) per local
+   variable. *)
+let enumerate ?(max_vars = max_vars) comp =
+  let k = Decompose.nvars comp in
   if k > max_vars then
     invalid_arg
       (Printf.sprintf
          "Exact: a connected component of %d variables exceeds the limit \
           of %d"
          k max_vars);
-  let sum_w a =
-    let total = ref 0. in
-    for f = 0 to m - 1 do
-      let sat =
-        if lsing.(f) then a.(lh.(f))
-        else
-          let body_true =
-            (lb1.(f) < 0 || a.(lb1.(f))) && (lb2.(f) < 0 || a.(lb2.(f)))
-          in
-          (not body_true) || a.(lh.(f))
-      in
-      if sat then total := !total +. lw.(f)
-    done;
-    !total
-  in
   let a = Array.make k false in
   let each body =
     for world = 0 to (1 lsl k) - 1 do
@@ -180,30 +53,33 @@ let solve_component c fs marg =
   in
   (* Stabilize with the max exponent, as the whole-graph path always did. *)
   let max_e = ref neg_infinity in
-  each (fun () -> max_e := Float.max !max_e (sum_w a));
+  each (fun () -> max_e := Float.max !max_e (Decompose.sum_weights comp a));
   let max_e = !max_e in
   let mass = Array.make k 0. in
   let z = ref 0. in
   each (fun () ->
-      let p = exp (sum_w a -. max_e) in
+      let p = exp (Decompose.sum_weights comp a -. max_e) in
       z := !z +. p;
       for v = 0 to k - 1 do
         if a.(v) then mass.(v) <- mass.(v) +. p
       done);
+  let out = Array.make k 0. in
   for v = 0 to k - 1 do
-    marg.(globals.(v)) <- mass.(v) /. !z
-  done
+    out.(v) <- mass.(v) /. !z
+  done;
+  out
 
-let marginals c =
-  let n = Fgraph.nvars c in
-  let marg = Array.make n 0. in
-  let groups = components c in
-  (* Solve in ascending root order — deterministic, though components are
-     independent so the order only affects nothing but traversal. *)
-  let roots = Hashtbl.fold (fun root _ acc -> root :: acc) groups [] in
-  List.iter
-    (fun root -> solve_component c (Hashtbl.find groups root) marg)
-    (List.sort compare roots);
+let solve_component ?max_vars comp marg =
+  let local = enumerate ?max_vars comp in
+  Array.iteri (fun v p -> marg.(comp.Decompose.vars.(v)) <- p) local
+
+let marginals ?max_vars c =
+  let marg = Array.make (Fgraph.nvars c) 0. in
+  (* Components come back in ascending root order — deterministic, though
+     they are independent so the order affects nothing but traversal. *)
+  Array.iter
+    (fun comp -> solve_component ?max_vars comp marg)
+    (Decompose.components c);
   marg
 
 let log_partition c =

@@ -1,0 +1,94 @@
+(** Treewidth-aware hybrid inference: per-component solver dispatch.
+
+    Ground graphs from sparse rule sets decompose into many small or
+    low-treewidth components plus (sometimes) a few dense loopy cores.
+    This dispatcher routes every connected component to the cheapest
+    exact solver that fits, and samples only what is left:
+
+    - [vars ≤ min exact_max_vars enum_cutoff] — the canonical enumerator
+      ({!Exact}), {e bit-identical} to [Exact.marginals] by construction;
+    - induced width ≤ [max_width] ({!Triangulate}) — junction-tree
+      variable elimination ({!Jtree}), exact and deterministic;
+    - [vars ≤ exact_max_vars] — enumeration again: small but too dense
+      to eliminate under the width bound;
+    - otherwise — one chromatic Gibbs run ({!Chromatic}) over the
+      subgraph of the remaining cores only.
+
+    Determinism: exact components are solved in parallel across the
+    domain pool but each writes a disjoint slice of the result, and the
+    residual subgraph is assembled in original factor order, so the
+    sampler's variable numbering, colouring and RNG streams are pure
+    functions of the input graph — marginals are bit-identical at any
+    [PROBKB_DOMAINS] value (see DESIGN.md §15). *)
+
+type options = {
+  exact_max_vars : int;
+      (** enumeration cap per component (default {!Exact.max_vars}) *)
+  max_width : int;
+      (** induced-width bound for variable elimination (default
+          {!Jtree.default_max_width}) *)
+  gibbs : Gibbs.options;  (** sampler options for the residual cores *)
+}
+
+val default_options : options
+
+(** Size up to which enumeration is the preferred exact solver.
+    Enumeration costs O(2{^k} · (k + factors)) against the junction
+    tree's O(k · 2{^width+2}), so past this point low-width components
+    route to elimination even when they fit under [exact_max_vars]. *)
+val enum_cutoff : int
+
+(** How one component was solved. *)
+type solver =
+  | Enumerated  (** canonical enumeration, bit-identical to {!Exact} *)
+  | Eliminated  (** junction-tree variable elimination *)
+  | Sampled  (** part of the residual chromatic Gibbs run *)
+
+val solver_name : solver -> string
+
+type component_info = {
+  vars : int;
+  factors : int;
+  width : int;
+      (** induced width estimate; [max_width + 1] means "over the
+          bound" (the fill-in simulation bails early) *)
+  solver : solver;
+  seconds : float;  (** exact-solve wall clock; 0 for sampled *)
+}
+
+(** The per-run report surfaced through [Marginal.solve_info] into run
+    reports and EXPLAIN-ANALYZE output. *)
+type report = {
+  components : component_info array;  (** canonical component order *)
+  total_vars : int;
+  exact_vars : int;  (** variables settled by an exact solver *)
+  sampled_vars : int;
+  enumerated_components : int;
+  eliminated_components : int;
+  sampled_components : int;
+  max_width_solved : int;  (** largest width solved by elimination *)
+  gibbs : Chromatic.run_info option;
+      (** the residual sampler's run info; [None] when everything was
+          solved exactly *)
+  exact_seconds : float;
+  gibbs_seconds : float;
+}
+
+(** Fraction of variables settled exactly (1 on the empty graph). *)
+val exact_fraction : report -> float
+
+(** [solve ?options ?obs ?pool ?checkpoint ?online ?early_stop c] is the
+    marginal P(X = 1) per dense variable plus the dispatch report.
+    [checkpoint]/[online]/[early_stop] thread through to the residual
+    {!Chromatic.marginals_info} run.  Telemetry: [hybrid.*] counters and
+    phase spans always; per-component spans when the graph has at most
+    256 components. *)
+val solve :
+  ?options:options ->
+  ?obs:Obs.t ->
+  ?pool:Pool.t ->
+  ?checkpoint:int ->
+  ?online:bool ->
+  ?early_stop:Diagnostics.Online.criteria ->
+  Factor_graph.Fgraph.compiled ->
+  float array * report

@@ -5,17 +5,45 @@ type method_ =
   | Gibbs of Gibbs.options
   | Chromatic of Gibbs.options
   | Bp of Bp.options
+  | Hybrid of Hybrid.options
+
+type solve_info =
+  | Enumerated_run of { components : int; max_component_vars : int }
+  | Gibbs_run of { sweeps : int }
+  | Chromatic_run of Chromatic.run_info
+  | Bp_run of Bp.stats
+  | Hybrid_run of Hybrid.report
 
 let infer_compiled_full ?(obs = Obs.null) ?checkpoint ?online ?early_stop c =
   function
-  | Exact -> (Exact.marginals c, None)
-  | Gibbs options -> (Gibbs.marginals ~options c, None)
+  | Exact ->
+    let comps = Decompose.components c in
+    let marg = Array.make (Fgraph.nvars c) 0. in
+    Array.iter (fun comp -> Exact.solve_component comp marg) comps;
+    ( marg,
+      Enumerated_run
+        {
+          components = Array.length comps;
+          max_component_vars =
+            Array.fold_left
+              (fun m comp -> max m (Decompose.nvars comp))
+              0 comps;
+        } )
+  | Gibbs options ->
+    (Gibbs.marginals ~options c, Gibbs_run { sweeps = options.Gibbs.samples })
   | Chromatic options ->
     let marg, info =
       Chromatic.marginals_info ~options ~obs ?checkpoint ?online ?early_stop c
     in
-    (marg, Some info)
-  | Bp options -> (fst (Bp.marginals ~options c), None)
+    (marg, Chromatic_run info)
+  | Bp options ->
+    let marg, stats = Bp.marginals ~options c in
+    (marg, Bp_run stats)
+  | Hybrid options ->
+    let marg, report =
+      Hybrid.solve ~options ~obs ?checkpoint ?online ?early_stop c
+    in
+    (marg, Hybrid_run report)
 
 let infer_compiled ?obs c m = fst (infer_compiled_full ?obs c m)
 

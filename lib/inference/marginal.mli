@@ -3,24 +3,43 @@
     Completes the ProbKB pipeline of Figure 1: grounding produces [TΦ]; an
     inference engine turns it into per-fact marginal probabilities that are
     stored back into the knowledge base, avoiding query-time computation
-    (paper, Section 2.2). *)
+    (paper, Section 2.2).
+
+    Methods are dispatched per call; {!Hybrid} additionally dispatches
+    {e per connected component} — enumeration, junction-tree variable
+    elimination, or chromatic Gibbs on the high-treewidth cores only
+    (see {!Hybrid} and DESIGN.md §15). *)
 
 type method_ =
-  | Exact  (** enumeration; small graphs only *)
+  | Exact  (** enumeration; small components only *)
   | Gibbs of Gibbs.options
   | Chromatic of Gibbs.options  (** the GraphLab-style parallel schedule *)
   | Bp of Bp.options  (** loopy belief propagation (sum-product) *)
+  | Hybrid of Hybrid.options
+      (** per-component exact-or-sampled dispatch ({!Hybrid.solve}) *)
+
+(** What each method reports about its run — every method returns its
+    own constructor, so callers never get a misleading [None] (the old
+    interface surfaced only {!Chromatic.run_info}). *)
+type solve_info =
+  | Enumerated_run of { components : int; max_component_vars : int }
+      (** {!Exact}: component count and the largest enumerated size *)
+  | Gibbs_run of { sweeps : int }  (** sequential sampler: sweep budget *)
+  | Chromatic_run of Chromatic.run_info
+  | Bp_run of Bp.stats
+  | Hybrid_run of Hybrid.report
 
 (** [infer ?obs g method_] compiles [g] and returns fact identifier →
-    P(fact = true).  [obs] (default {!Obs.null}) is threaded to samplers
-    that record telemetry (currently {!Chromatic}). *)
+    P(fact = true).  [obs] (default {!Obs.null}) is threaded to engines
+    that record telemetry ({!Chromatic} and {!Hybrid}). *)
 val infer :
   ?obs:Obs.t -> Factor_graph.Fgraph.t -> method_ -> (int, float) Hashtbl.t
 
 (** [infer_full ?obs ?checkpoint ?online ?early_stop g method_] is
-    {!infer} plus the sampler's {!Chromatic.run_info} when [method_] is
-    {!Chromatic} ([None] otherwise — the extra arguments only affect that
-    method).  See {!Chromatic.marginals_info} for their semantics. *)
+    {!infer} plus the method's {!solve_info}.
+    [checkpoint]/[online]/[early_stop] affect the sampling methods
+    ({!Chromatic}, and {!Hybrid}'s residual run); see
+    {!Chromatic.marginals_info} for their semantics. *)
 val infer_full :
   ?obs:Obs.t ->
   ?checkpoint:int ->
@@ -28,14 +47,14 @@ val infer_full :
   ?early_stop:Diagnostics.Online.criteria ->
   Factor_graph.Fgraph.t ->
   method_ ->
-  (int, float) Hashtbl.t * Chromatic.run_info option
+  (int, float) Hashtbl.t * solve_info
 
 (** [infer_compiled ?obs c method_] runs on an already compiled graph and
     returns marginals per dense variable. *)
 val infer_compiled :
   ?obs:Obs.t -> Factor_graph.Fgraph.compiled -> method_ -> float array
 
-(** {!infer_compiled} with the {!Chromatic.run_info} of a Chromatic run. *)
+(** {!infer_compiled} with the method's {!solve_info}. *)
 val infer_compiled_full :
   ?obs:Obs.t ->
   ?checkpoint:int ->
@@ -43,4 +62,4 @@ val infer_compiled_full :
   ?early_stop:Diagnostics.Online.criteria ->
   Factor_graph.Fgraph.compiled ->
   method_ ->
-  float array * Chromatic.run_info option
+  float array * solve_info

@@ -13,8 +13,15 @@ let clamp_boundary g ~boundary ~prob =
     (fun id -> Fgraph.add_singleton g ~i:id ~w:(clamp_weight (prob id)))
     boundary
 
-let solve ?obs ?(options = Gibbs.default_options) c =
+let solve ?obs ?(options = Gibbs.default_options)
+    ?(exact_max_vars = Exact.max_vars) ?(max_width = Jtree.default_max_width)
+    c =
   if Fgraph.nvars c = 0 then ([||], Enumerated)
-  else if Exact.max_component_size c <= Exact.max_vars then
-    (Exact.marginals c, Enumerated)
-  else (Chromatic.marginals ~options ?obs c, Sampled)
+  else begin
+    let marg, report =
+      Hybrid.solve
+        ~options:{ Hybrid.exact_max_vars; max_width; gibbs = options }
+        ?obs c
+    in
+    (marg, if report.Hybrid.sampled_vars = 0 then Enumerated else Sampled)
+  end

@@ -1,13 +1,16 @@
 (** Inference over locally grounded query neighbourhoods.
 
     A [Grounding.Local] subgraph is small by construction, so marginal
-    inference picks the strongest feasible method per query: when every
-    connected component fits the exact enumerator's per-component cap the
-    marginals are computed {e exactly} (zero variance, and — thanks to the
-    canonical enumeration order of {!Exact} — bit-identical to the
+    inference picks the strongest feasible method per query by handing
+    the compiled neighbourhood to the same per-component dispatcher the
+    batch path uses ({!Hybrid.solve}): components under the enumeration
+    cap are enumerated {e exactly} (zero variance, and — thanks to the
+    canonical component order of {!Decompose} — bit-identical to the
     full-closure exact marginals whenever the neighbourhood is the whole
-    component); larger neighbourhoods fall back to chromatic Gibbs
-    restricted to the subgraph.
+    component); larger components whose induced width is under the bound
+    are solved exactly by variable elimination ({!Jtree}); only
+    high-treewidth cores fall back to chromatic Gibbs restricted to
+    their subgraph.
 
     Boundary conditions: facts the budget pruned appear in interior
     factors but have unexplored adjacency.  {!clamp_boundary} pins each to
@@ -18,6 +21,9 @@
     empty and no clamp factor is added, so identity with the full closure
     is unaffected. *)
 
+(** [Enumerated] means {e every} variable was settled by an exact solver
+    (enumeration or variable elimination); [Sampled] means at least one
+    component fell back to Gibbs. *)
 type method_used = Enumerated | Sampled
 
 (** Probabilities are clipped to [[ε, 1 - ε]] (ε = 1e-6) before the
@@ -33,12 +39,17 @@ val clamp_weight : float -> float
 val clamp_boundary :
   Factor_graph.Fgraph.t -> boundary:int array -> prob:(int -> float) -> unit
 
-(** [solve ?obs ?options c] is the marginal P(X = 1) per dense variable
-    and the method used: exact enumeration when
-    [Exact.max_component_size c <= Exact.max_vars], otherwise chromatic
-    Gibbs with [options] (default {!Gibbs.default_options}). *)
+(** [solve ?obs ?options ?exact_max_vars ?max_width c] is the marginal
+    P(X = 1) per dense variable and the method used.  [options] are the
+    Gibbs options for sampled components (default
+    {!Gibbs.default_options}); [exact_max_vars] (default
+    {!Exact.max_vars}) and [max_width] (default
+    {!Jtree.default_max_width}) are the dispatch knobs threaded down
+    from [Config]. *)
 val solve :
   ?obs:Obs.t ->
   ?options:Gibbs.options ->
+  ?exact_max_vars:int ->
+  ?max_width:int ->
   Factor_graph.Fgraph.compiled ->
   float array * method_used

@@ -297,13 +297,13 @@ let test_run_reports_sampler_info () =
   in
   let result = Probkb.Engine.run engine in
   (match result.Probkb.Engine.inference with
-  | None -> Alcotest.fail "Chromatic run must report sampler info"
-  | Some i ->
+  | Some (Inference.Marginal.Chromatic_run i) ->
     Alcotest.(check bool) "sweeps recorded" true
       (i.Inference.Chromatic.sweeps_run > 0);
     (match i.Inference.Chromatic.diag with
     | Some _ -> ()
-    | None -> Alcotest.fail "early-stop config implies online diagnostics"));
+    | None -> Alcotest.fail "early-stop config implies online diagnostics")
+  | Some _ | None -> Alcotest.fail "Chromatic run must report sampler info");
   let text = Fmt.str "%a" Probkb.Report.pp_result result in
   Alcotest.(check bool) "report mentions the sampler" true
     (contains text "sampler:");

@@ -1,0 +1,420 @@
+(* Treewidth-aware hybrid inference: Triangulate / Jtree / Hybrid
+   dispatch.  The load-bearing properties are (1) junction-tree variable
+   elimination agrees with enumeration, (2) the dispatcher is
+   bit-identical to [Exact] wherever it enumerates, and (3) hybrid
+   marginals are bit-identical at any pool size. *)
+
+module Fgraph = Factor_graph.Fgraph
+
+let compile_graph build =
+  let g = Fgraph.create () in
+  build g;
+  Fgraph.compile g
+
+let the_component c =
+  match Inference.Decompose.components c with
+  | [| comp |] -> comp
+  | comps -> Alcotest.failf "expected one component, got %d" (Array.length comps)
+
+let max_abs_diff a b =
+  let m = ref 0. in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+(* --- induced width --- *)
+
+let test_width_closed_forms () =
+  let width build = Inference.Triangulate.width_of (the_component (compile_graph build)) in
+  Alcotest.(check int) "single var" 0
+    (width (fun g -> Fgraph.add_singleton g ~i:0 ~w:0.5));
+  Alcotest.(check int) "path" 1
+    (width (fun g ->
+         for i = 0 to 8 do
+           Fgraph.add_clause g ~i1:i ~i2:(i + 1) ~w:0.5 ()
+         done));
+  Alcotest.(check int) "star" 1
+    (width (fun g ->
+         for i = 1 to 9 do
+           Fgraph.add_clause g ~i1:0 ~i2:i ~w:0.5 ()
+         done));
+  Alcotest.(check int) "cycle" 2
+    (width (fun g ->
+         for i = 0 to 5 do
+           Fgraph.add_clause g ~i1:i ~i2:((i + 1) mod 6) ~w:0.5 ()
+         done));
+  Alcotest.(check int) "K4" 3
+    (width (fun g ->
+         for i = 0 to 3 do
+           for j = i + 1 to 3 do
+             Fgraph.add_clause g ~i1:i ~i2:j ~w:0.5 ()
+           done
+         done))
+
+let test_width_cap_bails_early () =
+  (* A 10-clique has width 9; with cap 3 the simulation must stop and
+     report the lower bound cap + 1. *)
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 9 do
+          for j = i + 1 to 9 do
+            Fgraph.add_clause g ~i1:i ~i2:j ~w:0.2 ()
+          done
+        done)
+  in
+  let comp = the_component c in
+  Alcotest.(check int) "capped report" 4
+    (Inference.Triangulate.width_of ~cap:3 comp);
+  Alcotest.(check int) "uncapped is exact" 9
+    (Inference.Triangulate.width_of comp)
+
+(* --- junction tree vs enumeration --- *)
+
+(* Random tree-shaped component: var i > 0 hangs off a random earlier
+   var, every var gets a singleton prior.  Width 1, enumerable. *)
+let random_tree_graph rng n =
+  compile_graph (fun g ->
+      for i = 0 to n - 1 do
+        Fgraph.add_singleton g ~i ~w:(Random.State.float rng 3.0 -. 1.5)
+      done;
+      for i = 1 to n - 1 do
+        let p = Random.State.int rng i in
+        let w = Random.State.float rng 2.0 in
+        if Random.State.bool rng then Fgraph.add_clause g ~i1:i ~i2:p ~w ()
+        else Fgraph.add_clause g ~i1:p ~i2:i ~w ()
+      done)
+
+let test_jtree_matches_enumeration =
+  Tutil.qcheck_case ~count:80 "jtree = enumeration on random trees"
+    QCheck.(pair (int_range 1 14) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Tutil.rng (seed + (7919 * n)) in
+      let comp = the_component (random_tree_graph rng n) in
+      let exact = Inference.Exact.enumerate comp in
+      let ve = Inference.Jtree.solve comp in
+      max_abs_diff exact ve < 1e-9)
+
+let test_jtree_matches_enumeration_loopy () =
+  (* Cycles and a small clique: width 2-3, still enumerable. *)
+  List.iter
+    (fun seed ->
+      let rng = Tutil.rng seed in
+      let c =
+        compile_graph (fun g ->
+            for i = 0 to 9 do
+              Fgraph.add_singleton g ~i ~w:(Random.State.float rng 2.0 -. 1.0)
+            done;
+            for i = 0 to 9 do
+              Fgraph.add_clause g ~i1:i ~i2:((i + 1) mod 10)
+                ~w:(Random.State.float rng 1.5) ()
+            done;
+            (* a chord and a triangle factor *)
+            Fgraph.add_clause g ~i1:0 ~i2:5 ~w:0.7 ();
+            Fgraph.add_clause g ~i1:2 ~i2:4 ~i3:6 ~w:0.9 ())
+      in
+      let comp = the_component c in
+      let d = max_abs_diff (Inference.Exact.enumerate comp) (Inference.Jtree.solve comp) in
+      if d > 1e-9 then Alcotest.failf "seed %d: VE deviates by %g" seed d)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_jtree_scales_past_enumeration () =
+  (* A 400-variable chain: far beyond the enumeration cap, width 1.  BP
+     is exact on trees, so it cross-checks VE. *)
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 399 do
+          Fgraph.add_singleton g ~i ~w:((float_of_int (i mod 7) /. 3.) -. 1.)
+        done;
+        for i = 0 to 398 do
+          Fgraph.add_clause g ~i1:(i + 1) ~i2:i ~w:0.8 ()
+        done)
+  in
+  let ve = Inference.Jtree.marginals c in
+  let bp, st = Inference.Bp.marginals c in
+  Alcotest.(check bool) "BP converged" true st.Inference.Bp.converged;
+  let d = max_abs_diff ve bp in
+  Alcotest.(check bool)
+    (Printf.sprintf "VE matches BP on the chain (%.2e)" d)
+    true (d < 1e-5)
+
+let test_jtree_deterministic () =
+  let rng = Tutil.rng 99 in
+  let c = random_tree_graph rng 200 in
+  let a = Inference.Jtree.marginals c in
+  let b = Inference.Jtree.marginals c in
+  Alcotest.(check bool) "bit-identical" true (a = b)
+
+let test_jtree_rejects_high_width () =
+  let c =
+    compile_graph (fun g ->
+        for i = 0 to 9 do
+          for j = i + 1 to 9 do
+            Fgraph.add_clause g ~i1:i ~i2:j ~w:0.2 ()
+          done
+        done)
+  in
+  match Inference.Jtree.marginals ~max_width:3 c with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- the dispatcher --- *)
+
+let random_graph seed nvars nfactors =
+  let rng = Tutil.rng seed in
+  compile_graph (fun g ->
+      for i = 0 to nvars - 1 do
+        Fgraph.add_singleton g ~i ~w:(Random.State.float rng 3.0 -. 1.5)
+      done;
+      for _ = 1 to nfactors do
+        let i1 = Random.State.int rng nvars
+        and i2 = Random.State.int rng nvars
+        and i3 = Random.State.int rng nvars in
+        let w = Random.State.float rng 2.0 in
+        if Random.State.bool rng then Fgraph.add_clause g ~i1 ~i2 ~w ()
+        else Fgraph.add_clause g ~i1 ~i2 ~i3 ~w ()
+      done)
+
+let test_hybrid_bit_identical_to_exact () =
+  (* Every component fits under the enumeration cutoff, so the
+     dispatcher must reproduce [Exact.marginals] bit for bit. *)
+  List.iter
+    (fun seed ->
+      let c = random_graph seed Inference.Hybrid.enum_cutoff 14 in
+      let exact = Inference.Exact.marginals c in
+      let marg, report = Inference.Hybrid.solve c in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: bitwise equal" seed)
+        true (marg = exact);
+      Alcotest.(check int) "nothing sampled" 0
+        report.Inference.Hybrid.sampled_components;
+      Alcotest.(check (float 1e-12)) "all exact" 1.0
+        (Inference.Hybrid.exact_fraction report))
+    [ 10; 11; 12 ]
+
+let test_hybrid_forced_elimination () =
+  (* exact_max_vars = 0 shuts the enumerator off: low-width components
+     must route through the junction tree and still be exact. *)
+  let c = random_tree_graph (Tutil.rng 17) 18 in
+  let options =
+    { Inference.Hybrid.default_options with exact_max_vars = 0 }
+  in
+  let marg, report = Inference.Hybrid.solve ~options c in
+  Alcotest.(check int) "no enumeration" 0
+    report.Inference.Hybrid.enumerated_components;
+  Alcotest.(check bool) "eliminated instead" true
+    (report.Inference.Hybrid.eliminated_components > 0);
+  Alcotest.(check (float 1e-12)) "still all exact" 1.0
+    (Inference.Hybrid.exact_fraction report);
+  let d = max_abs_diff marg (Inference.Exact.marginals c) in
+  Alcotest.(check bool)
+    (Printf.sprintf "VE marginals match enumeration (%.2e)" d)
+    true (d < 1e-9)
+
+let test_cost_aware_routing () =
+  (* Past the enumeration cutoff a low-width component must route to
+     variable elimination even though it fits under [exact_max_vars]:
+     enumerating it costs O(2^k) against the junction tree's O(k·2^w). *)
+  let tree = random_tree_graph (Tutil.rng 23) 20 in
+  let marg, report = Inference.Hybrid.solve tree in
+  Alcotest.(check int) "tree eliminated" 1
+    report.Inference.Hybrid.eliminated_components;
+  Alcotest.(check int) "nothing enumerated" 0
+    report.Inference.Hybrid.enumerated_components;
+  let d = max_abs_diff marg (Inference.Exact.marginals tree) in
+  Alcotest.(check bool)
+    (Printf.sprintf "still exact (%.2e)" d)
+    true (d < 1e-9);
+  (* A component past the cutoff but too dense to eliminate under the
+     width bound falls back to enumeration, not sampling: K17 has width
+     16 > the default bound, yet 17 vars fit the enumeration cap. *)
+  let k17 =
+    compile_graph (fun g ->
+        for i = 0 to 16 do
+          for j = i + 1 to 16 do
+            Fgraph.add_clause g ~i1:i ~i2:j ~w:0.05 ()
+          done
+        done)
+  in
+  let marg, report = Inference.Hybrid.solve k17 in
+  Alcotest.(check int) "dense fallback enumerated" 1
+    report.Inference.Hybrid.enumerated_components;
+  Alcotest.(check int) "nothing sampled" 0
+    report.Inference.Hybrid.sampled_components;
+  Alcotest.(check bool) "bitwise equal to enumeration" true
+    (marg = Inference.Exact.marginals k17)
+
+(* A K30 core (width 29 — beyond both the enumeration cap and any
+   feasible elimination bound) plus easy satellites: the canonical
+   mixed workload. *)
+let mixed_graph () =
+  compile_graph (fun g ->
+      for i = 0 to 29 do
+        for j = i + 1 to 29 do
+          Fgraph.add_clause g ~i1:(1000 + i) ~i2:(1000 + j) ~w:0.05 ()
+        done
+      done;
+      for i = 0 to 19 do
+        Fgraph.add_singleton g ~i ~w:((float_of_int i /. 10.) -. 1.)
+      done;
+      for i = 0 to 8 do
+        Fgraph.add_clause g ~i1:(100 + i + 1) ~i2:(100 + i) ~w:0.9 ()
+      done)
+
+let test_hybrid_mixed_workload () =
+  let c = mixed_graph () in
+  let marg, report = Inference.Hybrid.solve c in
+  Alcotest.(check int) "one sampled core" 1
+    report.Inference.Hybrid.sampled_components;
+  Alcotest.(check bool) "satellites enumerated" true
+    (report.Inference.Hybrid.enumerated_components > 0);
+  Alcotest.(check int) "sampled vars = the clique" 30
+    report.Inference.Hybrid.sampled_vars;
+  let f = Inference.Hybrid.exact_fraction report in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact fraction %.3f strictly between 0 and 1" f)
+    true
+    (f > 0. && f < 1.);
+  (match report.Inference.Hybrid.gibbs with
+  | Some i ->
+    Alcotest.(check bool) "residual sampler ran" true
+      (i.Inference.Chromatic.sweeps_run > 0)
+  | None -> Alcotest.fail "sampled core must carry the sampler's run info");
+  (* Exactly-solved components are bit-identical to enumeration. *)
+  Array.iter
+    (fun comp ->
+      if Inference.Decompose.nvars comp <= Inference.Exact.max_vars then begin
+        let e = Inference.Exact.enumerate comp in
+        Array.iteri
+          (fun l v ->
+            if not (Float.equal marg.(v) e.(l)) then
+              Alcotest.failf "component at root %d deviates"
+                comp.Inference.Decompose.root)
+          comp.Inference.Decompose.vars
+      end)
+    (Inference.Decompose.components c)
+
+let test_hybrid_pool_deterministic () =
+  let c = mixed_graph () in
+  let options =
+    {
+      Inference.Hybrid.default_options with
+      gibbs = { Inference.Gibbs.burn_in = 20; samples = 60; seed = 11 };
+    }
+  in
+  let p1 = Pool.create 1 and p4 = Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.shutdown p1;
+      Pool.shutdown p4)
+    (fun () ->
+      let a, ra = Inference.Hybrid.solve ~options ~pool:p1 c in
+      let b, rb = Inference.Hybrid.solve ~options ~pool:p4 c in
+      Alcotest.(check bool) "marginals bit-identical across pools" true (a = b);
+      Alcotest.(check int) "same dispatch"
+        ra.Inference.Hybrid.sampled_components
+        rb.Inference.Hybrid.sampled_components;
+      Alcotest.(check int) "same exact vars" ra.Inference.Hybrid.exact_vars
+        rb.Inference.Hybrid.exact_vars)
+
+let test_neighborhood_dispatch () =
+  (* A 100-var chain exceeds the enumeration cap but has width 1, so the
+     neighbourhood dispatcher must still report an exact solve. *)
+  let chain =
+    compile_graph (fun g ->
+        Fgraph.add_singleton g ~i:0 ~w:1.0;
+        for i = 0 to 98 do
+          Fgraph.add_clause g ~i1:(i + 1) ~i2:i ~w:0.7 ()
+        done)
+  in
+  let marg, how = Inference.Neighborhood.solve chain in
+  Alcotest.(check bool) "chain solved exactly" true
+    (how = Inference.Neighborhood.Enumerated);
+  let d = max_abs_diff marg (Inference.Jtree.marginals chain) in
+  Alcotest.(check bool) "marginals are the VE solution" true (d < 1e-12);
+  let _, how = Inference.Neighborhood.solve (mixed_graph ()) in
+  Alcotest.(check bool) "clique core reports Sampled" true
+    (how = Inference.Neighborhood.Sampled)
+
+(* --- front-end and config --- *)
+
+let test_marginal_hybrid_front_end () =
+  let g = Fgraph.create () in
+  Fgraph.add_singleton g ~i:42 ~w:1.0;
+  Fgraph.add_clause g ~i1:7 ~i2:42 ~w:0.5 ();
+  let m, info =
+    Inference.Marginal.infer_full g
+      (Inference.Marginal.Hybrid Inference.Hybrid.default_options)
+  in
+  Alcotest.(check bool) "fact ids mapped" true
+    (Hashtbl.mem m 42 && Hashtbl.mem m 7);
+  match info with
+  | Inference.Marginal.Hybrid_run r ->
+    Alcotest.(check (float 1e-12)) "everything exact" 1.0
+      (Inference.Hybrid.exact_fraction r)
+  | _ -> Alcotest.fail "hybrid method must return Hybrid_run"
+
+let test_config_hybrid_knobs () =
+  let c =
+    Probkb.Config.make
+      ~inference:
+        (Some (Inference.Marginal.Chromatic Inference.Gibbs.default_options))
+      ~hybrid:true ~exact_max_vars:12 ~max_width:5 ()
+  in
+  (match c.Probkb.Config.inference with
+  | Some (Inference.Marginal.Hybrid o) ->
+    Alcotest.(check int) "cap threaded" 12 o.Inference.Hybrid.exact_max_vars;
+    Alcotest.(check int) "width threaded" 5 o.Inference.Hybrid.max_width
+  | _ -> Alcotest.fail "hybrid:true must upgrade Chromatic to Hybrid");
+  Alcotest.(check int) "knob stored" 12 c.Probkb.Config.exact_max_vars;
+  (* An explicit Exact request is left alone. *)
+  (match
+     (Probkb.Config.make ~inference:(Some Inference.Marginal.Exact)
+        ~hybrid:true ())
+       .Probkb.Config.inference
+   with
+  | Some Inference.Marginal.Exact -> ()
+  | _ -> Alcotest.fail "hybrid:true must not override an explicit Exact");
+  match Probkb.Config.make ~exact_max_vars:31 () with
+  | _ -> Alcotest.fail "exact_max_vars 31 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "triangulate",
+        [
+          Alcotest.test_case "closed-form widths" `Quick
+            test_width_closed_forms;
+          Alcotest.test_case "cap bails early" `Quick test_width_cap_bails_early;
+        ] );
+      ( "jtree",
+        [
+          test_jtree_matches_enumeration;
+          Alcotest.test_case "loopy components" `Quick
+            test_jtree_matches_enumeration_loopy;
+          Alcotest.test_case "scales past enumeration" `Quick
+            test_jtree_scales_past_enumeration;
+          Alcotest.test_case "deterministic" `Quick test_jtree_deterministic;
+          Alcotest.test_case "rejects high width" `Quick
+            test_jtree_rejects_high_width;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "bit-identical to exact" `Quick
+            test_hybrid_bit_identical_to_exact;
+          Alcotest.test_case "forced elimination" `Quick
+            test_hybrid_forced_elimination;
+          Alcotest.test_case "cost-aware routing" `Quick
+            test_cost_aware_routing;
+          Alcotest.test_case "mixed workload" `Quick test_hybrid_mixed_workload;
+          Alcotest.test_case "pool deterministic" `Quick
+            test_hybrid_pool_deterministic;
+          Alcotest.test_case "neighbourhood dispatch" `Quick
+            test_neighborhood_dispatch;
+        ] );
+      ( "front-end",
+        [
+          Alcotest.test_case "hybrid run info" `Quick
+            test_marginal_hybrid_front_end;
+          Alcotest.test_case "config knobs" `Quick test_config_hybrid_knobs;
+        ] );
+    ]

@@ -22,10 +22,13 @@ let check_bool = Alcotest.(check bool)
 
 let sigmoid w = 1. /. (1. +. exp (-.w))
 
-(* Exact full-closure marginals, fact id → P. *)
+(* Exact full-closure marginals, fact id → P — solved through the same
+   per-component dispatcher the local path uses, so local-equals-global
+   stays bitwise whichever exact solver a component routes to (the
+   jtree-equals-enumeration accuracy bound is pinned in test_hybrid). *)
 let full_marginals graph =
   let c = Fgraph.compile graph in
-  let marg = Exact.marginals c in
+  let marg, _ = Neighborhood.solve c in
   let tbl = Hashtbl.create 64 in
   Array.iteri (fun v p -> Hashtbl.replace tbl c.Fgraph.var_ids.(v) p) marg;
   tbl
