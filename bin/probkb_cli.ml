@@ -77,14 +77,21 @@ let iterations_arg =
 let config ?(obs = Probkb.Obs.Config.default) ?target_r_hat ?min_ess
     ?(hybrid = false) ?exact_max_vars ?max_width ~sc ~theta ~mpp ~iterations
     ~inference () =
-  Probkb.Config.make
-    ~engine:
-      (if mpp then
-         Probkb.Config.Mpp { cluster = Mpp.Cluster.default; views = true }
-       else Probkb.Config.Single_node)
-    ~semantic_constraints:sc ~rule_theta:theta ~max_iterations:iterations
-    ~inference ~obs ?target_r_hat ?min_ess ~hybrid ?exact_max_vars ?max_width
-    ()
+  (* [Config.make] rejects out-of-range knobs (--max-width, \
+     --exact-max-vars) with [Invalid_argument]; surface those as a \
+     clean usage error instead of an "internal error" crash. *)
+  try
+    Probkb.Config.make
+      ~engine:
+        (if mpp then
+           Probkb.Config.Mpp { cluster = Mpp.Cluster.default; views = true }
+         else Probkb.Config.Single_node)
+      ~semantic_constraints:sc ~rule_theta:theta ~max_iterations:iterations
+      ~inference ~obs ?target_r_hat ?min_ess ~hybrid ?exact_max_vars
+      ?max_width ()
+  with Invalid_argument msg ->
+    Format.eprintf "probkb: %s@." msg;
+    exit 2
 
 (* --- hybrid-dispatch arguments (infer / query / session / serve) --- *)
 
@@ -104,7 +111,8 @@ let max_width_arg =
     & info [ "max-width" ] ~docv:"W"
         ~doc:
           "Induced-width bound for junction-tree variable elimination in \
-           the per-component dispatcher (default 12).")
+           the per-component dispatcher (default 12, max 27 — elimination \
+           cliques hold W+1 variables).")
 
 let exact_max_vars_arg =
   Arg.(

@@ -20,6 +20,12 @@ type t = {
    loop ever finished. *)
 let max_exact_max_vars = 30
 
+(* Elimination cliques hold width + 1 variables, so the width bound must
+   sit one under [Jtree]'s clique-size guard — past it every "eliminable"
+   component would abort on table allocation instead of being solved
+   (and a 28-variable clique is already a 2 GiB float table). *)
+let max_max_width = Inference.Jtree.max_clique_vars - 1
+
 let make ?(engine = Single_node) ?(semantic_constraints = false)
     ?(rule_theta = 1.0) ?(max_iterations = 15)
     ?(inference =
@@ -33,7 +39,10 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
     invalid_arg
       (Printf.sprintf "Config.make: exact_max_vars must be in [0, %d]"
          max_exact_max_vars);
-  if max_width < 0 then invalid_arg "Config.make: max_width < 0";
+  if max_width < 0 || max_width > max_max_width then
+    invalid_arg
+      (Printf.sprintf "Config.make: max_width must be in [0, %d]"
+         max_max_width);
   (* [~hybrid:true] upgrades the batch inference method to the
      per-component dispatcher, reusing the sampler options already
      chosen for the residual cores.  [Exact] and [Bp] are left alone —

@@ -74,7 +74,10 @@ type t = {
     [max_width] parameterize both the hybrid method and the local-query
     dispatch.
     @raise Invalid_argument when [checkpoint_sweeps < 1],
-    [exact_max_vars] is outside [[0, 30]], or [max_width < 0]. *)
+    [exact_max_vars] is outside [[0, 30]], or [max_width] is outside
+    [[0, Inference.Jtree.max_clique_vars - 1]] (elimination cliques hold
+    width + 1 variables, so larger bounds could only abort on the
+    clique-size guard). *)
 val make :
   ?engine:engine ->
   ?semantic_constraints:bool ->

@@ -20,7 +20,9 @@ let conditional c assignment v =
   assignment.(v) <- prev;
   1. /. (1. +. exp (-. !delta))
 
-let marginals ?(options = default_options) c =
+type run_info = { sweeps_run : int }
+
+let marginals_info ?(options = default_options) c =
   let n = Fgraph.nvars c in
   let rng = Random.State.make [| options.seed |] in
   let assignment = Array.init n (fun _ -> Random.State.bool rng) in
@@ -35,7 +37,12 @@ let marginals ?(options = default_options) c =
   for _ = 1 to options.burn_in do
     sweep false
   done;
+  let executed = ref 0 in
   for _ = 1 to options.samples do
-    sweep true
+    sweep true;
+    incr executed
   done;
-  Array.map (fun a -> a /. float_of_int (max 1 options.samples)) acc
+  ( Array.map (fun a -> a /. float_of_int (max 1 !executed)) acc,
+    { sweeps_run = !executed } )
+
+let marginals ?options c = fst (marginals_info ?options c)

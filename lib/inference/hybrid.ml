@@ -77,7 +77,12 @@ let solve ?(options = default_options) ?(obs = Obs.null) ?pool ?checkpoint
      width is under the bound, falling back to enumeration when they are
      small enough for the cap but too dense to eliminate; the remaining
      high-treewidth cores are sampled together in one chromatic Gibbs
-     run over their subgraph. *)
+     run over their subgraph.  Elimination cliques hold width + 1
+     variables, so widths at or past [Jtree.max_clique_vars] never route
+     to [Eliminated] even under a permissive [max_width] (an options
+     record built directly can exceed [Config.make]'s bound) — those
+     components degrade to the next solver instead of letting
+     [Jtree.solve] abort the run on its allocation guard. *)
   let plans =
     Obs.with_span obs "hybrid.plan" ~cat:"inference" (fun () ->
         Array.map
@@ -86,8 +91,10 @@ let solve ?(options = default_options) ?(obs = Obs.null) ?pool ?checkpoint
             let k = Decompose.nvars comp in
             let solver =
               if k <= min options.exact_max_vars enum_cutoff then Enumerated
-              else if tri.Triangulate.width <= options.max_width then
-                Eliminated
+              else if
+                tri.Triangulate.width <= options.max_width
+                && tri.Triangulate.width < Jtree.max_clique_vars
+              then Eliminated
               else if k <= options.exact_max_vars then Enumerated
               else Sampled
             in

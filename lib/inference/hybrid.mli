@@ -26,7 +26,11 @@ type options = {
       (** enumeration cap per component (default {!Exact.max_vars}) *)
   max_width : int;
       (** induced-width bound for variable elimination (default
-          {!Jtree.default_max_width}) *)
+          {!Jtree.default_max_width}).  Widths at or past
+          {!Jtree.max_clique_vars} never route to elimination regardless
+          of this bound — the planner degrades to enumeration or
+          sampling instead of letting {!Jtree.solve} raise on its
+          clique-size guard *)
   gibbs : Gibbs.options;  (** sampler options for the residual cores *)
 }
 

@@ -9,10 +9,14 @@ let max_clique_vars = 28
 
    A table is a [float array] of 2^k entries over a *scope* — a sorted
    array of k local variable indexes; bit [j] of an entry's index is the
-   value of [scope.(j)].  All arithmetic is max-normalized: every factor
-   and message is divided by its largest entry, which keeps products in
-   (0, 1] with an exact 1.0 present, so no pass can overflow or
-   underflow to an all-zero table.  Normalization constants cancel in
+   value of [scope.(j)].  All arithmetic is max-normalized: every
+   factor, message, and *running product* is divided by its largest
+   entry after each combine, which keeps tables in (0, 1] with an exact
+   1.0 present, so no pass can overflow or underflow to an all-zero
+   table.  Renormalizing the accumulators matters, not just the inputs:
+   a hub clique receiving thousands of conflicting messages decays like
+   p^k and would underflow both belief entries to 0.0 (NaN marginals)
+   even though each input had max 1.  Normalization constants cancel in
    the final per-variable ratio. *)
 
 let position scope v =
@@ -172,11 +176,19 @@ let solve ?order comp =
              "Jtree: a clique of %d variables exceeds the limit of %d"
              (Array.length scope) max_clique_vars);
       let psi = Array.make (1 lsl Array.length scope) 1. in
-      List.iter (fun (s, t) -> mult_into psi scope t s) bucket.(i);
+      List.iter
+        (fun (s, t) ->
+          mult_into psi scope t s;
+          max_normalize psi)
+        bucket.(i);
       clique_scope.(i) <- scope;
       clique_psi.(i) <- psi;
       let b = Array.copy psi in
-      List.iter (fun (_, sep, m) -> mult_into b scope m sep) kids;
+      List.iter
+        (fun (_, sep, m) ->
+          mult_into b scope m sep;
+          max_normalize b)
+        kids;
       let sep, m = sum_out scope b (position scope v) in
       up_sep.(i) <- sep;
       if Array.length sep > 0 then begin
@@ -199,14 +211,18 @@ let solve ?order comp =
       let nk = Array.length kids in
       let base = Array.copy clique_psi.(i) in
       mult_into base scope down.(i) up_sep.(i);
+      max_normalize base;
       (* Prefix/suffix products make every except-one combination O(nk)
          tables instead of O(nk²) — star-shaped cliques receive
-         thousands of messages. *)
+         thousands of messages.  Each accumulator is renormalized per
+         step; any per-table scale cancels in the belief ratio and in
+         the projected-then-normalized down messages. *)
       let pre = Array.make (nk + 1) base in
       for t = 0 to nk - 1 do
         let _, sep, m = kids.(t) in
         let next = Array.copy pre.(t) in
         mult_into next scope m sep;
+        max_normalize next;
         pre.(t + 1) <- next
       done;
       let suf = Array.make (nk + 1) [||] in
@@ -215,6 +231,7 @@ let solve ?order comp =
         let _, sep, m = kids.(t) in
         let next = Array.copy suf.(t + 1) in
         mult_into next scope m sep;
+        max_normalize next;
         suf.(t) <- next
       done;
       (* Belief = psi × down × all child messages. *)

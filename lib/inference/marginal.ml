@@ -30,7 +30,8 @@ let infer_compiled_full ?(obs = Obs.null) ?checkpoint ?online ?early_stop c =
               0 comps;
         } )
   | Gibbs options ->
-    (Gibbs.marginals ~options c, Gibbs_run { sweeps = options.Gibbs.samples })
+    let marg, info = Gibbs.marginals_info ~options c in
+    (marg, Gibbs_run { sweeps = info.Gibbs.sweeps_run })
   | Chromatic options ->
     let marg, info =
       Chromatic.marginals_info ~options ~obs ?checkpoint ?online ?early_stop c

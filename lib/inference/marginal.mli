@@ -24,7 +24,9 @@ type method_ =
 type solve_info =
   | Enumerated_run of { components : int; max_component_vars : int }
       (** {!Exact}: component count and the largest enumerated size *)
-  | Gibbs_run of { sweeps : int }  (** sequential sampler: sweep budget *)
+  | Gibbs_run of { sweeps : int }
+      (** sequential sampler: estimation sweeps actually executed
+          ({!Gibbs.run_info}) *)
   | Chromatic_run of Chromatic.run_info
   | Bp_run of Bp.stats
   | Hybrid_run of Hybrid.report

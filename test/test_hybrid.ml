@@ -143,6 +143,45 @@ let test_jtree_deterministic () =
   let b = Inference.Jtree.marginals c in
   Alcotest.(check bool) "bit-identical" true (a = b)
 
+let test_jtree_hub_underflow () =
+  (* Regression: a hub with thousands of conflicting leaf factors has
+     induced width 1, but the hub clique's belief is a product of ~2000
+     message tables.  Without per-combine renormalization of the running
+     products the belief entries decay like p^k, underflow to an
+     all-zero table, and every marginal comes out NaN (0/0). *)
+  let n = 2001 in
+  let leaf_prior i = if i mod 3 = 0 then 0.4 else -0.3 in
+  let clause_w i = if i mod 2 = 0 then 1.5 else -1.5 in
+  let c =
+    compile_graph (fun g ->
+        for i = 1 to n - 1 do
+          Fgraph.add_singleton g ~i ~w:(leaf_prior i);
+          Fgraph.add_clause g ~i1:0 ~i2:i ~w:(clause_w i) ()
+        done)
+  in
+  let marg = Inference.Jtree.marginals c in
+  Array.iteri
+    (fun v p ->
+      if not (Float.is_finite p && 0. <= p && p <= 1.) then
+        Alcotest.failf "var %d: marginal %g is not a probability" v p)
+    marg;
+  (* The conflict nets out against the hub: its log-odds fall linearly
+     in n, so P(hub) ~ e^-cn is indistinguishable from 0 here and every
+     leaf has the closed-form marginal P(leaf | hub = 0) =
+     e^prior / (e^prior + e^w) — with the hub false, the implication is
+     satisfied exactly when the leaf body is false.  (BP is no oracle at
+     this scale: its hub product underflows the same way and it reports
+     a "converged" 0.5.) *)
+  let p v = marg.(Hashtbl.find c.Fgraph.var_of_id v) in
+  Alcotest.(check bool) "hub settles at 0" true (p 0 < 1e-9);
+  for i = 1 to n - 1 do
+    let expected =
+      exp (leaf_prior i) /. (exp (leaf_prior i) +. exp (clause_w i))
+    in
+    if Float.abs (p i -. expected) > 1e-9 then
+      Alcotest.failf "leaf %d: %.12f should be %.12f" i (p i) expected
+  done
+
 let test_jtree_rejects_high_width () =
   let c =
     compile_graph (fun g ->
@@ -315,6 +354,27 @@ let test_hybrid_pool_deterministic () =
       Alcotest.(check int) "same exact vars" ra.Inference.Hybrid.exact_vars
         rb.Inference.Hybrid.exact_vars)
 
+let test_hybrid_permissive_width_samples () =
+  (* A directly-built options record can carry a width bound past
+     [Jtree.max_clique_vars] ([Config.make] rejects those, direct callers
+     can't be stopped).  The planner must route the K30 core (width 29,
+     under the permissive bound) to sampling instead of letting
+     [Jtree.solve] abort the whole run on its clique-size guard. *)
+  let options =
+    {
+      Inference.Hybrid.default_options with
+      max_width = 100;
+      gibbs = { Inference.Gibbs.burn_in = 10; samples = 20; seed = 3 };
+    }
+  in
+  let marg, report = Inference.Hybrid.solve ~options (mixed_graph ()) in
+  Alcotest.(check int) "clique core sampled, not eliminated" 1
+    report.Inference.Hybrid.sampled_components;
+  Array.iter
+    (fun p ->
+      if not (Float.is_finite p) then Alcotest.fail "non-finite marginal")
+    marg
+
 let test_neighborhood_dispatch () =
   (* A 100-var chain exceeds the enumeration cap but has width 1, so the
      neighbourhood dispatcher must still report an exact solve. *)
@@ -373,8 +433,13 @@ let test_config_hybrid_knobs () =
    with
   | Some Inference.Marginal.Exact -> ()
   | _ -> Alcotest.fail "hybrid:true must not override an explicit Exact");
-  match Probkb.Config.make ~exact_max_vars:31 () with
+  (match Probkb.Config.make ~exact_max_vars:31 () with
   | _ -> Alcotest.fail "exact_max_vars 31 must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* Widths past Jtree's clique guard can only abort on allocation —
+     e.g. `--max-width 40` used to crash mid-inference. *)
+  match Probkb.Config.make ~max_width:40 () with
+  | _ -> Alcotest.fail "max_width 40 must be rejected"
   | exception Invalid_argument _ -> ()
 
 let () =
@@ -394,6 +459,8 @@ let () =
           Alcotest.test_case "scales past enumeration" `Quick
             test_jtree_scales_past_enumeration;
           Alcotest.test_case "deterministic" `Quick test_jtree_deterministic;
+          Alcotest.test_case "hub underflow regression" `Quick
+            test_jtree_hub_underflow;
           Alcotest.test_case "rejects high width" `Quick
             test_jtree_rejects_high_width;
         ] );
@@ -408,6 +475,8 @@ let () =
           Alcotest.test_case "mixed workload" `Quick test_hybrid_mixed_workload;
           Alcotest.test_case "pool deterministic" `Quick
             test_hybrid_pool_deterministic;
+          Alcotest.test_case "permissive width samples" `Quick
+            test_hybrid_permissive_width_samples;
           Alcotest.test_case "neighbourhood dispatch" `Quick
             test_neighborhood_dispatch;
         ] );
