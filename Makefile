@@ -35,17 +35,18 @@ check: build
 
 bench:
 	dune exec bench/main.exe -- --quick -e parallel -e pipeline \
-	  -e incremental -e local -e serve -e hybrid
+	  -e incremental -e local -e serve -e hybrid -e storage
 
 # The regression gate: re-run the parallel, pipeline, incremental,
-# local, serve and hybrid experiments into scratch artifacts and diff
-# them against the committed BENCH_parallel.json / BENCH_pipeline.json /
-# BENCH_incremental.json / BENCH_local.json / BENCH_serve.json /
-# BENCH_hybrid.json.  Exits non-zero when any non-oversubscribed,
-# non-noise stage cell is more than 25% slower than the baseline.
+# local, serve, hybrid and storage experiments into scratch artifacts
+# and diff them against the committed BENCH_parallel.json /
+# BENCH_pipeline.json / BENCH_incremental.json / BENCH_local.json /
+# BENCH_serve.json / BENCH_hybrid.json / BENCH_storage.json.  Exits
+# non-zero when any non-oversubscribed, non-noise stage cell is more
+# than 25% slower than the baseline.
 bench-check:
 	dune exec bench/main.exe -- --quick -e parallel -e pipeline \
-	  -e incremental -e local -e serve -e hybrid \
+	  -e incremental -e local -e serve -e hybrid -e storage \
 	  --out BENCH_fresh.json --compare BENCH_parallel.json \
 	  --out-pipeline BENCH_pipeline_fresh.json \
 	  --compare-pipeline BENCH_pipeline.json \
@@ -56,10 +57,13 @@ bench-check:
 	  --out-serve BENCH_serve_fresh.json \
 	  --compare-serve BENCH_serve.json \
 	  --out-hybrid BENCH_hybrid_fresh.json \
-	  --compare-hybrid BENCH_hybrid.json
+	  --compare-hybrid BENCH_hybrid.json \
+	  --out-storage BENCH_storage_fresh.json \
+	  --compare-storage BENCH_storage.json
 	rm -f BENCH_fresh.json BENCH_pipeline_fresh.json \
 	  BENCH_incremental_fresh.json BENCH_local_fresh.json \
-	  BENCH_serve_fresh.json BENCH_hybrid_fresh.json
+	  BENCH_serve_fresh.json BENCH_hybrid_fresh.json \
+	  BENCH_storage_fresh.json
 
 clean:
 	dune clean

@@ -98,6 +98,8 @@ type options = {
   mutable compare_serve : string option; (* baseline BENCH_serve.json *)
   mutable out_hybrid : string option; (* hybrid artifact path override *)
   mutable compare_hybrid : string option; (* baseline BENCH_hybrid.json *)
+  mutable out_storage : string option; (* storage artifact path override *)
+  mutable compare_storage : string option; (* baseline BENCH_storage.json *)
 }
 
 let options =
@@ -118,6 +120,8 @@ let options =
     compare_serve = None;
     out_hybrid = None;
     compare_hybrid = None;
+    out_storage = None;
+    compare_storage = None;
   }
 
 (* The parallel experiment's artifact path ([--out] overrides the
@@ -141,6 +145,10 @@ let serve_out () = Option.value options.out_serve ~default:"BENCH_serve.json"
 (* Same for the hybrid-inference experiment ([--out-hybrid]). *)
 let hybrid_out () =
   Option.value options.out_hybrid ~default:"BENCH_hybrid.json"
+
+(* Same for the out-of-core storage experiment ([--out-storage]). *)
+let storage_out () =
+  Option.value options.out_storage ~default:"BENCH_storage.json"
 
 let scale_or default =
   match options.scale with

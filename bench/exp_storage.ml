@@ -1,0 +1,298 @@
+(* Out-of-core storage: spilled grounding vs fully in-memory, on an S2
+   fact-count sweep, plus a beyond-RAM scan microbench over the final TΠ.
+
+   Per sweep point the in-memory run is measured first; its TΠ byte size
+   sets the spill threshold to an eighth of the table, so the spilled run
+   always grounds a KB at least 4x larger than [spill_threshold_bytes]
+   (the issue's acceptance bar).  Facts are identity-checked between the
+   two runs at every point.
+
+   The scan microbench reopens the largest point's spilled TΠ store twice:
+   once materialized back to a resident table (the in-memory route), once
+   streamed segment-by-segment through [Plan.Scan_segments].  Both scans
+   select one fact id, so zone maps on the ascending id column prune all
+   but one segment.  Peak RSS per route is measured in a fresh child
+   process (the bench binary re-execs itself, see [rss_child]): inside the
+   warm parent the allocator's pooled pages would absorb the
+   materialization and the kernel's high-water mark would never move.
+
+   Writes BENCH_storage.json with the same [stages.{stage}.seconds.{key}]
+   shape as the other artifacts (keys are fact counts, not pool sizes), so
+   [Compare] gates it with the same implementation. *)
+
+open Bench_util
+module Table = Relational.Table
+module Plan = Relational.Plan
+module Store = Storage.Store
+module Spill = Storage.Spill
+
+let stage_names = [ "in_memory"; "spilled" ]
+
+(* Bit-exact equality: same rows, same order, same weights. *)
+let tables_identical a b =
+  Table.nrows a = Table.nrows b
+  && Table.width a = Table.width b
+  && Table.weighted a = Table.weighted b
+  &&
+  let ok = ref true in
+  for r = 0 to Table.nrows a - 1 do
+    if not (Table.equal_rows a r b r) then ok := false;
+    if Table.weighted a && compare (Table.weight a r) (Table.weight b r) <> 0
+    then ok := false
+  done;
+  !ok
+
+(* Order-independent fact identity: the sorted key tuples of TΠ. *)
+let fact_signature kb =
+  let acc = ref [] in
+  Kb.Storage.iter
+    (fun ~id:_ ~r ~x ~c1 ~y ~c2 ~w:_ -> acc := (r, x, c1, y, c2) :: !acc)
+    (Kb.Gamma.pi kb);
+  List.sort compare !acc
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+(* Bytes the store occupies on disk (compressed segments + manifest). *)
+let rec disk_bytes path =
+  match Sys.is_directory path with
+  | true ->
+    Array.fold_left
+      (fun acc e -> acc + disk_bytes (Filename.concat path e))
+      0 (Sys.readdir path)
+  | false -> (Unix.stat path).Unix.st_size
+  | exception Sys_error _ -> 0
+
+let rss () =
+  match Obs.peak_rss_bytes () with Some b -> b | None -> 0
+
+(* Child-process entry point, dispatched from [main] before argument
+   parsing when PROBKB_STORAGE_RSS_CHILD is set to "MODE:ID:DIR".  Runs
+   one scan route over the store at DIR — MODE "materialize" rebuilds the
+   resident table first, MODE "stream" scans the segments directly — and
+   prints the route's peak-RSS growth in bytes on stdout. *)
+let rss_child spec =
+  let mode, id, dir =
+    match String.split_on_char ':' spec with
+    | mode :: id :: rest ->
+      (mode, int_of_string id, String.concat ":" rest)
+    | _ -> failwith ("bad PROBKB_STORAGE_RSS_CHILD spec: " ^ spec)
+  in
+  let st = Store.open_dir dir in
+  let pred = Plan.Eq_const (0, id) in
+  Obs.reset_peak_rss ();
+  let base = rss () in
+  (match mode with
+  | "materialize" ->
+    let t = Store.to_table st in
+    ignore (Plan.run_materializing (Plan.Select (pred, Plan.Scan t)))
+  | "stream" ->
+    let pool = Pool.create 1 in
+    ignore (Plan.run ~pool (Plan.Select (pred, Plan.Scan_segments (Store.source st))));
+    Pool.shutdown pool
+  | other -> failwith ("unknown rss child mode " ^ other));
+  Printf.printf "%d\n" (max 0 (rss () - base));
+  exit 0
+
+(* Peak-RSS of one scan route, measured in a fresh process. *)
+let rss_subprocess mode ~id ~dir =
+  let env =
+    Array.append (Unix.environment ())
+      [| Printf.sprintf "PROBKB_STORAGE_RSS_CHILD=%s:%d:%s" mode id dir |]
+  in
+  let out, inp, err =
+    Unix.open_process_full (Filename.quote Sys.executable_name) env
+  in
+  let line = try input_line out with End_of_file -> "0" in
+  (match Unix.close_process_full (out, inp, err) with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Printf.eprintf "storage rss child (%s) failed\n" mode);
+  Option.value (int_of_string_opt (String.trim line)) ~default:0
+
+let run () =
+  section "Out-of-core storage — spilled grounding vs fully in-memory";
+  (* This experiment measures storage routes, not pool scaling: pin the
+     default pool to 1 so the stage timings (and the regression gate)
+     are invariant to the CI matrix's PROBKB_DOMAINS. *)
+  Pool.set_default_size 1;
+  let scale = scale_or 0.1 in
+  let points =
+    if options.full then [ 20_000; 80_000 ]
+    else if options.quick then [ 2_000; 8_000 ]
+    else [ 5_000; 20_000 ]
+  in
+  let seed =
+    Workload.Reverb_sherlock.default_config.Workload.Reverb_sherlock.seed
+  in
+  let iterations = 2 in
+  note
+    "S2 rules at scale %.3f, fact counts %s, %d grounding iterations; each \
+     point grounds twice (in-memory, then spilled at threshold = TΠ/8) and \
+     the fact sets are checked identical"
+    scale
+    (String.concat ", " (List.map string_of_int points))
+    iterations;
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probkb-bench-storage-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+  let times = Hashtbl.create 16 in
+  let identical = ref true in
+  let thresholds = ref [] in
+  let last_spilled_kb = ref None in
+  pf "  %10s %12s %11s %11s %12s %10s@." "#facts" "threshold" "in-mem(s)"
+    "spilled(s)" "TΠ bytes" "identical";
+  List.iter
+    (fun n_facts ->
+      let g = Workload.Synthetic.s2 ~scale ~seed ~n_facts in
+      let kb = Workload.Reverb_sherlock.kb g in
+      let ground ?spill kb =
+        Grounding.Ground.run
+          ~options:
+            {
+              Grounding.Ground.default_options with
+              max_iterations = iterations;
+              spill;
+            }
+          kb
+      in
+      (* In-memory reference run: its final TΠ size sets the threshold. *)
+      let kb_mem = copy_kb kb in
+      let _, mem_s = time (fun () -> ignore (ground kb_mem)) in
+      let pi_bytes =
+        Table.byte_size (Kb.Storage.table (Kb.Gamma.pi kb_mem))
+      in
+      let sig_mem = fact_signature kb_mem in
+      (* Spilled run: TΠ crosses the threshold mid-run and every closure
+         iteration probes from the on-disk store after that. *)
+      let threshold = max 1 (pi_bytes / 8) in
+      let policy =
+        Spill.create ~threshold_bytes:threshold
+          ~root:(Filename.concat root (string_of_int n_facts))
+          ()
+      in
+      let kb_spill = copy_kb kb in
+      let _, spill_s = time (fun () -> ignore (ground ~spill:policy kb_spill)) in
+      let same = sig_mem = fact_signature kb_spill in
+      if not same then identical := false;
+      Hashtbl.replace times ("in_memory", n_facts) mem_s;
+      Hashtbl.replace times ("spilled", n_facts) spill_s;
+      thresholds := (n_facts, threshold, pi_bytes) :: !thresholds;
+      last_spilled_kb := Some kb_spill;
+      pf "  %10d %12d %10.3fs %10.3fs %12d %10b@." n_facts threshold mem_s
+        spill_s pi_bytes same)
+    points;
+  measured "identical fact sets across all points: %b" !identical;
+  (* --- beyond-RAM scan over the largest point's TΠ --- *)
+  let kb_last = Option.get !last_spilled_kb in
+  let tpi = Kb.Storage.table (Kb.Gamma.pi kb_last) in
+  let scan_dir = Filename.concat root "scan" in
+  let segment_rows = 2048 in
+  let st = Store.spill ~segment_rows ~dir:scan_dir tpi in
+  let stored = disk_bytes scan_dir in
+  let resident = Table.byte_size tpi in
+  (* One fact id: the ascending id column's zone maps prune every other
+     segment. *)
+  let last_id = Table.get tpi (Table.nrows tpi - 1) 0 in
+  let pred = Plan.Eq_const (0, last_id) in
+  let mem_scan =
+    let t = Store.to_table st in
+    Plan.run_materializing (Plan.Select (pred, Plan.Scan t))
+  in
+  let spill_scan, summary =
+    let obs = Obs.create ~config:Obs.Config.enabled () in
+    let out =
+      Obs.with_ambient obs (fun () ->
+          Plan.run (Plan.Select (pred, Plan.Scan_segments (Store.source st))))
+    in
+    (out, Obs.Summary.of_trace obs)
+  in
+  let mem_rss = rss_subprocess "materialize" ~id:last_id ~dir:scan_dir in
+  let spill_rss = rss_subprocess "stream" ~id:last_id ~dir:scan_dir in
+  let skipped = Obs.Summary.counter summary "storage.segments_skipped" in
+  let scanned = Obs.Summary.counter summary "storage.segments_scanned" in
+  let scan_identical = tables_identical mem_scan spill_scan in
+  if not scan_identical then identical := false;
+  measured
+    "TΠ scan (%d rows, %d segments): resident %.1f MB | on disk %.1f MB \
+     (%.1fx compression)"
+    (Table.nrows tpi) (Store.nsegments st)
+    (float_of_int resident /. 1.048576e6)
+    (float_of_int stored /. 1.048576e6)
+    (float_of_int resident /. Float.max 1. (float_of_int stored));
+  measured "zone maps: %d of %d segments skipped on the one-id select"
+    skipped (Store.nsegments st);
+  measured
+    "peak RSS (fresh process per route): materialize-and-scan %.1f MB | \
+     segment-streamed %.1f MB"
+    (float_of_int mem_rss /. 1.048576e6)
+    (float_of_int spill_rss /. 1.048576e6);
+  measured "scan results identical: %b" scan_identical;
+  rm_rf root;
+  Pool.set_default_size (Pool.env_domains ());
+  let t stage n = Hashtbl.find times (stage, n) in
+  let per_point f =
+    List.map (fun n -> (string_of_int n, f n)) points
+  in
+  let stage_json stage =
+    ( stage,
+      Obs.Json.Obj
+        [ ("seconds", Obs.Json.Obj (per_point (fun n -> Obs.Json.Float (t stage n)))) ]
+    )
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("meta", meta_json ~engine:"storage");
+        ("scale", Obs.Json.Float scale);
+        ("points", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) points));
+        ("iterations", Obs.Json.Int iterations);
+        ("identical_results", Obs.Json.Bool !identical);
+        ( "spill",
+          Obs.Json.Obj
+            (List.rev_map
+               (fun (n, threshold, bytes) ->
+                 ( string_of_int n,
+                   Obs.Json.Obj
+                     [
+                       ("threshold_bytes", Obs.Json.Int threshold);
+                       ("tpi_bytes", Obs.Json.Int bytes);
+                       ( "scale_over_threshold",
+                         Obs.Json.Float
+                           (float_of_int bytes /. Float.max 1. (float_of_int threshold))
+                       );
+                     ] ))
+               !thresholds) );
+        ( "scan",
+          Obs.Json.Obj
+            [
+              ("rows", Obs.Json.Int (Table.nrows tpi));
+              ("segment_rows", Obs.Json.Int segment_rows);
+              ("nsegments", Obs.Json.Int (Store.nsegments st));
+              ("segments_scanned", Obs.Json.Int scanned);
+              ("segments_skipped", Obs.Json.Int skipped);
+              ("resident_bytes", Obs.Json.Int resident);
+              ("stored_bytes", Obs.Json.Int stored);
+              ( "peak_rss_bytes",
+                Obs.Json.Obj
+                  [
+                    ("in_memory", Obs.Json.Float (float_of_int mem_rss));
+                    ("spilled", Obs.Json.Float (float_of_int spill_rss));
+                  ] );
+            ] );
+        ("stages", Obs.Json.Obj (List.map stage_json stage_names));
+      ]
+  in
+  let out = storage_out () in
+  let oc = open_out out in
+  output_string oc (Obs.Json.to_pretty_string json);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" out

@@ -25,11 +25,19 @@ let all_experiments =
     ("local", Exp_local.run);
     ("serve", Exp_serve.run);
     ("hybrid", Exp_hybrid.run);
+    ("storage", Exp_storage.run);
     ("table4", Exp_quality.table4);
     ("fig7a", Exp_quality.fig7a);
     ("fig7b", Exp_quality.fig7b);
     ("micro", Exp_micro.run);
   ]
+
+(* Re-exec'd child for the storage experiment's per-route peak-RSS
+   measurement; prints one number and exits before the harness starts. *)
+let () =
+  match Sys.getenv_opt "PROBKB_STORAGE_RSS_CHILD" with
+  | Some spec -> Exp_storage.rss_child spec
+  | None -> ()
 
 let () =
   let open Bench_util in
@@ -93,6 +101,14 @@ let () =
         Arg.String (fun p -> options.compare_hybrid <- Some p),
         "BASELINE diff the fresh hybrid-inference artifact against this \
          BENCH_hybrid.json; exit non-zero on a >25% regression" );
+      ( "--out-storage",
+        Arg.String (fun p -> options.out_storage <- Some p),
+        "FILE write the out-of-core storage experiment's artifact here \
+         instead of BENCH_storage.json" );
+      ( "--compare-storage",
+        Arg.String (fun p -> options.compare_storage <- Some p),
+        "BASELINE diff the fresh storage artifact against this \
+         BENCH_storage.json; exit non-zero on a >25% regression" );
     ]
   in
   Arg.parse spec
@@ -150,5 +166,8 @@ let () =
     + (match options.compare_hybrid with
       | None -> 0
       | Some baseline -> gate "hybrid" baseline (hybrid_out ()))
+    + (match options.compare_storage with
+      | None -> 0
+      | Some baseline -> gate "storage" baseline (storage_out ()))
   in
   if regressions > 0 then exit 1

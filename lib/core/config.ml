@@ -13,6 +13,9 @@ type t = {
   warm_start : bool;
   exact_max_vars : int;
   max_width : int;
+  spill_dir : string option;
+  segment_rows : int;
+  spill_threshold_bytes : int;
 }
 
 (* The enumerator allocates nothing per world but loops over [2^k]
@@ -33,8 +36,13 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
     ?(obs = Obs.Config.default) ?target_r_hat ?min_ess
     ?(checkpoint_sweeps = Inference.Chromatic.default_checkpoint)
     ?(warm_start = true) ?(exact_max_vars = Inference.Exact.max_vars)
-    ?(max_width = Inference.Jtree.default_max_width) ?(hybrid = false) () =
+    ?(max_width = Inference.Jtree.default_max_width) ?(hybrid = false)
+    ?spill_dir ?(segment_rows = Storage.Spill.default_segment_rows)
+    ?(spill_threshold_bytes = Storage.Spill.default_threshold_bytes) () =
   if checkpoint_sweeps < 1 then invalid_arg "Config.make: checkpoint_sweeps < 1";
+  if segment_rows < 1 then invalid_arg "Config.make: segment_rows < 1";
+  if spill_threshold_bytes < 0 then
+    invalid_arg "Config.make: spill_threshold_bytes < 0";
   if exact_max_vars < 0 || exact_max_vars > max_exact_max_vars then
     invalid_arg
       (Printf.sprintf "Config.make: exact_max_vars must be in [0, %d]"
@@ -74,6 +82,9 @@ let make ?(engine = Single_node) ?(semantic_constraints = false)
     warm_start;
     exact_max_vars;
     max_width;
+    spill_dir;
+    segment_rows;
+    spill_threshold_bytes;
   }
 
 let default = make ()
@@ -86,6 +97,26 @@ let with_obs obs c = { c with obs }
 let with_warm_start warm_start c = { c with warm_start }
 let with_exact_max_vars exact_max_vars c = { c with exact_max_vars }
 let with_max_width max_width c = { c with max_width }
+
+let with_spill ?spill_dir ?segment_rows ?spill_threshold_bytes c =
+  let segment_rows = Option.value segment_rows ~default:c.segment_rows in
+  let spill_threshold_bytes =
+    Option.value spill_threshold_bytes ~default:c.spill_threshold_bytes
+  in
+  if segment_rows < 1 then invalid_arg "Config.with_spill: segment_rows < 1";
+  if spill_threshold_bytes < 0 then
+    invalid_arg "Config.with_spill: spill_threshold_bytes < 0";
+  { c with spill_dir; segment_rows; spill_threshold_bytes }
+
+(* The shared spill policy of one engine run — its atomic directory
+   counter is what keeps concurrent spills from colliding, so build it
+   once per run, not per spill site. *)
+let spill_policy c =
+  Option.map
+    (fun root ->
+      Storage.Spill.create ~segment_rows:c.segment_rows
+        ~threshold_bytes:c.spill_threshold_bytes ~root ())
+    c.spill_dir
 
 let with_early_stop ?target_r_hat ?min_ess c =
   { c with target_r_hat; min_ess }

@@ -61,6 +61,19 @@ type t = {
       (** induced-width bound for junction-tree variable elimination in
           the per-component dispatcher (default
           {!Inference.Jtree.default_max_width}) *)
+  spill_dir : string option;
+      (** out-of-core storage root (default [None] — fully in-memory).
+          When set, grounding keeps an on-disk segment-store copy of
+          [TΠ] once it crosses [spill_threshold_bytes] and probes the
+          closure/factor joins from it (single node), or flushes the
+          distributed fact shards to per-segment stores (MPP, pn mode).
+          Results are bit-identical either way *)
+  segment_rows : int;
+      (** rows per column segment in spilled stores (default
+          {!Storage.Spill.default_segment_rows}) *)
+  spill_threshold_bytes : int;
+      (** resident byte size at which a table is spilled (default
+          {!Storage.Spill.default_threshold_bytes} = 64 MiB) *)
 }
 
 (** [make ()] is the default configuration: single node, no quality
@@ -92,6 +105,9 @@ val make :
   ?exact_max_vars:int ->
   ?max_width:int ->
   ?hybrid:bool ->
+  ?spill_dir:string ->
+  ?segment_rows:int ->
+  ?spill_threshold_bytes:int ->
   unit ->
   t
 
@@ -109,6 +125,22 @@ val with_obs : Obs.Config.t -> t -> t
 val with_warm_start : bool -> t -> t
 val with_exact_max_vars : int -> t -> t
 val with_max_width : int -> t -> t
+
+(** [with_spill ?spill_dir ?segment_rows ?spill_threshold_bytes c]
+    reconfigures out-of-core storage; an absent [spill_dir] clears it
+    (back to fully in-memory), absent size knobs keep their current
+    values.
+    @raise Invalid_argument on [segment_rows < 1] or a negative
+    threshold. *)
+val with_spill :
+  ?spill_dir:string -> ?segment_rows:int -> ?spill_threshold_bytes:int ->
+  t -> t
+
+(** [spill_policy c] is the spill policy of one engine run ([None] when
+    [spill_dir] is unset).  Build it once per run and share it: the
+    policy's atomic counter is what keeps concurrently-allocated store
+    directories distinct. *)
+val spill_policy : t -> Storage.Spill.t option
 
 (** [with_early_stop ?target_r_hat ?min_ess c] replaces both early-stop
     criteria (absent arguments clear them). *)

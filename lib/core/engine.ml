@@ -59,6 +59,7 @@ let expand t =
         clean_rules t)
   in
   let hook = constraint_hook t in
+  let spill = Config.spill_policy t.config in
   let t0 = Relational.Stats.now () in
   match t.config.Config.engine with
   | Config.Single_node ->
@@ -69,6 +70,7 @@ let expand t =
             Grounding.Ground.default_options with
             max_iterations = t.config.Config.max_iterations;
             apply_constraints = hook;
+            spill;
             obs = t.trace;
           }
         t.kb
@@ -94,6 +96,7 @@ let expand t =
             Grounding.Ground_mpp.default_options with
             max_iterations = t.config.Config.max_iterations;
             apply_constraints = hook;
+            spill;
             obs = t.trace;
           }
         ~mode:

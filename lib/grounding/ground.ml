@@ -2,6 +2,11 @@ module Table = Relational.Table
 module Ops = Relational.Ops
 module Stats = Relational.Stats
 module Pattern = Mln.Pattern
+
+(* The segment-store aliases must precede the [Kb.Storage] rebinding:
+   [Storage] names the out-of-core library only up to the next line. *)
+module Seg_store = Storage.Store
+module Spill = Storage.Spill
 module Storage = Kb.Storage
 module Fgraph = Factor_graph.Fgraph
 
@@ -17,6 +22,7 @@ type options = {
   semi_naive : bool;
   initial_delta : Table.t option;
   on_iteration : (iteration:int -> new_facts:int -> unit) option;
+  spill : Spill.t option;
   obs : Obs.t;
 }
 
@@ -29,6 +35,7 @@ let default_options =
     semi_naive = false;
     initial_delta = None;
     on_iteration = None;
+    spill = None;
     obs = Obs.null;
   }
 
@@ -104,6 +111,40 @@ let run ?(options = default_options) kb =
   in
   let semi_naive = options.semi_naive || options.initial_delta <> None in
   let delta = ref options.initial_delta in
+  (* Out-of-core probing: once [TΠ] crosses the spill threshold, keep an
+     on-disk segment-store copy in step (whole segments appended per
+     iteration; the partial tail stays resident) and probe the closure
+     and factor joins from it instead of the resident table.  The
+     resident store remains the authority — merges, head resolution and
+     constraint passes are untouched — and segmented probes are
+     bit-identical to resident ones, so spilling changes I/O, never
+     results. *)
+  let spill_store = ref None in
+  let sync_spill () =
+    match options.spill with
+    | None -> ()
+    | Some policy -> (
+      let facts = Storage.table pi in
+      match !spill_store with
+      | Some st ->
+        spill_store := Some (Obs.timed obs "storage.spill_seconds" (fun () ->
+            Seg_store.sync st facts))
+      | None ->
+        if Spill.should_spill policy facts then
+          spill_store :=
+            Some
+              (Obs.timed obs "storage.spill_seconds" (fun () ->
+                   Seg_store.spill
+                     ~segment_rows:(Spill.segment_rows policy)
+                     ~tail:false
+                     ~dir:(Spill.fresh_dir policy ~prefix:"tpi")
+                     facts)))
+  in
+  let fact_src () =
+    Option.map
+      (fun st -> Seg_store.source ~tail:(Storage.table pi) st)
+      !spill_store
+  in
   (* Deletions interact with semi-naive evaluation in exactly one place:
      the saved delta may still hold rows the constraint pass just removed
      from [TΠ], and joining against them would re-derive consequences of
@@ -152,6 +193,12 @@ let run ?(options = default_options) kb =
                the domain pool, and the merge below happens sequentially in
                pattern order. *)
             let pats = Array.of_list patterns in
+            sync_spill ();
+            (* One segmented source per iteration, shared read-only by
+               the per-pattern workers (mmap'd segments are
+               position-independent; each worker scans with its own
+               batches). *)
+            let src = fact_src () in
             let results =
               Pool.map_reduce (Pool.get_default ()) ~n:(Array.length pats)
                 ~map:(fun i ->
@@ -159,9 +206,11 @@ let run ?(options = default_options) kb =
                   let sp = Obs.begin_span ~cat:"grounding" obs (pattern_name pat) in
                   let t0 = Stats.now () in
                   let raw =
-                    match (semi_naive, !delta) with
-                    | true, Some d ->
+                    match (semi_naive, !delta, src) with
+                    | true, Some d, _ ->
                       Queries.ground_atoms_delta prepared pat pi ~delta:d
+                    | _, _, Some src ->
+                      Queries.ground_atoms_spilled prepared pat ~src
                     | _ -> Queries.ground_atoms prepared pat pi
                   in
                   let t =
@@ -229,13 +278,19 @@ let run ?(options = default_options) kb =
   let n_singleton_factors = ref 0 in
   if options.build_factors then begin
     Obs.with_span obs "factors" ~cat:"grounding" (fun () ->
+        sync_spill ();
+        let src = fact_src () in
         List.iter
           (fun pat ->
             let label = Printf.sprintf "Query 2-%d" (Pattern.index pat + 1) in
             let produced =
               Obs.with_span obs (pattern_name pat) ~cat:"grounding" (fun () ->
                   Stats.time stats ~label ~rows:Fun.id (fun () ->
-                      Queries.ground_factors prepared pat pi graph))
+                      match src with
+                      | Some src ->
+                        Queries.ground_factors_spilled prepared pat pi ~src
+                          graph
+                      | None -> Queries.ground_factors prepared pat pi graph))
             in
             n_clause_factors := !n_clause_factors + produced)
           patterns;

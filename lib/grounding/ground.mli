@@ -33,6 +33,14 @@ type options = {
           extractions arrive, only their consequences are derived *)
   on_iteration : (iteration:int -> new_facts:int -> unit) option;
       (** progress callback *)
+  spill : Storage.Spill.t option;
+      (** out-of-core probing (default [None]): once [TΠ] crosses the
+          policy's byte threshold, keep an on-disk segment-store copy in
+          step (whole segments appended per iteration, partial tail
+          resident) and probe the closure and factor joins from it via
+          mmap instead of the resident table.  The resident store stays
+          the authority; results are bit-identical with or without
+          spilling *)
   obs : Obs.t;
       (** trace context (default {!Obs.null}).  When enabled, the run
           emits a [closure > iteration i > M1..M6/merge] span tree, a

@@ -2,6 +2,10 @@ module Table = Relational.Table
 module Join = Relational.Join
 module Ops = Relational.Ops
 module Pattern = Mln.Pattern
+
+(* The spill alias must precede the [Kb.Storage] rebinding: [Storage]
+   names the out-of-core library only up to the next line. *)
+module Spill = Storage.Spill
 module Storage = Kb.Storage
 module Fgraph = Factor_graph.Fgraph
 module Shape = Queries.Shape
@@ -18,6 +22,7 @@ type options = {
   build_factors : bool;
   on_iteration :
     (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
+  spill : Spill.t option;
   obs : Obs.t;
 }
 
@@ -27,6 +32,7 @@ let default_options =
     apply_constraints = None;
     build_factors = true;
     on_iteration = None;
+    spill = None;
     obs = Obs.null;
   }
 
@@ -131,7 +137,19 @@ let run ?(options = default_options) ?(mode = Views) cluster kb =
            (fun () -> Mpp.Matview.create cluster silent facts))
     | No_views ->
       charge_delta 1;
-      `Pn (Mpp.Dtable.partition cluster facts (Mpp.Dtable.Hash [| 0 |]))
+      (* ProbKB-pn with out-of-core shards: once the fact table crosses
+         the spill threshold, each hash shard lives in its own segment
+         store and local joins read it back through the mmap — so
+         [measured_seconds] includes the shard I/O. *)
+      `Pn
+        (match options.spill with
+        | Some policy when Spill.should_spill policy facts ->
+          Obs.with_span obs "spill shards" ~cat:"mpp"
+            ~attrs:[ ("rows", Obs.I (Table.nrows facts)) ]
+            (fun () ->
+              Mpp.Dtable.partition_spilled policy ~prefix:"pn" cluster facts
+                (Mpp.Dtable.Hash [| 0 |]))
+        | _ -> Mpp.Dtable.partition cluster facts (Mpp.Dtable.Hash [| 0 |]))
   in
   let djoin = Mpp.Djoin.hash_join cluster cost in
   let run_pattern distributed pat ~factors =

@@ -24,6 +24,13 @@ type options = {
   on_iteration :
     (iteration:int -> new_facts:int -> sim_elapsed:float -> unit) option;
       (** progress callback with the cumulative simulated clock *)
+  spill : Storage.Spill.t option;
+      (** out-of-core shards for [No_views] mode (default [None]): once
+          [TΠ] crosses the policy's byte threshold, each hash shard of
+          the distributed fact table is flushed to its own on-disk
+          segment store and local joins materialize it back through the
+          mmap — [measured_seconds] then includes the shard read I/O.
+          Results are bit-identical with or without spilling *)
   obs : Obs.t;
       (** trace context (default {!Obs.null}).  When enabled, the run
           emits [closure > iteration i > distribute/M1..M6] and

@@ -319,6 +319,44 @@ let ground_atoms p pat pi =
   let t = Storage.table pi in
   ground_atoms_tables p.m_index.(Pattern.index pat) pat ~q_tbl:t ~r_tbl:t
 
+(* --- out-of-core (spilled TΠ) variants ---------------------------
+
+   Same joins, same output specs, same inline dedup as the in-memory
+   queries, but TΠ is probed from a segmented scan source (a spilled
+   segment store, plus the resident tail): each resident segment streams
+   as one morsel, so the probe never materializes the spilled copy.
+   Segmented scans hand out the same row ids and stream rows in the same
+   order as a scan of the resident table, so the output is bit-identical
+   to {!ground_atoms} / {!ground_factors}. *)
+
+let step1_src midx pat (s : Shape.t) src =
+  match s with
+  | One_atom _ -> invalid_arg "step1_src"
+  | Two_atom s2 ->
+    Join.hash_join_pre_src
+      ~name:(Pattern.to_string pat ^ "_J")
+      ~cols:j_cols ~out:(step1_out s)
+      ~oweight:(Join.Weight_of Join.Build)
+      ~dedup:true midx (src, s2.t_key1)
+
+let ground_atoms_spilled p pat ~src =
+  let midx = p.m_index.(Pattern.index pat) in
+  let s = shape_of pat in
+  match s with
+  | One_atom s1 ->
+    Join.hash_join_pre_src
+      ~name:("atoms_" ^ Pattern.to_string pat)
+      ~cols:atom_cols ~out:(atoms_out s)
+      ~oweight:Join.No_weight ~dedup:true midx (src, s1.t_key)
+  | Two_atom s2 ->
+    let j = step1_src midx pat s src in
+    Join.hash_join_pre_src
+      ~name:("atoms_" ^ Pattern.to_string pat)
+      ~cols:atom_cols ~out:(atoms_out s)
+      ~oweight:Join.No_weight ~dedup:true
+      (Index.build j s2.j_key2)
+      (src, s2.t_key2)
+
 (* Resolve heads against TΠ and emit factor rows. *)
 let resolve_heads rows pi g =
   let idx = Storage.key_index pi in
@@ -452,6 +490,31 @@ let ground_factors p pat pi g =
         ~name:("factors_" ^ Pattern.to_string pat)
         ~cols:atom_i_cols ~out:(factors_out s)
         ~oweight:(Join.Weight_of Join.Build) (j, s2.j_key2) (t, s2.t_key2)
+  in
+  resolve_heads rows pi g
+
+(* Query 2-i against a spilled TΠ: probes stream from the segment
+   source; head resolution still looks heads up in the resident store
+   (the authority). *)
+let ground_factors_spilled p pat pi ~src g =
+  let s = shape_of pat in
+  let rows =
+    match s with
+    | One_atom s1 ->
+      Join.hash_join_pre_src
+        ~name:("factors_" ^ Pattern.to_string pat)
+        ~cols:atom_i_cols ~out:(factors_out s)
+        ~oweight:(Join.Weight_of Join.Build)
+        p.m_index.(Pattern.index pat)
+        (src, s1.t_key)
+    | Two_atom s2 ->
+      let j = step1_src p.m_index.(Pattern.index pat) pat s src in
+      Join.hash_join_pre_src
+        ~name:("factors_" ^ Pattern.to_string pat)
+        ~cols:atom_i_cols ~out:(factors_out s)
+        ~oweight:(Join.Weight_of Join.Build)
+        (Index.build j s2.j_key2)
+        (src, s2.t_key2)
   in
   resolve_heads rows pi g
 

@@ -113,6 +113,14 @@ val atoms_plan : prepared -> Mln.Pattern.t -> Kb.Storage.t -> Relational.Plan.t
 val ground_atoms :
   prepared -> Mln.Pattern.t -> Kb.Storage.t -> Relational.Table.t
 
+(** [ground_atoms_spilled p pat ~src] is Query 1-i with [TΠ] probed from
+    a segmented (spilled) scan source instead of the resident table —
+    [src] must cover exactly the current facts (stored segments plus the
+    resident tail, e.g. [Storage.Store.source ~tail]).  Output is
+    bit-identical to {!ground_atoms}. *)
+val ground_atoms_spilled :
+  prepared -> Mln.Pattern.t -> src:Relational.Segsrc.t -> Relational.Table.t
+
 (** [ground_atoms_delta p pat pi ~delta] is the semi-naive variant of
     Query 1-i: only derivations with at least one body atom bound to a
     [delta] fact (a table with the [TΠ] schema).  For two-atom patterns
@@ -139,6 +147,18 @@ val ground_factors :
   prepared ->
   Mln.Pattern.t ->
   Kb.Storage.t ->
+  Factor_graph.Fgraph.t ->
+  int
+
+(** [ground_factors_spilled p pat pi ~src g] is Query 2-i probing the
+    segmented source [src] (covering exactly the current facts); head
+    resolution still uses the resident store [pi].  Bit-identical to
+    {!ground_factors}. *)
+val ground_factors_spilled :
+  prepared ->
+  Mln.Pattern.t ->
+  Kb.Storage.t ->
+  src:Relational.Segsrc.t ->
   Factor_graph.Fgraph.t ->
   int
 

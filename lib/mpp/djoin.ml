@@ -73,8 +73,10 @@ let local_join ?pool cluster cost ~name ~cols ~out ~oweight ?dedup ?residual
   Array.iteri
     (fun i result ->
       if not (both_replicated && i > 0) then begin
-        let b = Dtable.seg bdt i and p = Dtable.seg pdt i in
-        let work = Table.nrows b + Table.nrows p + Table.nrows result in
+        (* Counts only — [seg] would re-materialize disk-backed shards. *)
+        let work =
+          Dtable.seg_rows bdt i + Dtable.seg_rows pdt i + Table.nrows result
+        in
         max_seg := max !max_seg work;
         rows_out := !rows_out + Table.nrows result
       end)

@@ -21,6 +21,23 @@ type t
     @raise Invalid_argument on [Unknown]. *)
 val partition : Cluster.t -> Relational.Table.t -> dist -> t
 
+(** [partition_spilled policy ~prefix cluster tbl dist] is {!partition}
+    followed by flushing every shard to its own on-disk segment store
+    under [policy]'s spill root; the resident copies are dropped, so the
+    distributed table holds only shard metadata.  [seg] materializes a
+    shard back from its mmap'd segments on demand, so local joins pay
+    the shard's read I/O inside the measured time — honest out-of-core
+    MPP rather than an in-memory simulation.  Results are bit-identical
+    to the resident partition.
+    @raise Invalid_argument on [Unknown]. *)
+val partition_spilled :
+  Storage.Spill.t ->
+  prefix:string ->
+  Cluster.t ->
+  Relational.Table.t ->
+  dist ->
+  t
+
 (** [of_segments segs dist] wraps already-materialized per-segment pieces
     (used by operators for their outputs). *)
 val of_segments : Relational.Table.t array -> dist -> t
@@ -28,8 +45,16 @@ val of_segments : Relational.Table.t array -> dist -> t
 val dist : t -> dist
 val nseg : t -> int
 
-(** [seg t i] is the i-th segment's local table. *)
+(** [seg t i] is the i-th segment's local table.  Spilled shards are
+    materialized from disk on every call — use {!seg_rows} for counts. *)
 val seg : t -> int -> Relational.Table.t
+
+(** [seg_rows t i] is the i-th shard's row count, without materializing
+    spilled shards. *)
+val seg_rows : t -> int -> int
+
+(** [spilled t i] is true iff the i-th shard is disk-backed. *)
+val spilled : t -> int -> bool
 
 (** [nrows t] is the logical row count ([Replicated] counts one copy). *)
 val nrows : t -> int

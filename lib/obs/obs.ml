@@ -276,6 +276,41 @@ let mem_stats () =
   | rss_pages -> ("rss_mb", F (float_of_int rss_pages *. 4096. /. 1e6)) :: gc
   | exception _ -> gc
 
+(* Peak resident set size, from the VmHWM high-water mark the kernel
+   keeps in /proc/self/status.  [None] where /proc is unavailable
+   (non-Linux) — callers treat the gauge as best-effort. *)
+let peak_rss_bytes () =
+  match
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec find () =
+          let line = input_line ic in
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            Scanf.sscanf
+              (String.sub line 6 (String.length line - 6))
+              " %d kB"
+              (fun kb -> kb * 1024)
+          else find ()
+        in
+        find ())
+  with
+  | bytes -> Some bytes
+  | exception _ -> None
+
+(* VmHWM is a process-lifetime high-water mark; writing "5" to
+   /proc/self/clear_refs rewinds it to the current RSS so two phases of
+   one process (e.g. an in-memory and a spilled bench run) can be peak-
+   measured independently. *)
+let reset_peak_rss () =
+  match open_out "/proc/self/clear_refs" with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc "5\n")
+  | exception _ -> ()
+
 type span = {
   id : int;
   parent : int; (* -1 = root *)

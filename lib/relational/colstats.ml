@@ -57,6 +57,14 @@ let stats_for tbl =
     Mutex.unlock cache_mutex;
     st
 
+(* Rebuild statistics from persisted parts (the segment store serializes
+   them with its headers so reopening a spilled table never rescans). *)
+let of_parts ~rows ~ndv ~mins ~maxs =
+  let w = Array.length ndv in
+  if Array.length mins <> w || Array.length maxs <> w then
+    invalid_arg "Colstats.of_parts: array length mismatch";
+  { rows; ndv = Array.copy ndv; mins = Array.copy mins; maxs = Array.copy maxs }
+
 let rows st = st.rows
 let ndv st c = st.ndv.(c)
 let min_value st c = if st.rows = 0 then None else Some st.mins.(c)

@@ -17,6 +17,14 @@ val analyze : Table.t -> t
     Thread-safe. *)
 val stats_for : Table.t -> t
 
+(** [of_parts ~rows ~ndv ~mins ~maxs] rebuilds statistics from persisted
+    per-column figures (the segment store serializes them alongside its
+    zone maps, so reopening a spilled table costs no rescan).  Arrays are
+    copied; one entry per column.
+    @raise Invalid_argument on length mismatches. *)
+val of_parts :
+  rows:int -> ndv:int array -> mins:int array -> maxs:int array -> t
+
 (** [rows st] is the row count at analysis time. *)
 val rows : t -> int
 

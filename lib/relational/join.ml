@@ -97,6 +97,55 @@ let hash_join_pre_into ~out ~oweight ?residual ?pool ~sink bidx (ptbl, pkey) =
     Obs.gauge_max obs "join.max_hash_chain" (float_of_int max_chain)
   end
 
+(* Segmented-probe variant: the probe side is a spilled scan source
+   rather than a resident table — each resident segment streams as one
+   morsel ({!Pipeline.run_segments}), so probing a spilled fact table
+   never materializes it.  The build side stays a resident index.  No
+   zone-map pruning here ([keep] accepts everything): a join must see
+   every probe row; pruning belongs to scan pipelines in {!Plan}. *)
+let probe_src_into ~out ~oweight ?residual ?pool ~sink bidx (psrc, pkey) =
+  check_arity bidx pkey;
+  let chain s =
+    Pipeline.probe bidx ~pkey ~out ~oweight ?residual
+      ~next:(Pipeline.into_sink s) ()
+  in
+  ignore
+    (Pipeline.run_segments ?pool ~source:psrc
+       ~keep:(fun _ -> true)
+       ~make_sink:(fun () -> Sink.clone_empty sink)
+       ~chain ~sink ())
+
+let hash_join_pre_src ~name ~cols ~out ~oweight ?(dedup = false) ?residual
+    ?pool bidx (psrc, pkey) =
+  let weighted = oweight <> No_weight in
+  let dedup_key =
+    if dedup then Some (Array.init (Array.length out) Fun.id) else None
+  in
+  let run () =
+    let sink =
+      Sink.create ?dedup_key ~reserve:(Segsrc.rows psrc) ~weighted ~name cols
+    in
+    probe_src_into ~out ~oweight ?residual ?pool ~sink bidx (psrc, pkey);
+    sink
+  in
+  let obs = Obs.ambient () in
+  if not (Obs.enabled obs) then Sink.table (run ())
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let sink = run () in
+    let result = Sink.table sink in
+    Obs.incr obs "join.joins";
+    Obs.add obs "join.build_rows" (Index.size bidx);
+    Obs.add obs "join.probe_rows" (Segsrc.rows psrc);
+    Obs.add obs "join.rows_out" (Table.nrows result);
+    Obs.add_time obs "join.probe_seconds" (Unix.gettimeofday () -. t0);
+    let collisions, max_chain = Index.chain_stats bidx in
+    Obs.add obs "join.hash_collisions" collisions;
+    Obs.gauge_max obs "join.max_hash_chain" (float_of_int max_chain);
+    Sink.record_distinct_obs obs sink;
+    result
+  end
+
 let hash_join ~name ~cols ~out ~oweight ?dedup ?residual ?pool (btbl, bkey)
     (ptbl, pkey) =
   let obs = Obs.ambient () in

@@ -90,6 +90,36 @@ val hash_join_pre_into :
   Table.t * int array ->
   unit
 
+(** [hash_join_pre_src ...] is {!hash_join_pre} with a segmented
+    (spilled) probe side: each resident segment of the source streams as
+    one morsel and the spilled table is never materialized.  Same output
+    spec, telemetry and bit-identical-output contract; row ids seen by
+    [residual] equal the row indices of the unspilled probe table. *)
+val hash_join_pre_src :
+  name:string ->
+  cols:string array ->
+  out:out_col array ->
+  oweight:out_weight ->
+  ?dedup:bool ->
+  ?residual:(int -> int -> bool) ->
+  ?pool:Pool.t ->
+  Index.t ->
+  Segsrc.t * int array ->
+  Table.t
+
+(** [probe_src_into ~sink ...] is {!hash_join_pre_into} with a segmented
+    probe side (no [join.*] telemetry — the caller owns the sink and the
+    counters, exactly as with {!hash_join_pre_into}). *)
+val probe_src_into :
+  out:out_col array ->
+  oweight:out_weight ->
+  ?residual:(int -> int -> bool) ->
+  ?pool:Pool.t ->
+  sink:Sink.t ->
+  Index.t ->
+  Segsrc.t * int array ->
+  unit
+
 (** [nested_loop ...] is a reference implementation of the same operator
     with O(n·m) complexity.  It exists for differential testing only; it
     honours the same [dedup] inline-DISTINCT flag as {!hash_join} so plan

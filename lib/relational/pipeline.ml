@@ -207,3 +207,88 @@ let run ?pool ?(batch_capacity = Batch.default_capacity)
     Obs.gauge_max obs "pipeline.morsel_skew" skew
   end;
   batches
+
+(* --- the segmented-source driver --- *)
+
+(* Drives a pipeline whose source is a spilled (segmented) table: each
+   resident segment is one morsel.  [keep] is the partition-pruning
+   predicate — segments it rejects are never touched (their pages stay
+   cold); pruning must be semantically transparent, i.e. [keep] may only
+   reject segments none of whose rows can survive the downstream chain.
+
+   Determinism matches {!run}: sequentially, one kernel chain consumes
+   the kept segments in order with a single flush at the end; in
+   parallel, each segment streams through a private chain/sink and the
+   sinks are absorbed in segment order.  Kernels emit in row order
+   either way, so the output is bit-identical to a scan of the unspilled
+   table at any pool size (dedup sinks re-check while absorbing, exactly
+   as the morsel driver's). *)
+let run_segments ?pool ?(batch_capacity = Batch.default_capacity) ~source
+    ~keep ~make_sink ~chain ~sink () =
+  let segs = source.Segsrc.segs in
+  let nseg = Array.length segs in
+  (* Base rids: skipped segments still advance them, so surviving rows
+     carry the same source row ids as an unspilled scan. *)
+  let bases = Array.make (max 1 nseg) 0 in
+  let nrows = ref 0 in
+  for i = 0 to nseg - 1 do
+    bases.(i) <- !nrows;
+    nrows := !nrows + segs.(i).Segsrc.rows
+  done;
+  let kept = ref [] in
+  for i = nseg - 1 downto 0 do
+    if segs.(i).Segsrc.rows > 0 && keep segs.(i) then kept := i :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let nkept = Array.length kept in
+  let pool = match pool with Some p -> p | None -> Pool.get_default () in
+  let nworkers = Pool.size pool in
+  let obs = Obs.ambient () in
+  let enabled = Obs.enabled obs in
+  let now () = if enabled then Unix.gettimeofday () else 0. in
+  let t0 = now () in
+  let scan_one kernel i =
+    segs.(i).Segsrc.scan ~capacity:batch_capacity ~base_rid:bases.(i)
+      kernel.push
+  in
+  let batches, busy, skew =
+    if nworkers <= 1 || nkept <= 1 then begin
+      let t = now () in
+      let kernel = chain sink in
+      let batches = ref 0 in
+      Array.iter (fun i -> batches := !batches + scan_one kernel i) kept;
+      kernel.flush ();
+      (!batches, now () -. t, 1.)
+    end
+    else begin
+      let batches, busy, max_rows, total_rows =
+        Pool.map_reduce pool ~n:nkept
+          ~map:(fun j ->
+            let s = make_sink () in
+            let t = now () in
+            let kernel = chain s in
+            let b = scan_one kernel kept.(j) in
+            kernel.flush ();
+            (s, b, now () -. t))
+          ~fold:(fun (batches, busy, max_rows, total_rows) (s, b, sec) ->
+            let rows = Sink.rows_out s in
+            Sink.absorb sink (Sink.table s);
+            Sink.add_pushed sink (Sink.pushed s);
+            (batches + b, busy +. sec, max max_rows rows, total_rows + rows))
+          ~init:(0, 0., 0, 0)
+      in
+      let mean = float_of_int total_rows /. float_of_int nkept in
+      (batches, busy, if mean > 0. then float_of_int max_rows /. mean else 1.)
+    end
+  in
+  if enabled then begin
+    Obs.incr obs "pipeline.runs";
+    Obs.add obs "pipeline.rows" !nrows;
+    Obs.add obs "pipeline.batches" batches;
+    Obs.add_time obs "pipeline.busy_seconds" busy;
+    Obs.add_time obs "pipeline.seconds" (now () -. t0);
+    Obs.gauge_max obs "pipeline.morsel_skew" skew;
+    Obs.add obs "storage.segments_scanned" nkept;
+    Obs.add obs "storage.segments_skipped" (nseg - nkept)
+  end;
+  batches

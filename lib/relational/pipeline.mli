@@ -79,3 +79,24 @@ val run :
   sink:Sink.t ->
   unit ->
   int
+
+(** [run_segments ~source ~keep ~make_sink ~chain ~sink ()] is {!run}
+    over a segmented (spilled) source: each segment [keep] accepts is
+    one morsel; rejected segments are never read (partition pruning —
+    [keep] may only reject segments none of whose rows could survive the
+    chain, so pruning changes counters, never results).  Sequentially
+    the kept segments stream in order through one chain with a single
+    final flush; in parallel each segment runs a private chain/sink,
+    absorbed in segment order — output is bit-identical to scanning the
+    unspilled table at any pool size.  Records the [pipeline.*] counters
+    plus [storage.segments_scanned] / [storage.segments_skipped]. *)
+val run_segments :
+  ?pool:Pool.t ->
+  ?batch_capacity:int ->
+  source:Segsrc.t ->
+  keep:(Segsrc.seg -> bool) ->
+  make_sink:(unit -> Sink.t) ->
+  chain:(Sink.t -> kernel) ->
+  sink:Sink.t ->
+  unit ->
+  int

@@ -8,6 +8,7 @@ type pred =
 
 type t =
   | Scan of Table.t
+  | Scan_segments of Segsrc.t
   | Select of pred * t
   | Project of int array * t
   | Equi_join of { left : t; right : t; lkey : int array; rkey : int array }
@@ -25,6 +26,7 @@ let check_cols what schema cols =
 
 let rec columns = function
   | Scan tbl -> Table.cols tbl
+  | Scan_segments s -> s.Segsrc.cols
   | Select (_, child) -> columns child
   | Project (cols, child) ->
     let schema = columns child in
@@ -50,13 +52,15 @@ let width p = Array.length (columns p)
 
 (* --- cardinality estimation --- *)
 
-(* Trace an output column back to the base-table column it is read from
-   (columns pass through filters, projections and joins unchanged), so
-   selectivities and distinct counts can use {!Colstats} of the stored
-   tables instead of textbook constants. *)
+(* Trace an output column back to the statistics of the base table (or
+   spilled store — its stats are persisted with the segment headers, so
+   no rescan happens here) it is read from: columns pass through
+   filters, projections and joins unchanged, so selectivities and
+   distinct counts can use {!Colstats} instead of textbook constants. *)
 let rec resolve_col p c =
   match p with
-  | Scan tbl -> Some (tbl, c)
+  | Scan tbl -> Some (Colstats.stats_for tbl, c)
+  | Scan_segments s -> Some (s.Segsrc.stats, c)
   | Select (_, child) | Distinct (_, child) | Order_by (_, child) ->
     resolve_col child c
   | Project (cols, child) -> resolve_col child cols.(c)
@@ -73,8 +77,7 @@ let rec pred_selectivity child = function
        range; the textbook constant when the column cannot be traced to
        a base table. *)
     match resolve_col child c with
-    | Some (tbl, bc) when Table.nrows tbl > 0 -> (
-      let st = Colstats.stats_for tbl in
+    | Some (st, bc) when Colstats.rows st > 0 -> (
       match (Colstats.min_value st bc, Colstats.max_value st bc) with
       | Some lo, Some hi when v < lo || v > hi -> 0.
       | _ -> 1. /. float_of_int (max 1 (Colstats.ndv st bc)))
@@ -101,13 +104,14 @@ let ndv_resolved node key ~cap =
                (fun acc r ->
                  if acc > cap then acc
                  else
-                   let tbl, bc = Option.get r in
-                   acc * max 1 (Colstats.ndv (Colstats.stats_for tbl) bc))
+                   let st, bc = Option.get r in
+                   acc * max 1 (Colstats.ndv st bc))
                1 resolved)))
   else None
 
 let rec estimate_rows = function
   | Scan tbl -> Table.nrows tbl
+  | Scan_segments s -> Segsrc.rows s
   | Select (p, child) ->
     int_of_float
       (Float.round
@@ -153,6 +157,7 @@ let join_build_left left right = estimate_rows left <= estimate_rows right
 
 let rec plan_weighted = function
   | Scan tbl -> Table.weighted tbl
+  | Scan_segments s -> s.Segsrc.weighted
   | Select (_, child) | Project (_, child) | Distinct (_, child)
   | Order_by (_, child) ->
     plan_weighted child
@@ -215,8 +220,66 @@ let note_intermediate bytes tbl = bytes := !bytes + Table.byte_size tbl
 
 let record_intermediate_bytes bytes =
   let obs = Obs.ambient () in
-  if Obs.enabled obs then
-    Obs.gauge_max obs "exec.peak_intermediate_bytes" (float_of_int !bytes)
+  if Obs.enabled obs then begin
+    Obs.gauge_max obs "exec.peak_intermediate_bytes" (float_of_int !bytes);
+    (* Resident-set high water (OS view of the same question: how much
+       memory did this run actually pin), when the platform exposes it. *)
+    match Obs.peak_rss_bytes () with
+    | Some rss -> Obs.gauge_max obs "exec.peak_rss_bytes" (float_of_int rss)
+    | None -> ()
+  end
+
+(* --- zone-map pruning --- *)
+
+let rec conjuncts p acc =
+  match p with And (a, b) -> conjuncts a (conjuncts b acc) | p -> p :: acc
+
+(* Map an output column of a streaming Select/Project prefix back to the
+   column of the segmented scan at its base; [None] once the trace
+   leaves the prefix (crosses a join or hits a plain scan). *)
+let rec prefix_col q c =
+  match q with
+  | Scan_segments _ -> Some c
+  | Select (_, child) -> prefix_col child c
+  | Project (cols, child) -> prefix_col child cols.(c)
+  | _ -> None
+
+(* The prunable predicates of a streaming spine: [Eq_const] / [Lt_const]
+   conjuncts of the Selects sitting between the segmented source scan
+   and the first pipeline breaker (following the probe side of joins,
+   exactly as the spine does), each resolved to a source column.  A
+   segment whose zone map excludes any of them cannot contribute a row
+   to the pipeline, so the driver may skip it without changing results —
+   only the [storage.segments_skipped] counter. *)
+let segment_keep stream =
+  let rec go q acc =
+    match q with
+    | Select (p, child) ->
+      let add acc c =
+        match c with
+        | Eq_const (col, v) -> (
+          match prefix_col child col with
+          | Some bc -> `Eq (bc, v) :: acc
+          | None -> acc)
+        | Lt_const (col, v) -> (
+          match prefix_col child col with
+          | Some bc -> `Lt (bc, v) :: acc
+          | None -> acc)
+        | _ -> acc
+      in
+      go child (List.fold_left add acc (conjuncts p []))
+    | Project (_, child) -> go child acc
+    | Equi_join { left; right; _ } ->
+      go (if join_build_left left right then right else left) acc
+    | _ -> acc
+  in
+  let prunes = go stream [] in
+  fun (seg : Segsrc.seg) ->
+    List.for_all
+      (function
+        | `Eq (c, v) -> v >= seg.Segsrc.mins.(c) && v <= seg.Segsrc.maxs.(c)
+        | `Lt (c, v) -> seg.Segsrc.mins.(c) < v)
+      prunes
 
 (* --- materializing executor (the pre-pipeline reference engine) --- *)
 
@@ -240,6 +303,10 @@ let run_materializing ?stats ?pool p =
   let rec go p =
     match p with
     | Scan tbl -> tbl
+    | Scan_segments s ->
+      let out = timed "segment_scan" Table.nrows (fun () -> Segsrc.to_table s) in
+      note_intermediate bytes out;
+      out
     | Select (pred, child) ->
       let input = go child in
       let out =
@@ -314,6 +381,11 @@ let count_kernel nm (next : Pipeline.kernel) =
     flush = next.Pipeline.flush;
   }
 
+(* What a streaming spine reads from: a resident table (morsel-split by
+   {!Pipeline.run}) or a segmented spilled source ({!Pipeline.run_segments},
+   one segment per morsel, zone-map pruned). *)
+type spine_src = Src_table of Table.t | Src_segments of Segsrc.t
+
 (* Executes [p] on the pipelined engine.  Streaming spines
    (Scan→Select→Project→probe chains) run batch-at-a-time into a single
    sink; only hash build sides, [Distinct] (a dedup sink) and
@@ -358,7 +430,8 @@ let run_pipelined ?stats ?pool ?m p =
         | None -> Array.init (width child) Fun.id
       in
       drive ~root:p ~dedup:(Some kcols) child
-    | Select _ | Project _ | Equi_join _ -> drive ~root:p ~dedup:None p
+    | Scan_segments _ | Select _ | Project _ | Equi_join _ ->
+      drive ~root:p ~dedup:None p
   and drive ~root ~dedup stream =
     let t0 = Unix.gettimeofday () in
     let src, build, nodes = spine stream in
@@ -368,10 +441,14 @@ let run_pipelined ?stats ?pool ?m p =
         ~weighted:(plan_weighted stream) ~name:"pipeline" (columns stream)
     in
     let chain s = build (Pipeline.into_sink s) in
+    let make_sink () = Sink.clone_empty sink in
     let batches =
-      Pipeline.run ?pool ~source:src
-        ~make_sink:(fun () -> Sink.clone_empty sink)
-        ~chain ~sink ()
+      match src with
+      | Src_table source ->
+        Pipeline.run ?pool ~source ~make_sink ~chain ~sink ()
+      | Src_segments source ->
+        Pipeline.run_segments ?pool ~source ~keep:(segment_keep stream)
+          ~make_sink ~chain ~sink ()
     in
     let out = Sink.table sink in
     note_intermediate bytes out;
@@ -434,9 +511,14 @@ let run_pipelined ?stats ?pool ?m p =
             (Pipeline.probe bidx ~pkey ~out ~oweight:Pipeline.No_weight
                ~next:(with_meter q next) ())),
         q :: nodes )
+    | Scan_segments s ->
+      (match meter q with
+      | Some nm -> Atomic.set nm.rows (Segsrc.rows s)
+      | None -> ());
+      (Src_segments s, Fun.id, [ q ])
     | Scan _ | Distinct _ | Order_by _ ->
       let tbl = exec q in
-      (tbl, Fun.id, [])
+      (Src_table tbl, Fun.id, [])
   in
   let out = exec p in
   record_intermediate_bytes bytes;
@@ -461,7 +543,7 @@ let pipeline_annotations p =
   let add q note = acc := (q, note) :: !acc in
   let rec assign ~pid q =
     match q with
-    | Scan _ -> add q (Printf.sprintf "pipeline %d" pid)
+    | Scan _ | Scan_segments _ -> add q (Printf.sprintf "pipeline %d" pid)
     | Select (_, child) | Project (_, child) ->
       add q (Printf.sprintf "pipeline %d" pid);
       assign ~pid child
@@ -501,6 +583,11 @@ let rec explain_node ppf ~annots ~indent p =
   | Scan tbl ->
     Format.fprintf ppf "%sSeq Scan on %s  (rows=%d)%s@," pad (Table.name tbl)
       (Table.nrows tbl) note
+  | Scan_segments s ->
+    Format.fprintf ppf "%sSegment Scan on %s  (segments=%d rows=%d)%s@," pad
+      s.Segsrc.name
+      (Array.length s.Segsrc.segs)
+      (Segsrc.rows s) note
   | Select (_, _) -> Format.fprintf ppf "%sFilter  (est=%d)%s@," pad est note
   | Project (cols, _) ->
     Format.fprintf ppf "%sProject [%s]  (est=%d)%s@," pad
@@ -518,7 +605,7 @@ let rec explain_node ppf ~annots ~indent p =
       est note);
   Format.fprintf ppf "%s  -> [%s]@," pad schema;
   match p with
-  | Scan _ -> ()
+  | Scan _ | Scan_segments _ -> ()
   | Select (_, c) | Project (_, c) | Distinct (_, c) | Order_by (_, c) ->
     explain_node ppf ~annots ~indent:(indent + 2) c
   | Equi_join { left; right; _ } ->
@@ -545,6 +632,9 @@ type analysis = {
 
 let node_label = function
   | Scan tbl -> Printf.sprintf "Seq Scan on %s" (Table.name tbl)
+  | Scan_segments s ->
+    Printf.sprintf "Segment Scan on %s (%d segments)" s.Segsrc.name
+      (Array.length s.Segsrc.segs)
   | Select (_, _) -> "Filter"
   | Project (cols, _) ->
     Printf.sprintf "Project [%s]"
@@ -572,7 +662,7 @@ let analyze ?pool p =
       seconds = nm.seconds;
       children =
         (match q with
-        | Scan _ -> []
+        | Scan _ | Scan_segments _ -> []
         | Select (_, c) | Project (_, c) | Distinct (_, c) | Order_by (_, c)
           ->
           [ build c ]

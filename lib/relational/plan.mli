@@ -31,6 +31,12 @@ type pred =
 
 type t =
   | Scan of Table.t
+  | Scan_segments of Segsrc.t
+      (** segmented (spilled) source; the pipelined engine streams each
+          resident segment as one morsel and skips segments whose zone
+          maps exclude the [Eq_const]/[Lt_const] conjuncts of the
+          Selects directly above the scan — pruning changes only the
+          [storage.segments_skipped] counter, never results *)
   | Select of pred * t
   | Project of int array * t  (** keep the given child columns, in order *)
   | Equi_join of { left : t; right : t; lkey : int array; rkey : int array }

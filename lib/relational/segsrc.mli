@@ -1,0 +1,46 @@
+(** Segmented scan sources: spilled tables as the executor sees them.
+
+    A source is an ordered array of immutable segments, each knowing its
+    row count, per-column min/max zone maps, and how to stream its rows
+    out as {!Batch.t} chunks.  The storage layer ([lib/storage]) builds
+    these over mmap'd column-segment files; {!Pipeline.run_segments}
+    drives them (one segment = one morsel) and {!Plan} prunes segments
+    whose zone maps exclude a scan's predicates.  Row ids handed out by
+    a segmented scan equal the row indices of the unspilled table, so
+    downstream residual predicates behave identically. *)
+
+type seg = {
+  rows : int;
+  mins : int array;  (** per-column minima; [[||]] when [rows = 0] *)
+  maxs : int array;  (** per-column maxima; [[||]] when [rows = 0] *)
+  scan : capacity:int -> base_rid:int -> (Batch.t -> unit) -> int;
+      (** [scan ~capacity ~base_rid push] streams the segment's rows in
+          order as batches of at most [capacity] rows, with row ids
+          [base_rid + local index]; returns the number of batches
+          pushed.  Must be re-entrant. *)
+}
+
+type t = {
+  name : string;
+  cols : string array;
+  weighted : bool;
+  stats : Colstats.t;
+      (** whole-table statistics (persisted by the store, so reopening
+          never rescans) *)
+  segs : seg array;
+}
+
+(** [rows t] is the total row count over all segments. *)
+val rows : t -> int
+
+(** [seg_of_table ?lo ?hi tbl] wraps rows [lo, hi)] (default: all) of an
+    in-memory table as one segment — the tail of a partially spilled
+    table, or a test double. *)
+val seg_of_table : ?lo:int -> ?hi:int -> Table.t -> seg
+
+(** [of_table tbl] is a single-segment in-memory source over [tbl]. *)
+val of_table : Table.t -> t
+
+(** [to_table t] materializes the source back into an in-memory table
+    (identity checks; the materializing executor). *)
+val to_table : t -> Table.t

@@ -2,8 +2,14 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* The on-disk format version, carried in the header keyword
+   ([#table:2 ...]).  Version 1 files began with a bare [#table] — a
+   version-1 name would otherwise decode as this format's first column,
+   so the reader rejects any version it does not write. *)
+let format_version = 2
+
 let write tbl oc =
-  Printf.fprintf oc "#table %s %s%s\n" (Table.name tbl)
+  Printf.fprintf oc "#table:%d %s %s%s\n" format_version (Table.name tbl)
     (if Table.weighted tbl then "weighted " else "")
     (String.concat " " (Array.to_list (Table.cols tbl)));
   let width = Table.width tbl in
@@ -24,11 +30,28 @@ let write tbl oc =
 
 let read ic =
   let header = try input_line ic with End_of_file -> fail "empty input" in
+  let check_version = function
+    | "#table" ->
+      fail "unversioned table file (format 1); this reader requires format %d"
+        format_version
+    | kw -> (
+      match String.split_on_char ':' kw with
+      | [ "#table"; v ] -> (
+        match int_of_string_opt v with
+        | Some v when v = format_version -> ()
+        | Some v ->
+          fail "unsupported table format version %d (this reader is %d)" v
+            format_version
+        | None -> fail "bad format version %S in header" v)
+      | _ -> fail "bad header %S" header)
+  in
   let tbl =
     match String.split_on_char ' ' header with
-    | "#table" :: name :: "weighted" :: cols when cols <> [] ->
+    | kw :: name :: "weighted" :: cols when cols <> [] ->
+      check_version kw;
       Table.create ~weighted:true ~name (Array.of_list cols)
-    | "#table" :: name :: cols when cols <> [] ->
+    | kw :: name :: cols when cols <> [] ->
+      check_version kw;
       Table.create ~name (Array.of_list cols)
     | _ -> fail "bad header %S" header
   in

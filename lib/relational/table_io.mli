@@ -1,18 +1,27 @@
 (** Spilling tables to disk.
 
-    Tab-separated text with a one-line header carrying the schema:
+    Tab-separated text with a one-line header carrying the format version
+    and the schema:
 
     {v
-    #table T_Pi weighted I R x C1 y C2
+    #table:2 T_Pi weighted I R x C1 y C2
     0	3	17	1	24	2	0.96
     1	3	18	1	24	2	-
     v}
 
     Weights serialize as [-] when null.  The format exists for
     checkpointing intermediate tables and moving them between processes;
-    knowledge-base-level I/O (with symbol names) lives in [Kb.Loader]. *)
+    knowledge-base-level I/O (with symbol names) lives in [Kb.Loader].
+    Files written by a different format version (including unversioned
+    version-1 files, whose header keyword is a bare [#table]) are
+    rejected with {!Parse_error} instead of being garbled through the
+    row decoder. *)
 
 exception Parse_error of string
+
+(** The format version {!write} stamps into the header; {!read} rejects
+    any other. *)
+val format_version : int
 
 (** [write tbl oc] writes the table. *)
 val write : Table.t -> out_channel -> unit

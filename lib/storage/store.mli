@@ -1,0 +1,64 @@
+(** A spilled table: a directory of column {!Segment}s plus a manifest.
+
+    The manifest (text, written last, atomic tmp+rename) records the
+    schema, the ordered segment list and the table-level {!Colstats}
+    merged from the per-segment zone maps, so {!open_dir} never rescans
+    data.  Stores are append-only at segment granularity: a full
+    {!spill} also writes the final partial segment, while the
+    incremental {!sync} used by the grounding loop appends only whole
+    segments and leaves the tail resident — {!source}[ ~tail] stitches
+    the stored prefix and the in-memory tail into one scan source whose
+    row ids equal the backing table's row indices. *)
+
+type t
+
+(** Alias of {!Segment.Corrupt}; also raised by {!open_dir} on a missing
+    or malformed manifest. *)
+exception Corrupt of string
+
+val default_segment_rows : int
+val format_version : int
+
+(** [spill ?segment_rows ?tail ~dir tbl] writes [tbl] as segments of
+    [segment_rows] rows under [dir] (created if needed) and returns the
+    open store.  With [tail:false] the trailing partial segment is kept
+    out (the caller keeps those rows resident and passes them to
+    {!source}). *)
+val spill :
+  ?segment_rows:int -> ?tail:bool -> dir:string -> Relational.Table.t -> t
+
+(** [sync st tbl] appends whole segments for the rows [tbl] gained since
+    [st] was written and returns the updated store ([tbl] must be the
+    same logical table, only grown — the stored prefix is immutable). *)
+val sync : t -> Relational.Table.t -> t
+
+(** [open_dir dir] loads a store from its manifest — no data pages are
+    touched; segments are mapped lazily by {!source}.
+    @raise Corrupt on malformed or version-mismatched manifests. *)
+val open_dir : string -> t
+
+(** [source ?tail st] is the store as a segmented scan source.  [tail]
+    supplies the resident rows beyond the stored prefix (its row indices
+    [>= rows st] become one extra segment). *)
+val source : ?tail:Relational.Table.t -> t -> Relational.Segsrc.t
+
+(** [to_table st] materializes the stored rows back into memory. *)
+val to_table : t -> Relational.Table.t
+
+val dir : t -> string
+val name : t -> string
+val cols : t -> string array
+val weighted : t -> bool
+val segment_rows : t -> int
+
+(** Table-level statistics over the stored rows (persisted; merged from
+    segment headers). *)
+val stats : t -> Relational.Colstats.t
+
+val nsegments : t -> int
+
+(** [rows st] counts the stored rows (excludes any resident tail). *)
+val rows : t -> int
+
+(** Total on-disk bytes across segment files. *)
+val byte_size : t -> int
